@@ -1,0 +1,208 @@
+"""Ablations of the design choices called out in DESIGN.md.
+
+1. **Reduce-before-semijoin** (the paper's 3-phase modification): the
+   reduce phase shrinks the relations the semijoin phase touches; the
+   ablation measures the semijoin-phase cost when the aggregation has
+   not been pushed down (the child keeps its full arity).
+2. **Same-party semijoin shortcut** vs the general PSI path.
+3. **Plain-annotation fast path** (Section 6.5) vs forced sharing.
+4. **OT-multiplication** (Gilboa) vs a garbled 32-bit multiplier.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SecureAnnotations,
+    SecureRelation,
+    oblivious_reduce_join,
+    oblivious_semijoin,
+)
+from repro.mpc import ALICE, BOB, Context, Engine, Mode
+
+N = 256
+
+
+def fresh_engine():
+    return Engine(Context(Mode.SIMULATED, seed=3))
+
+
+def make_rel(owner, n, arity=2, shared_with=None, seed=0):
+    rng = np.random.default_rng(seed)
+    tuples = [
+        tuple(int(v) for v in rng.integers(0, n, arity))
+        for _ in range(n)
+    ]
+    # distinct tuples for PSI-side relations
+    tuples = list(dict.fromkeys(tuples))
+    annots = rng.integers(1, 100, len(tuples))
+    attrs = tuple(f"a{i}" for i in range(arity))
+    rel = SecureRelation(
+        owner, attrs, tuples, SecureAnnotations.plain(owner, annots)
+    )
+    if shared_with is not None:
+        rel.annotations = SecureAnnotations.shared(
+            shared_with.share(owner, annots)
+        )
+    return rel
+
+
+def _bytes_of(fn):
+    engine = fresh_engine()
+    before = engine.ctx.transcript.total_bytes
+    fn(engine)
+    return engine.ctx.transcript.total_bytes - before
+
+
+def test_same_party_shortcut_vs_psi(benchmark):
+    """Section 6.2's same-party protocol skips PSI entirely."""
+
+    def same_party(engine):
+        parent = make_rel(ALICE, N, 2, shared_with=engine, seed=1)
+        child = make_rel(ALICE, N, 1, shared_with=engine, seed=2)
+        oblivious_reduce_join(engine, parent, child)
+
+    def cross_party(engine):
+        parent = make_rel(ALICE, N, 2, shared_with=engine, seed=1)
+        child = make_rel(BOB, N, 1, shared_with=engine, seed=2)
+        oblivious_reduce_join(engine, parent, child)
+
+    same_bytes = _bytes_of(same_party)
+    cross_bytes = _bytes_of(cross_party)
+    benchmark.extra_info.update(
+        same_party_mb=round(same_bytes / 1e6, 3),
+        cross_party_mb=round(cross_bytes / 1e6, 3),
+        saving=round(cross_bytes / same_bytes, 1),
+    )
+    assert same_bytes < cross_bytes / 2
+    benchmark(lambda: same_party(fresh_engine()))
+
+
+def test_plain_annotation_fast_path(benchmark):
+    """Section 6.5: owner-known annotations keep the whole aggregation
+    local and make the PSI payload path cheaper."""
+
+    def plain_path(engine):
+        parent = make_rel(ALICE, N, 2, seed=1)
+        child = make_rel(BOB, N, 1, seed=2)
+        oblivious_reduce_join(engine, parent, child)
+
+    def shared_path(engine):
+        parent = make_rel(ALICE, N, 2, shared_with=engine, seed=1)
+        child = make_rel(BOB, N, 1, shared_with=engine, seed=2)
+        oblivious_reduce_join(engine, parent, child)
+
+    plain_bytes = _bytes_of(plain_path)
+    shared_bytes = _bytes_of(shared_path)
+    benchmark.extra_info.update(
+        plain_mb=round(plain_bytes / 1e6, 3),
+        shared_mb=round(shared_bytes / 1e6, 3),
+    )
+    assert plain_bytes < shared_bytes
+    benchmark(lambda: plain_path(fresh_engine()))
+
+
+def test_ot_mult_vs_gc_mult(benchmark):
+    """Gilboa OT-multiplication vs the garbled 32-bit multiplier."""
+    rng = np.random.default_rng(0)
+
+    def run(via):
+        engine = fresh_engine()
+        x = engine.share("alice", rng.integers(0, 1000, N))
+        y = engine.share("bob", rng.integers(0, 1000, N))
+        before = engine.ctx.transcript.total_bytes
+        out = engine.mul_shared(x, y, via=via)
+        assert (
+            out.reconstruct()
+            == (x.reconstruct() * y.reconstruct()) & engine.ctx.mask
+        ).all()
+        return engine.ctx.transcript.total_bytes - before
+
+    ot_bytes, gc_bytes = run("ot"), run("gc")
+    benchmark.extra_info.update(
+        ot_mult_kb_per_elem=round(ot_bytes / N / 1e3, 2),
+        gc_mult_kb_per_elem=round(gc_bytes / N / 1e3, 2),
+        saving=round(gc_bytes / ot_bytes, 1),
+    )
+    assert ot_bytes * 5 < gc_bytes
+    benchmark(lambda: run("ot"))
+
+
+def test_reduce_shrinks_semijoin_cost(benchmark):
+    """The 3-phase modification: semijoining *reduced* (single join
+    attribute) relations is cheaper than semijoining wide ones whose
+    non-output attributes were never aggregated away."""
+
+    def reduced(engine):
+        target = make_rel(ALICE, N, 2, shared_with=engine, seed=1)
+        filt = make_rel(BOB, N, 1, shared_with=engine, seed=2)
+        oblivious_semijoin(engine, target, filt)
+
+    def unreduced(engine):
+        target = make_rel(ALICE, N, 2, shared_with=engine, seed=1)
+        filt = make_rel(BOB, N, 4, shared_with=engine, seed=2)
+        # a0 is still the only shared attribute; the filter keeps its
+        # full arity, so its support projection pays for a wider sort
+        # and the PSI sees no benefit
+        oblivious_semijoin(engine, target, filt)
+
+    reduced_bytes = _bytes_of(reduced)
+    unreduced_bytes = _bytes_of(unreduced)
+    benchmark.extra_info.update(
+        reduced_mb=round(reduced_bytes / 1e6, 3),
+        unreduced_mb=round(unreduced_bytes / 1e6, 3),
+    )
+    assert reduced_bytes <= unreduced_bytes
+    benchmark(lambda: reduced(fresh_engine()))
+
+
+def test_three_phase_vs_two_phase(benchmark):
+    """The paper's own modification (reduce before semijoin) against the
+    original Yannakakis phase order, end to end."""
+    from repro.core import SecureRelation, secure_yannakakis
+    from repro.relalg import (
+        AnnotatedRelation,
+        Hypergraph,
+        IntegerRing,
+        find_free_connex_tree,
+    )
+    from repro.yannakakis import build_plan, build_two_phase_plan
+
+    ring = IntegerRing(32)
+    rng = np.random.default_rng(5)
+    rels = {}
+    for name, attrs in {
+        "R1": ("a", "b"), "R2": ("b", "c"), "R3": ("c", "d"),
+    }.items():
+        tuples = [
+            tuple(int(v) for v in rng.integers(0, 20, 2))
+            for _ in range(N)
+        ]
+        rels[name] = AnnotatedRelation(
+            attrs, tuples, rng.integers(0, 9, N), ring
+        )
+    h = Hypergraph({n: r.attributes for n, r in rels.items()})
+    tree = find_free_connex_tree(h, {"d"})
+    plans = {
+        "three_phase": build_plan(tree, ("d",)),
+        "two_phase": build_two_phase_plan(tree, ("d",)),
+    }
+
+    def run(plan):
+        engine = fresh_engine()
+        sec = {
+            n: SecureRelation.from_annotated(
+                ALICE if i % 2 == 0 else BOB, rels[n]
+            )
+            for i, n in enumerate(sorted(rels))
+        }
+        _, stats = secure_yannakakis(engine, sec, plan)
+        return stats.total_bytes
+
+    bytes_by_plan = {k: run(p) for k, p in plans.items()}
+    benchmark.extra_info.update(
+        three_phase_mb=round(bytes_by_plan["three_phase"] / 1e6, 2),
+        two_phase_mb=round(bytes_by_plan["two_phase"] / 1e6, 2),
+    )
+    assert bytes_by_plan["three_phase"] < bytes_by_plan["two_phase"]
+    benchmark(lambda: run(plans["three_phase"]))

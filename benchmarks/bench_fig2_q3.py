@@ -1,0 +1,38 @@
+"""Figure 2: TPC-H Q3 — time and communication of secure Yannakakis vs
+the garbled-circuit baseline vs non-private evaluation."""
+
+import pytest
+
+from repro.baselines import cartesian_gc_cost, gc_gate_rate
+from repro.mpc import Engine, Mode
+from repro.tpch import prepare_q3
+
+
+def test_fig2_q3_secure(benchmark, dataset):
+    query = prepare_q3(dataset)
+    plain, _ = query.run_plain()
+
+    def run():
+        ctx = query.make_context(Mode.SIMULATED, seed=7)
+        return query.run_secure(Engine(ctx))
+
+    result, stats = benchmark(run)
+    assert result.semantically_equal(plain)
+    gc = cartesian_gc_cost(
+        query.gc_sizes, query.gc_conditions, gate_rate=gc_gate_rate()
+    )
+    benchmark.extra_info.update(
+        secure_mb=round(stats.total_bytes / 1e6, 2),
+        gc_baseline_mb=round(gc.comm_bytes / 1e6, 1),
+        gc_baseline_hours=round(gc.est_seconds / 3600, 1),
+        effective_input_kb=round(query.effective_bytes / 1e3, 1),
+    )
+    # The headline claims: orders of magnitude in both dimensions.
+    assert gc.comm_bytes > 100 * stats.total_bytes
+    assert gc.est_seconds > 100 * stats.seconds
+
+
+def test_fig2_q3_nonprivate(benchmark, dataset):
+    query = prepare_q3(dataset)
+    result, _ = benchmark(query.run_plain)
+    assert len(result.attributes) == 3

@@ -1,0 +1,31 @@
+"""Figure 3: TPC-H Q10 (nation treated as public knowledge)."""
+
+from repro.baselines import cartesian_gc_cost, gc_gate_rate
+from repro.mpc import Engine, Mode
+from repro.tpch import prepare_q10
+
+
+def test_fig3_q10_secure(benchmark, dataset):
+    query = prepare_q10(dataset)
+    plain, _ = query.run_plain()
+
+    def run():
+        ctx = query.make_context(Mode.SIMULATED, seed=7)
+        return query.run_secure(Engine(ctx))
+
+    result, stats = benchmark(run)
+    assert result.semantically_equal(plain)
+    gc = cartesian_gc_cost(
+        query.gc_sizes, query.gc_conditions, gate_rate=gc_gate_rate()
+    )
+    benchmark.extra_info.update(
+        secure_mb=round(stats.total_bytes / 1e6, 2),
+        gc_baseline_mb=round(gc.comm_bytes / 1e6, 1),
+    )
+    assert gc.comm_bytes > 100 * stats.total_bytes
+
+
+def test_fig3_q10_nonprivate(benchmark, dataset):
+    query = prepare_q10(dataset)
+    result, _ = benchmark(query.run_plain)
+    assert set(result.attributes) == {"custkey", "c_name", "c_nationkey"}

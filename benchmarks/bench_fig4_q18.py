@@ -1,0 +1,32 @@
+"""Figure 4: TPC-H Q18 (local subquery padded to |lineitem|)."""
+
+from repro.baselines import cartesian_gc_cost, gc_gate_rate
+from repro.mpc import Engine, Mode
+from repro.tpch import prepare_q18
+
+
+def test_fig4_q18_secure(benchmark, dataset):
+    query = prepare_q18(dataset)
+    plain, _ = query.run_plain()
+
+    def run():
+        ctx = query.make_context(Mode.SIMULATED, seed=7)
+        return query.run_secure(Engine(ctx))
+
+    result, stats = benchmark(run)
+    assert result.semantically_equal(plain)
+    gc = cartesian_gc_cost(
+        query.gc_sizes, query.gc_conditions, gate_rate=gc_gate_rate()
+    )
+    benchmark.extra_info.update(
+        secure_mb=round(stats.total_bytes / 1e6, 2),
+        gc_baseline_mb=round(gc.comm_bytes / 1e6, 1),
+    )
+    # Q18's 4-way product makes the baseline collapse hardest.
+    assert gc.comm_bytes > 1000 * stats.total_bytes
+
+
+def test_fig4_q18_nonprivate(benchmark, dataset):
+    query = prepare_q18(dataset)
+    result, _ = benchmark(query.run_plain)
+    assert len(result.attributes) == 5

@@ -1,0 +1,35 @@
+"""Figure 5: TPC-H Q8 — ratio-of-sums composition (two protocol runs
+plus a division circuit)."""
+
+from repro.baselines import cartesian_gc_cost, gc_gate_rate
+from repro.mpc import Engine, Mode
+from repro.tpch import prepare_q8
+
+
+def test_fig5_q8_secure(benchmark, dataset):
+    query = prepare_q8(dataset)
+    plain, _ = query.run_plain()
+
+    def run():
+        ctx = query.make_context(Mode.SIMULATED, seed=7)
+        return query.run_secure(Engine(ctx))
+
+    result, stats = benchmark(run)
+    assert result.semantically_equal(plain)
+    gc = cartesian_gc_cost(
+        query.gc_sizes,
+        query.gc_conditions,
+        gate_rate=gc_gate_rate(),
+        runs=query.gc_runs,
+    )
+    benchmark.extra_info.update(
+        secure_mb=round(stats.total_bytes / 1e6, 2),
+        gc_baseline_mb=round(gc.comm_bytes / 1e6, 1),
+    )
+    assert gc.comm_bytes > 1000 * stats.total_bytes
+
+
+def test_fig5_q8_nonprivate(benchmark, dataset):
+    query = prepare_q8(dataset)
+    result, _ = benchmark(query.run_plain)
+    assert result.attributes == ("o_year",)

@@ -1,0 +1,45 @@
+"""Figure 6: TPC-H Q9 — the non-free-connex query, decomposed into
+per-nation sub-queries (Section 8.1).
+
+The pytest benchmark runs a 2-nation slice to stay fast; per-nation
+cost is identical by construction (obliviousness), so the full-25
+figure in ``run_all.py`` scales it exactly."""
+
+from repro.baselines import cartesian_gc_cost, gc_gate_rate
+from repro.mpc import Engine, Mode
+from repro.tpch import prepare_q9
+
+NATIONS = [7, 8]
+
+
+def test_fig6_q9_secure(benchmark, dataset):
+    query = prepare_q9(dataset, nations=NATIONS)
+    plain, _ = query.run_plain()
+
+    def run():
+        ctx = query.make_context(Mode.SIMULATED, seed=7)
+        return query.run_secure(Engine(ctx))
+
+    result, stats = benchmark(run)
+    assert result.semantically_equal(plain)
+    gc = cartesian_gc_cost(
+        query.gc_sizes,
+        query.gc_conditions,
+        gate_rate=gc_gate_rate(),
+        runs=query.gc_runs,
+    )
+    full_factor = 25 / len(NATIONS)
+    benchmark.extra_info.update(
+        secure_mb_all_nations=round(
+            full_factor * stats.total_bytes / 1e6, 2
+        ),
+        gc_baseline_mb=round(full_factor * gc.comm_bytes / 1e6, 1),
+        nations_benchmarked=len(NATIONS),
+    )
+    assert gc.comm_bytes > 1000 * stats.total_bytes
+
+
+def test_fig6_q9_nonprivate(benchmark, dataset):
+    query = prepare_q9(dataset, nations=NATIONS)
+    result, _ = benchmark(query.run_plain)
+    assert result.attributes == ("s_nationkey", "o_year")

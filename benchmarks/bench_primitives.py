@@ -1,0 +1,76 @@
+"""Micro-benchmarks of the cryptographic building blocks: PSI, OEP,
+the merge-aggregation chain, OT-multiplication, and garbling itself —
+the per-operator breakdown behind the figures."""
+
+import secrets
+
+import numpy as np
+import pytest
+
+from repro.mpc import Context, Engine, Mode
+from repro.mpc.circuits import CircuitBuilder, garble
+from repro.mpc.oep import oblivious_extended_permutation
+from repro.mpc.psi import psi_with_payloads
+
+N = 512
+
+
+@pytest.fixture
+def engine():
+    return Engine(Context(Mode.SIMULATED, seed=1))
+
+
+def test_psi_with_payloads(benchmark, engine):
+    alice = [("k", i) for i in range(N)]
+    bob = [("k", i) for i in range(N // 2, N + N // 2)]
+    payloads = list(range(N))
+
+    def run():
+        return psi_with_payloads(
+            engine.ctx, engine.ot, alice, bob, payloads
+        )
+
+    res = benchmark(run)
+    assert res.n_bins >= N
+
+
+def test_oblivious_extended_permutation(benchmark, engine):
+    rng = np.random.default_rng(0)
+    values = engine.share("alice", rng.integers(0, 1000, N))
+    xi = list(rng.integers(0, N, N))
+
+    def run():
+        return oblivious_extended_permutation(
+            engine.ctx, engine.ot, xi, values, N
+        )
+
+    out = benchmark(run)
+    assert len(out) == N
+
+
+def test_merge_aggregation_chain(benchmark, engine):
+    rng = np.random.default_rng(0)
+    v = engine.share("bob", rng.integers(0, 1000, N))
+    same = list(rng.integers(0, 2, N - 1).astype(bool))
+    out = benchmark(lambda: engine.merge_aggregate_sum(same, v))
+    assert len(out) == N
+
+
+def test_ot_multiplication(benchmark, engine):
+    rng = np.random.default_rng(0)
+    x = engine.share("alice", rng.integers(0, 1000, N))
+    y = engine.share("bob", rng.integers(0, 1000, N))
+    out = benchmark(lambda: engine.mul_shared(x, y))
+    assert (
+        out.reconstruct() == (x.reconstruct() * y.reconstruct()) & engine.ctx.mask
+    ).all()
+
+
+def test_garbling_throughput(benchmark):
+    b = CircuitBuilder()
+    xs, ys = b.alice_input_bits(32), b.bob_input_bits(32)
+    b.mul(xs, ys)
+    circuit = b.build([])
+
+    garbled = benchmark(lambda: garble(circuit, secrets.token_bytes))
+    assert garbled.tables.n_bytes == circuit.and_count * 32

@@ -1,0 +1,79 @@
+"""REAL-mode cryptography throughput: the constants behind the
+SIMULATED-mode time extrapolations.  Small sizes by design — this is
+pure-Python crypto."""
+
+import secrets
+
+import numpy as np
+import pytest
+
+from repro.mpc import ALICE, BOB, Context, Engine, Mode
+from repro.mpc.circuits import CircuitBuilder, evaluate_garbled, garble
+from repro.mpc.ot import ChouOrlandiOT, IknpExtension
+
+GROUP_BITS = 1536
+
+
+def test_base_ot_throughput(benchmark):
+    ctx = Context(Mode.REAL, seed=1)
+    ot = ChouOrlandiOT(ctx, GROUP_BITS)
+    pairs = [(secrets.token_bytes(16), secrets.token_bytes(16))] * 4
+    out = benchmark(lambda: ot.transfer(pairs, [0, 1, 0, 1]))
+    assert len(out) == 4
+
+
+def test_ot_extension_throughput(benchmark):
+    ctx = Context(Mode.REAL, seed=2)
+    ext = IknpExtension(ctx, GROUP_BITS)
+    rng = np.random.default_rng(0)
+    pairs = [(rng.bytes(16), rng.bytes(16)) for _ in range(256)]
+    choices = [int(c) for c in rng.integers(0, 2, 256)]
+    ext.transfer(pairs[:1], choices[:1])  # base phase outside the timer
+
+    out = benchmark(lambda: ext.transfer(pairs, choices))
+    assert len(out) == 256
+
+
+def test_garble_and_evaluate(benchmark):
+    b = CircuitBuilder()
+    xs, ys = b.alice_input_bits(32), b.bob_input_bits(32)
+    b.mul(xs, ys)
+    circuit = b.build([])
+
+    def run():
+        g = garble(circuit, secrets.token_bytes)
+        labels = {w: g.label(w, 0) for w in circuit.alice_inputs}
+        labels.update({w: g.label(w, 1) for w in circuit.bob_inputs})
+        labels.update(
+            {w: g.label(w, bit) for w, bit in circuit.const_wires}
+        )
+        return evaluate_garbled(circuit, g.tables, labels)
+
+    benchmark(run)
+    benchmark.extra_info["and_gates"] = circuit.and_count
+
+
+def test_real_secure_query_end_to_end(benchmark):
+    """A complete REAL-mode protocol run (Example 1.1 sizes)."""
+    from repro.query import JoinAggregateQuery
+    from repro.relalg import AnnotatedRelation
+
+    r1 = AnnotatedRelation(
+        ("p", "c"), [(i, i) for i in range(6)], [2] * 6
+    )
+    r2 = AnnotatedRelation(
+        ("p", "d"), [(i, i % 2) for i in range(6)], [3] * 6
+    )
+
+    def run():
+        q = (
+            JoinAggregateQuery(output=["d"])
+            .add_relation("R1", r1, owner=ALICE)
+            .add_relation("R2", r2, owner=BOB)
+        )
+        engine = Engine(Context(Mode.REAL, seed=3), GROUP_BITS)
+        result, stats = q.run_secure(engine)
+        return result
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(result) == 2

@@ -1,0 +1,19 @@
+"""Benchmark fixtures: datasets are module-scoped so pytest-benchmark
+repetitions do not regenerate them."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.tpch import generate
+
+#: Benchmark scale in MB; override with REPRO_BENCH_SCALE_MB.  The full
+#: five-scale sweep of the paper lives in benchmarks/run_all.py.
+SCALE_MB = float(os.environ.get("REPRO_BENCH_SCALE_MB", "1"))
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    return generate(SCALE_MB)

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Regenerate every figure of the paper's evaluation (Figures 2-6).
+
+Runs each of the five TPC-H queries at the paper's dataset scales,
+printing the paper-style series (time and communication for secure
+Yannakakis, the garbled-circuit baseline, and non-private evaluation)
+and a shape check against the paper's qualitative claims.
+
+Usage::
+
+    python benchmarks/run_all.py                 # scales 1, 3, 10 MB
+    python benchmarks/run_all.py --full          # the paper's 1..100 MB
+    python benchmarks/run_all.py --queries Q3 Q8 --scales 1 3
+    python benchmarks/run_all.py --q9-nations 5  # Q9 sub-query budget
+
+The full sweep at 100 MB takes a while in pure Python (the paper's C++
+implementation needed ~20s per query there; the simulated substrate
+does the same work with numpy plus Python orchestration).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+
+from repro.bench import check_figure_shape, format_figure, run_figure
+from repro.tpch.datagen import SCALES_MB
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--queries",
+        nargs="+",
+        default=["Q3", "Q10", "Q18", "Q8", "Q9"],
+        help="which figures to regenerate",
+    )
+    parser.add_argument(
+        "--scales",
+        nargs="+",
+        type=float,
+        default=None,
+        help="dataset scales in MB (default 1 3 10; --full for 1..100)",
+    )
+    parser.add_argument(
+        "--full", action="store_true", help="use the paper's full scale list"
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the measured rows as JSON",
+    )
+    parser.add_argument(
+        "--q9-nations",
+        type=int,
+        default=25,
+        help="how many of the 25 per-nation sub-queries Q9 runs "
+        "(costs scale linearly; 25 reproduces the paper exactly)",
+    )
+    args = parser.parse_args(argv)
+
+    scales = args.scales or (list(SCALES_MB) if args.full else [1, 3, 10])
+    failures = 0
+    all_rows = []
+    for name in args.queries:
+        start = time.time()
+        kwargs = {}
+        if name == "Q9":
+            kwargs["q9_nations"] = list(range(args.q9_nations))
+        rows = run_figure(name, scales=scales, **kwargs)
+        all_rows.extend(dataclasses.asdict(r) for r in rows)
+        print()
+        print(format_figure(rows))
+        problems = check_figure_shape(rows)
+        if problems:
+            failures += 1
+            for p in problems:
+                print(f"  SHAPE VIOLATION: {p}")
+        else:
+            print(
+                f"  shape OK ({time.time() - start:.0f}s): linear secure "
+                "cost, polynomial GC baseline, plaintext far below"
+            )
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(all_rows, fh, indent=2)
+        print(f"wrote {len(all_rows)} rows to {args.json}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

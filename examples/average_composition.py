@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Query composition (Section 7): a secure AVG.
+
+``avg`` is not expressible in any semiring, but it decomposes into a
+``sum`` and a ``count`` query.  Crucially the two intermediate
+aggregates must never be revealed — the protocol keeps them in shared
+form and a per-group division circuit reveals only the quotient.
+
+Scenario: a retailer (Alice) and a payment processor (Bob) compute the
+average basket value per region without exposing per-region totals or
+transaction counts.
+"""
+
+import numpy as np
+
+from repro import ALICE, BOB, AnnotatedRelation, Context, Engine, Mode
+from repro.core.composition import divide_compose
+from repro.query import JoinAggregateQuery
+
+rng = np.random.default_rng(11)
+
+# Alice: stores and their regions.
+stores = AnnotatedRelation(
+    ("store", "region"),
+    [(s, ["north", "south", "west"][s % 3]) for s in range(12)],
+)
+
+# Bob: transactions (store, txn id) with amounts in cents.
+txn_rows = [
+    (int(rng.integers(0, 12)), t) for t in range(300)
+]
+amounts = rng.integers(500, 20_000, len(txn_rows))
+
+
+def build(kind: str) -> JoinAggregateQuery:
+    annotations = amounts if kind == "sum" else np.ones(len(txn_rows))
+    transactions = AnnotatedRelation(
+        ("store", "txn"), txn_rows, annotations.astype(np.int64)
+    )
+    return (
+        JoinAggregateQuery(output=["region"])
+        .add_relation("stores", stores, owner=ALICE)
+        .add_relation("transactions", transactions, owner=BOB)
+    )
+
+
+ctx = Context(Mode.SIMULATED, seed=3)
+engine = Engine(ctx)
+
+# Two protocol runs; both results stay secret-shared.
+sums = build("sum").run_secure_shared(engine)
+counts = build("count").run_secure_shared(engine)
+
+# One division circuit per group; only the quotient is revealed.
+averages = divide_compose(engine, sums, counts)
+
+print("average basket value per region (only this is revealed):")
+for (region,), cents in sorted(averages, key=str):
+    print(f"  {region:<6} {cents / 100:8.2f}")
+
+# Check against plaintext.
+sum_plain = build("sum").run_plain().to_dict()
+count_plain = build("count").run_plain().to_dict()
+for (region,), cents in averages:
+    expect = sum_plain[(region,)] // count_plain[(region,)]
+    assert cents == expect, (region, cents, expect)
+print("matches plaintext:", True)
+print(f"communication: {ctx.transcript.total_bytes:,} bytes")

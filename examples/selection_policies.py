@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Selection conditions and the privacy/cost trade-off (Section 7).
+
+A bank (Alice) wants the total exposure of loans to customers of a
+partner broker (Bob), restricted to one state.  How should the
+selection ``state = 'NY'`` be applied before the protocol?
+
+* If the number of NY customers is public, filter first — cheapest.
+* If it must stay private, keep the relation at full size (dummies).
+* If an upper bound may be disclosed, filter and pad to the bound.
+
+The protocol cost follows the relation size the other party observes —
+this script measures all three.
+"""
+
+import numpy as np
+
+from repro import ALICE, BOB, AnnotatedRelation, Context, Engine, Mode
+from repro.core import SelectionPolicy, apply_selection
+from repro.query import JoinAggregateQuery
+
+rng = np.random.default_rng(17)
+
+N_CUSTOMERS = 400
+states = ["NY" if rng.random() < 0.1 else "CA" for _ in range(N_CUSTOMERS)]
+customers = AnnotatedRelation(
+    ("cust", "state"), [(c, states[c]) for c in range(N_CUSTOMERS)]
+)
+loans = AnnotatedRelation(
+    ("cust", "loan"),
+    [(int(rng.integers(0, N_CUSTOMERS)), l) for l in range(900)],
+    rng.integers(1_000, 250_000, 900).astype(np.int64),
+)
+
+true_ny = sum(1 for s in states if s == "NY")
+print(f"{true_ny} of {N_CUSTOMERS} customers are in NY (Alice-private)\n")
+
+results = {}
+for policy, bound in [
+    (SelectionPolicy.PUBLIC, None),
+    (SelectionPolicy.BOUNDED, 80),
+    (SelectionPolicy.PRIVATE, None),
+]:
+    filtered = apply_selection(
+        customers, lambda row: row["state"] == "NY", policy, bound
+    )
+    query = (
+        JoinAggregateQuery(output=[])
+        .add_relation("customers", filtered, owner=ALICE)
+        .add_relation("loans", loans, owner=BOB)
+    )
+    engine = Engine(Context(Mode.SIMULATED, seed=1))
+    result, stats = query.run_secure(engine)
+    total = result.to_dict().get((), 0)
+    results[policy] = total
+    print(
+        f"{policy.value:>8}: Bob sees |customers| = {len(filtered):>4}, "
+        f"protocol = {stats.total_bytes / 1e6:6.1f} MB, "
+        f"exposure = {total:,}"
+    )
+
+assert len(set(results.values())) == 1, "all policies compute the same total"
+print("\nsame answer under every policy; only size disclosure and cost differ.")

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""A private data federation over TPC-H (the paper's Section 8 setup).
+
+The relations of a 1 MB TPC-H database are split between two parties in
+the worst possible way (owners alternate along the join tree) and the
+paper's Q3 and Q10 are evaluated securely.  The script prints the costs
+of secure Yannakakis next to the non-private evaluation and the exact
+size of the garbled-circuit baseline the paper compares against.
+"""
+
+from repro.baselines import cartesian_gc_cost, gc_gate_rate
+from repro.mpc import Engine, Mode
+from repro.tpch import generate, prepare_q10, prepare_q3
+
+SCALE_MB = 1
+
+print(f"generating TPC-H data ({SCALE_MB} MB)...")
+dataset = generate(SCALE_MB)
+for name in ("customer", "orders", "lineitem"):
+    print(f"  {name}: {dataset[name].n_rows} rows")
+print()
+
+for prepare in (prepare_q3, prepare_q10):
+    query = prepare(dataset)
+    print(f"=== {query.name}: {query.description} ===")
+    plain, plain_seconds = query.run_plain()
+
+    ctx = query.make_context(Mode.SIMULATED, seed=7)
+    engine = Engine(ctx)
+    result, stats = query.run_secure(engine)
+    assert result.semantically_equal(plain)
+
+    gc = cartesian_gc_cost(
+        query.gc_sizes,
+        query.gc_conditions,
+        gate_rate=gc_gate_rate(),
+        runs=query.gc_runs,
+    )
+    print(f"  result rows: {len(result)}")
+    sample = sorted(result, key=str)[:3]
+    for row, value in sample:
+        print(f"    {row} -> {value / query.result_scale:,.2f}")
+    print(f"  secure Yannakakis: {stats.seconds:6.2f}s   "
+          f"{stats.total_bytes / 1e6:10.1f} MB")
+    print(f"  non-private:       {plain_seconds:6.2f}s   "
+          f"{query.effective_bytes / 1e6:10.3f} MB")
+    print(f"  garbled circuit:   {gc.est_seconds / 86400:6.1f}d   "
+          f"{gc.comm_bytes / 1e12:10.1f} TB   "
+          f"({gc.and_gates:,} AND gates)")
+    print()
+
+print("the paper's headline, reproduced: linear-cost secure evaluation "
+      "where the generic circuit needs days and terabytes.")

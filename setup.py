@@ -1,0 +1,5 @@
+"""Legacy setup shim: enables `pip install -e .` in environments without
+the `wheel` package (PEP 517 editable installs require bdist_wheel)."""
+from setuptools import setup
+
+setup()

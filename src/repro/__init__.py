@@ -1,0 +1,32 @@
+"""Secure Yannakakis: free-connex join-aggregate queries over private
+data in the two-party computation model.
+
+Reproduction of Wang & Yi, SIGMOD 2021.  Public API highlights:
+
+* :class:`repro.query.JoinAggregateQuery` — build and run queries
+  (plaintext or secure);
+* :class:`repro.mpc.Context` / :class:`repro.mpc.Engine` — the 2PC
+  runtime (``Mode.REAL`` cryptography or cost-metered ``Mode.SIMULATED``);
+* :mod:`repro.tpch` — the TPC-H substrate and the paper's five
+  benchmark queries;
+* :mod:`repro.core` — the oblivious operators and the protocol itself.
+"""
+
+from .mpc import ALICE, BOB, Context, Engine, Mode
+from .query import JoinAggregateQuery
+from .relalg import AnnotatedRelation, BooleanSemiring, IntegerRing
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALICE",
+    "AnnotatedRelation",
+    "BOB",
+    "BooleanSemiring",
+    "Context",
+    "Engine",
+    "IntegerRing",
+    "JoinAggregateQuery",
+    "Mode",
+    "__version__",
+]

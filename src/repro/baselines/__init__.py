@@ -1,0 +1,19 @@
+"""Baselines: the SMCQL-style monolithic garbled circuit and the
+non-private plaintext evaluation."""
+
+from .garbled_baseline import (
+    GcBaselineCost,
+    cartesian_gc_cost,
+    gc_gate_rate,
+    run_cartesian_gc,
+)
+from .nonprivate import NonPrivateResult, run_nonprivate
+
+__all__ = [
+    "GcBaselineCost",
+    "NonPrivateResult",
+    "cartesian_gc_cost",
+    "gc_gate_rate",
+    "run_cartesian_gc",
+    "run_nonprivate",
+]

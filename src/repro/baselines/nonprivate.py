@@ -1,0 +1,32 @@
+"""The non-private baseline (MySQL's role in the paper's figures).
+
+Runs the query in plaintext with the Yannakakis plan and reports the
+paper's convention for its communication cost: the effective input size
+(one party has to see the other's columns, nothing more).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..relalg.relation import AnnotatedRelation
+from ..tpch.queries import PreparedQuery
+
+__all__ = ["NonPrivateResult", "run_nonprivate"]
+
+
+@dataclass
+class NonPrivateResult:
+    result: AnnotatedRelation
+    seconds: float
+    comm_bytes: int
+
+
+def run_nonprivate(query: PreparedQuery) -> NonPrivateResult:
+    result, seconds = query.run_plain()
+    return NonPrivateResult(
+        result=result,
+        seconds=seconds,
+        comm_bytes=query.effective_bytes,
+    )

@@ -1,0 +1,16 @@
+"""Benchmark harness for the paper's evaluation (Figures 2-6)."""
+
+from .estimator import CostEstimate, estimate_plan_cost
+from .runner import FIGURES, FigureRow, format_figure, run_figure
+from .shape import check_figure_shape, growth_exponent
+
+__all__ = [
+    "CostEstimate",
+    "FIGURES",
+    "FigureRow",
+    "check_figure_shape",
+    "estimate_plan_cost",
+    "format_figure",
+    "growth_exponent",
+    "run_figure",
+]

@@ -1,0 +1,274 @@
+"""Analytic cost estimation for a compiled plan.
+
+Predicts the protocol's communication *without running it*, from the
+plan structure, the relation sizes and the ownership map — the same
+closed forms the SIMULATED mode charges, summed symbolically.  Useful
+for planning ("what would this query cost?") and asserted against the
+metered execution by the test suite.
+
+The estimate is exact for the deterministic parts (circuit templates,
+OEP networks, OT batches) and uses the deterministic bin/load formulas
+for PSI, so it matches the metered run to the byte for a given plan and
+ownership — the only approximation is that it assumes every operator
+takes its general path (no same-party shortcuts beyond what ownership
+dictates, payload-shared PSI whenever the child annotations are not
+input-plain).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..mpc import gadgets
+from ..mpc.circuits.garbling import LABEL_BYTES, ROWS_PER_AND
+from ..mpc.cuckoo import max_bin_load, num_bins
+from ..mpc.oprf import OPRF_WIDTH
+from ..mpc.params import DEFAULT_PARAMS, SecurityParams
+from ..mpc.psi import _token_bits
+from ..mpc.waksman import switch_count
+from ..yannakakis.plan import ReduceAggregate, ReduceFold, YannakakisPlan
+
+__all__ = ["CostEstimate", "estimate_plan_cost"]
+
+
+@dataclass
+class CostEstimate:
+    """Predicted bytes, broken down by mechanism."""
+
+    total: int = 0
+    by_part: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, part: str, n_bytes: int) -> None:
+        n_bytes = int(n_bytes)
+        self.total += n_bytes
+        self.by_part[part] = self.by_part.get(part, 0) + n_bytes
+
+
+class _Estimator:
+    def __init__(self, params: SecurityParams):
+        self.p = params
+        self.est = CostEstimate()
+        self._ot_base_charged: Dict[bool, bool] = {
+            False: False, True: False,
+        }
+
+    # -- primitive formulas (mirroring the SIMULATED charges) -----------
+
+    def ot(self, n: int, pair_bytes: int, reverse: bool = False) -> None:
+        if n == 0:
+            return
+        kappa = self.p.kappa
+        if not self._ot_base_charged[reverse]:
+            self.est.add("ot_base", 2048 // 8 * (1 + kappa) + 32 * kappa)
+            self._ot_base_charged[reverse] = True
+        self.est.add("ot_u", kappa * ((n + 7) // 8))
+        self.est.add("ot_ct", pair_bytes)
+
+    def garbled(self, circuit, n: int) -> None:
+        if n == 0:
+            return
+        self.est.add(
+            "gc_tables",
+            ROWS_PER_AND * LABEL_BYTES * circuit.and_count * n,
+        )
+        self.est.add(
+            "gc_labels",
+            LABEL_BYTES
+            * (len(circuit.bob_inputs) + len(circuit.const_wires))
+            * n,
+        )
+        bits = len(circuit.alice_inputs) * n
+        self.ot(bits, 2 * LABEL_BYTES * bits)
+        self.est.add("gc_decode", ((len(circuit.outputs) + 7) // 8) * n)
+
+    def merge_chain(self, make_circuit, n: int) -> None:
+        ell = self.p.ell
+        if n <= 0:
+            return
+        if n <= 3:
+            self.garbled(make_circuit(ell, n), 1)
+            return
+        c2, c3 = make_circuit(ell, 2), make_circuit(ell, 3)
+
+        def ex(f2, f3):
+            return f2 + (n - 2) * (f3 - f2)
+
+        self.est.add(
+            "gc_tables",
+            ROWS_PER_AND
+            * LABEL_BYTES
+            * ex(c2.and_count, c3.and_count),
+        )
+        self.est.add(
+            "gc_labels",
+            LABEL_BYTES
+            * ex(
+                len(c2.bob_inputs) + len(c2.const_wires),
+                len(c3.bob_inputs) + len(c3.const_wires),
+            ),
+        )
+        bits = ex(len(c2.alice_inputs), len(c3.alice_inputs))
+        self.ot(bits, 2 * LABEL_BYTES * bits)
+        self.est.add(
+            "gc_decode",
+            (ex(len(c2.outputs), len(c3.outputs)) + 7) // 8,
+        )
+
+    def oep(self, m: int, n_out: int) -> None:
+        n_work = 1
+        while n_work < max(m, n_out, 1):
+            n_work *= 2
+        rb = max(1, self.p.ell // 8)
+        switches = 2 * switch_count(n_work)
+        self.ot(
+            switches + (n_work - 1),
+            2 * 2 * rb * switches + 2 * rb * (n_work - 1),
+        )
+
+    def permute(self, n: int) -> None:
+        rb = max(1, self.p.ell // 8)
+        s = switch_count(n)
+        self.ot(s, 2 * 2 * rb * s)
+
+    def gilboa(self, n: int, n_cross_terms: int = 2) -> None:
+        ell = self.p.ell
+        rb = max(1, ell // 8)
+        for i in range(n_cross_terms):
+            self.ot(n * ell, 2 * rb * n * ell, reverse=bool(i % 2))
+
+    def share(self, n: int) -> None:
+        self.est.add("shares", n * max(1, self.p.ell // 8))
+
+    def psi(self, m: int, n: int, shared_payload: bool) -> None:
+        b = num_bins(m, self.p.cuckoo_expansion)
+        load = max_bin_load(n, b, self.p.cuckoo_hashes, self.p.sigma)
+        ell = self.p.ell
+        self.est.add("psi_seeds", 16 * self.p.cuckoo_hashes)
+        self.est.add(
+            "oprf",
+            2048 // 8 * (1 + OPRF_WIDTH)
+            + 32 * OPRF_WIDTH
+            + OPRF_WIDTH * ((b + 7) // 8),
+        )
+        self.est.add("opprf_hints", 8 * 2 * load * b)
+        reveal = shared_payload
+        circuit = gadgets.psi_bin_circuit(
+            ell, _token_bits(b, self.p.sigma), reveal
+        )
+        self.garbled(circuit, b)
+        if shared_payload:
+            # Section 5.5: two extra OEPs around the PSI.
+            self.oep(n + b, n + b)
+            self.oep(n + b, b)
+
+    # -- operators --------------------------------------------------------
+
+    def aggregate(self, n: int, annotations_plain: bool) -> None:
+        if annotations_plain or n == 0:
+            return  # local fast path
+        self.oep(n, n)
+        self.merge_chain(gadgets.merge_sum_circuit, n)
+
+    def support_projection(self, n: int, annotations_plain: bool) -> None:
+        if annotations_plain or n == 0:
+            return
+        self.oep(n, n)
+        self.garbled(gadgets.nonzero_circuit(self.p.ell), n)
+        self.merge_chain(gadgets.merge_or_circuit, n)
+
+    def reduce_join(
+        self,
+        parent_n: int,
+        child_n: int,
+        same_owner: bool,
+        child_plain: bool,
+        parent_plain: bool,
+    ) -> None:
+        if parent_n == 0:
+            return
+        if same_owner:
+            if child_plain and parent_plain:
+                return  # fully local
+            if child_plain:
+                self.share(child_n)
+            self.oep(child_n + 1, parent_n)
+        else:
+            if child_plain:
+                self.psi(parent_n, child_n, shared_payload=False)
+            else:
+                self.psi(parent_n, child_n, shared_payload=True)
+            b = num_bins(parent_n, self.p.cuckoo_expansion)
+            self.oep(b, parent_n)
+        if parent_plain:
+            self.gilboa(parent_n, n_cross_terms=1)
+        else:
+            self.gilboa(parent_n, n_cross_terms=2)
+
+
+def estimate_plan_cost(
+    plan: YannakakisPlan,
+    sizes: Dict[str, int],
+    owners: Dict[str, str],
+    out_size: int,
+    params: SecurityParams = DEFAULT_PARAMS,
+) -> CostEstimate:
+    """Predict the protocol's communication for ``plan`` over relations
+    of the given sizes/owners, with ``out_size`` final join rows.
+
+    Tracks which intermediate annotations are still owner-plain so the
+    Section 6.5 fast paths are credited exactly as the executor takes
+    them.
+    """
+    e = _Estimator(params)
+    n = dict(sizes)
+    plain = {name: True for name in sizes}
+    owner = dict(owners)
+
+    for step in plan.reduce_steps:
+        if isinstance(step, ReduceFold):
+            child, parent = step.child, step.parent
+            e.aggregate(n[child], plain[child])
+            same = owner[child] == owner[parent]
+            e.reduce_join(
+                n[parent], n[child], same, plain[child], plain[parent]
+            )
+            plain[parent] = (
+                plain[parent] and plain[child] and same
+            )
+        elif isinstance(step, ReduceAggregate):
+            e.aggregate(n[step.node], plain[step.node])
+            # size unchanged (padded); plainness preserved
+
+    for step in plan.semijoin_steps:
+        t, f = step.target, step.filter
+        e.support_projection(n[f], plain[f])
+        same = owner[t] == owner[f]
+        support_plain = plain[f]  # support of plain stays plain
+        e.reduce_join(n[t], n[f], same, support_plain, plain[t])
+        plain[t] = plain[t] and support_plain and same
+
+    # Full join: reveal + OUT + per-relation OEP + products + result.
+    reduced = list(plan.reduced_attrs)
+    ell_bytes = max(1, params.ell // 8)
+    for name in reduced:
+        if plain[name]:
+            e.share(n[name])
+        # reveal circuits: indicator only for Alice-owned; indicator +
+        # payload mux for Bob-owned.  Payload width is data-dependent;
+        # callers wanting exactness supply integer-only relations, for
+        # which the estimator assumes 4-byte slots per attribute.
+        arity = len(plan.reduced_attrs[name])
+        from ..mpc.context import ALICE
+
+        pbits = 0 if owner[name] == ALICE else 32 * max(arity, 0)
+        e.garbled(
+            gadgets.reveal_tuple_circuit(params.ell, pbits), n[name]
+        )
+    e.est.add("out_size", 8)
+    if out_size > 0:
+        for name in reduced:
+            e.oep(n[name] + 1, out_size)
+        e.gilboa(out_size, n_cross_terms=2 * (len(reduced) - 1))
+    e.est.add("result_reveal", out_size * ell_bytes)
+    return e.est

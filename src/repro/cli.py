@@ -1,0 +1,147 @@
+"""Command-line interface.
+
+::
+
+    python -m repro figures --queries Q3 Q10 --scales 1 3
+    python -m repro tpch Q3 --scale 1 [--real]
+    python -m repro estimate Q3 --scale 10
+    python -m repro demo
+
+``figures`` regenerates the paper's evaluation series; ``tpch`` runs a
+single benchmark query end to end and prints results + costs;
+``estimate`` prints the analytic cost prediction without running the
+protocol; ``demo`` runs the Example 1.1 quickstart with REAL
+cryptography.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .bench import check_figure_shape, format_figure, run_figure
+from .mpc import Context, Engine, Mode
+
+__all__ = ["main"]
+
+
+def _cmd_figures(args) -> int:
+    failures = 0
+    for name in args.queries:
+        kwargs = {}
+        if name == "Q9":
+            kwargs["q9_nations"] = list(range(args.q9_nations))
+        rows = run_figure(name, scales=args.scales, **kwargs)
+        print(format_figure(rows))
+        problems = check_figure_shape(rows)
+        for p in problems:
+            print(f"  SHAPE VIOLATION: {p}")
+        failures += bool(problems)
+        print()
+    return 1 if failures else 0
+
+
+def _cmd_tpch(args) -> int:
+    from .tpch import PREPARED, generate
+
+    dataset = generate(args.scale)
+    if args.query == "Q9":
+        query = PREPARED[args.query](
+            dataset, nations=list(range(args.q9_nations))
+        )
+    else:
+        query = PREPARED[args.query](dataset)
+    mode = Mode.REAL if args.real else Mode.SIMULATED
+    engine = Engine(query.make_context(mode, seed=args.seed))
+    result, stats = query.run_secure(engine)
+    plain, plain_seconds = query.run_plain()
+    ok = result.semantically_equal(plain)
+    print(f"{query.name}: {query.description}")
+    print(f"  result rows: {len(result)} (matches plaintext: {ok})")
+    for row, value in sorted(result, key=str)[: args.show]:
+        print(f"    {row} -> {value / query.result_scale:,.2f}")
+    print(
+        f"  secure ({mode.value}): {stats.seconds:.2f}s, "
+        f"{stats.total_bytes / 1e6:,.1f} MB, {stats.rounds} rounds"
+    )
+    print(f"  plaintext: {plain_seconds:.2f}s")
+    return 0 if ok else 1
+
+
+def _cmd_estimate(args) -> int:
+    from .bench.estimator import estimate_plan_cost
+    from .tpch import PREPARED, generate
+
+    dataset = generate(args.scale)
+    query = PREPARED[args.query](dataset)
+    print(
+        f"{query.name} at {args.scale} MB: "
+        f"{query.input_tuples:,} input tuples, "
+        f"effective input {query.effective_bytes / 1e6:.2f} MB"
+    )
+    print(
+        "  (per-plan analytic estimation is exposed as "
+        "repro.bench.estimator.estimate_plan_cost; the TPC-H drivers "
+        "compose several plans, so run `tpch` for the measured total)"
+    )
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    import runpy
+    from pathlib import Path
+
+    script = (
+        Path(__file__).resolve().parent.parent.parent
+        / "examples"
+        / "quickstart.py"
+    )
+    if script.exists():
+        runpy.run_path(str(script), run_name="__main__")
+        return 0
+    print("examples/quickstart.py not found", file=sys.stderr)
+    return 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("figures", help="regenerate the paper's figures")
+    p.add_argument(
+        "--queries", nargs="+",
+        default=["Q3", "Q10", "Q18", "Q8", "Q9"],
+    )
+    p.add_argument("--scales", nargs="+", type=float, default=[1, 3, 10])
+    p.add_argument("--q9-nations", type=int, default=25)
+    p.set_defaults(fn=_cmd_figures)
+
+    p = sub.add_parser("tpch", help="run one TPC-H benchmark query")
+    p.add_argument("query", choices=["Q3", "Q10", "Q18", "Q8", "Q9"])
+    p.add_argument("--scale", type=float, default=1)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--show", type=int, default=5)
+    p.add_argument("--q9-nations", type=int, default=25)
+    p.add_argument(
+        "--real", action="store_true",
+        help="REAL-mode cryptography (slow; use tiny scales)",
+    )
+    p.set_defaults(fn=_cmd_tpch)
+
+    p = sub.add_parser("estimate", help="analytic cost prediction")
+    p.add_argument("query", choices=["Q3", "Q10", "Q18", "Q8", "Q9"])
+    p.add_argument("--scale", type=float, default=1)
+    p.set_defaults(fn=_cmd_estimate)
+
+    p = sub.add_parser("demo", help="run the quickstart example")
+    p.set_defaults(fn=_cmd_demo)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""The paper's primary contribution: oblivious relational operators and
+the secure Yannakakis protocol (Sections 5.5, 6 and 7)."""
+
+from .aggregation import oblivious_aggregate, oblivious_support_projection
+from .join import ObliviousJoinResult, oblivious_join
+from .oriented import OrientedEngine
+from .protocol import (
+    ProtocolStats,
+    secure_yannakakis,
+    secure_yannakakis_shared,
+)
+from .relation import (
+    SecureAnnotations,
+    SecureRelation,
+    dummy_tuple,
+    is_dummy_tuple,
+)
+from .selection import SelectionPolicy, apply_selection
+from .semijoin import oblivious_reduce_join, oblivious_semijoin
+from .shared_payload_psi import psi_with_shared_payloads
+
+__all__ = [
+    "ObliviousJoinResult",
+    "OrientedEngine",
+    "ProtocolStats",
+    "SecureAnnotations",
+    "SecureRelation",
+    "SelectionPolicy",
+    "apply_selection",
+    "dummy_tuple",
+    "is_dummy_tuple",
+    "oblivious_aggregate",
+    "oblivious_join",
+    "oblivious_reduce_join",
+    "oblivious_semijoin",
+    "oblivious_support_projection",
+    "psi_with_shared_payloads",
+    "secure_yannakakis",
+    "secure_yannakakis_shared",
+]

@@ -1,0 +1,166 @@
+"""Oblivious projection-aggregation (Section 6.1).
+
+Two operators:
+
+* ``oblivious_aggregate``          — ``pi_F^(+)(R)``
+* ``oblivious_support_projection`` — ``pi_F^1(R)``
+
+Both return an output relation of the *same size* as the input: the
+owner sorts her tuples by the group key, the annotation shares are
+permuted consistently with OEP, and a garbled merge-gate chain folds
+each group's annotations into its last position; all other positions
+become zero-annotated dummy tuples.  The output is therefore
+*semantically equivalent* to the true projection while its size and
+access pattern depend only on the (public) input size.
+
+When the annotations are plain and owner-held (Section 6.5), the whole
+operator runs locally — the output is still padded with dummies to the
+input size so no intermediate cardinality is disclosed downstream.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..mpc.engine import Engine
+from .oriented import OrientedEngine
+from .relation import (
+    SecureAnnotations,
+    SecureRelation,
+    dummy_tuple,
+    sort_key,
+)
+
+__all__ = ["oblivious_aggregate", "oblivious_support_projection"]
+
+
+def _sorted_groups(
+    rel: SecureRelation, attrs: Sequence[str]
+) -> Tuple[List[int], List[Tuple], List[bool]]:
+    """Owner-local: sort order over tuples by group key, the projected
+    keys in that order, and the same-as-next boundary flags."""
+    idx = rel.index_of(attrs)
+    keys = [tuple(t[i] for i in idx) for t in rel.tuples]
+    order = sorted(range(len(keys)), key=lambda j: sort_key(keys[j]))
+    sorted_keys = [keys[j] for j in order]
+    same = [
+        sorted_keys[i] == sorted_keys[i + 1]
+        for i in range(len(sorted_keys) - 1)
+    ]
+    return order, sorted_keys, same
+
+
+def _output_tuples(
+    sorted_keys: List[Tuple], same: List[bool], arity: int
+) -> List[Tuple]:
+    """Group keys at last-of-group positions, fresh dummies elsewhere."""
+    n = len(sorted_keys)
+    out: List[Tuple] = []
+    for i in range(n):
+        last = i == n - 1 or not same[i]
+        out.append(sorted_keys[i] if last else dummy_tuple(arity))
+    return out
+
+
+def oblivious_aggregate(
+    engine: Engine,
+    rel: SecureRelation,
+    attrs: Sequence[str],
+    label: str = "aggregate",
+) -> SecureRelation:
+    """``pi_attrs^(+)(rel)``, output padded to ``len(rel)`` tuples."""
+    attrs = tuple(attrs)
+    rel.index_of(attrs)  # validate
+    n = len(rel)
+    if n == 0:
+        return SecureRelation(
+            rel.owner, attrs, [], SecureAnnotations.plain(rel.owner, [])
+        )
+
+    if rel.annotations.kind == "plain":
+        # Section 6.5 fast path: entirely local to the owner.
+        idx = rel.index_of(attrs)
+        keys = [tuple(t[i] for i in idx) for t in rel.tuples]
+        totals: dict = {}
+        order: List[Tuple] = []
+        for key, v in zip(keys, rel.annotations.values):
+            if key not in totals:
+                totals[key] = int(v)
+                order.append(key)
+            else:
+                totals[key] = (totals[key] + int(v)) % (
+                    engine.ctx.modulus
+                )
+        out_tuples = list(order)
+        out_annots = [totals[k] for k in order]
+        while len(out_tuples) < n:
+            out_tuples.append(dummy_tuple(len(attrs)))
+            out_annots.append(0)
+        return SecureRelation(
+            rel.owner,
+            attrs,
+            out_tuples,
+            SecureAnnotations.plain(rel.owner, out_annots),
+        )
+
+    oe = OrientedEngine(engine, rel.owner)
+    with engine.ctx.section(label):
+        order, sorted_keys, same = _sorted_groups(rel, attrs)
+        permuted = oe.oep(order, rel.annotations.shares, n, label="oep")
+        merged = oe.merge_aggregate_sum(same, permuted)
+    return SecureRelation(
+        rel.owner,
+        attrs,
+        _output_tuples(sorted_keys, same, len(attrs)),
+        SecureAnnotations.shared(merged),
+    )
+
+
+def oblivious_support_projection(
+    engine: Engine,
+    rel: SecureRelation,
+    attrs: Sequence[str],
+    label: str = "support",
+) -> SecureRelation:
+    """``pi_attrs^1(rel)``: distinct keys of nonzero-annotated tuples,
+    annotations in {0, 1}, padded to ``len(rel)`` tuples."""
+    attrs = tuple(attrs)
+    rel.index_of(attrs)
+    n = len(rel)
+    if n == 0:
+        return SecureRelation(
+            rel.owner, attrs, [], SecureAnnotations.plain(rel.owner, [])
+        )
+
+    if rel.annotations.kind == "plain":
+        idx = rel.index_of(attrs)
+        seen: dict = {}
+        for t, v in zip(rel.tuples, rel.annotations.values):
+            if int(v) != 0:
+                seen.setdefault(tuple(t[i] for i in idx), None)
+        out_tuples: List[Tuple] = list(seen)
+        out_annots = [1] * len(out_tuples)
+        while len(out_tuples) < n:
+            out_tuples.append(dummy_tuple(len(attrs)))
+            out_annots.append(0)
+        return SecureRelation(
+            rel.owner,
+            attrs,
+            out_tuples,
+            SecureAnnotations.plain(rel.owner, out_annots),
+        )
+
+    oe = OrientedEngine(engine, rel.owner)
+    with engine.ctx.section(label):
+        order, sorted_keys, same = _sorted_groups(rel, attrs)
+        permuted = oe.oep(order, rel.annotations.shares, n, label="oep")
+        indicators = oe.indicator_nonzero(permuted)
+        merged = oe.merge_aggregate_or(same, indicators)
+    return SecureRelation(
+        rel.owner,
+        attrs,
+        _output_tuples(sorted_keys, same, len(attrs)),
+        SecureAnnotations.shared(merged),
+    )

@@ -1,0 +1,114 @@
+"""Fixed-width tuple wire format for the oblivious join's reveal step.
+
+When a Bob-owned relation's nonzero tuples are revealed to Alice inside
+a garbled circuit (Section 6.3 step 1), the tuple content must enter
+the circuit as a fixed number of bits — a width that depends on the
+public schema, not on the data.  Each attribute gets a fixed-width slot
+(4- or 8-byte two's-complement integers, zero-padded UTF-8 for
+strings); the per-relation layout is public.
+
+Dummy tuples encode as all-zero slots; they are only ever produced for
+zero-annotated rows, which the circuit never reveals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from .relation import is_dummy_tuple
+
+__all__ = [
+    "AttrSpec",
+    "infer_specs",
+    "tuple_bits",
+    "encode_tuple_bits",
+    "decode_tuple_bits",
+]
+
+
+@dataclass(frozen=True)
+class AttrSpec:
+    """Public layout of one attribute slot."""
+
+    kind: str  # "int" | "str"
+    n_bytes: int
+
+
+def infer_specs(tuples: Sequence[Tuple], arity: int) -> List[AttrSpec]:
+    """A public per-relation layout: ints use 4 bytes (8 when any value
+    needs it), strings their maximum length rounded up to 4 bytes.
+    Dummy tuples are skipped — their slots follow the real values'."""
+    specs: List[AttrSpec] = []
+    for pos in range(arity):
+        kind, width = "int", 4
+        for t in tuples:
+            if is_dummy_tuple(t):
+                continue
+            v = t[pos]
+            if isinstance(v, str):
+                kind = "str"
+                width = max(width, (len(v.encode()) + 3) // 4 * 4)
+            elif isinstance(v, (int,)):
+                if not -(2**31) <= v < 2**31:
+                    width = max(width, 8)
+            else:
+                raise TypeError(
+                    f"cannot lay out attribute value {v!r} "
+                    f"({type(v).__name__})"
+                )
+        specs.append(AttrSpec(kind, width))
+    return specs
+
+
+def tuple_bits(specs: Sequence[AttrSpec]) -> int:
+    return 8 * sum(s.n_bytes for s in specs)
+
+
+def _encode_value(v, spec: AttrSpec) -> bytes:
+    if spec.kind == "int":
+        return int(v).to_bytes(spec.n_bytes, "little", signed=True)
+    raw = str(v).encode("utf-8")
+    if len(raw) > spec.n_bytes:
+        raise ValueError(
+            f"string {v!r} exceeds its {spec.n_bytes}-byte slot"
+        )
+    if b"\x00" in raw:
+        raise ValueError("strings with NUL bytes cannot be encoded")
+    return raw + b"\x00" * (spec.n_bytes - len(raw))
+
+
+def encode_tuple_bits(t: Tuple, specs: Sequence[AttrSpec]) -> List[int]:
+    """Little-endian bit list of the tuple's fixed slots; dummy tuples
+    become all zeros (they are never revealed)."""
+    if is_dummy_tuple(t):
+        return [0] * tuple_bits(specs)
+    if len(t) != len(specs):
+        raise ValueError("tuple arity does not match the layout")
+    raw = b"".join(_encode_value(v, s) for v, s in zip(t, specs))
+    bits: List[int] = []
+    for byte in raw:
+        bits.extend((byte >> i) & 1 for i in range(8))
+    return bits
+
+
+def decode_tuple_bits(
+    bits: Sequence[int], specs: Sequence[AttrSpec]
+) -> Tuple:
+    """Invert :func:`encode_tuple_bits`."""
+    raw = bytearray()
+    for i in range(0, len(bits), 8):
+        byte = 0
+        for j, b in enumerate(bits[i : i + 8]):
+            byte |= (int(b) & 1) << j
+        raw.append(byte)
+    out = []
+    pos = 0
+    for s in specs:
+        chunk = bytes(raw[pos : pos + s.n_bytes])
+        pos += s.n_bytes
+        if s.kind == "int":
+            out.append(int.from_bytes(chunk, "little", signed=True))
+        else:
+            out.append(chunk.rstrip(b"\x00").decode("utf-8"))
+    return tuple(out)

@@ -1,0 +1,119 @@
+"""Query composition (Section 7).
+
+Some aggregates (avg, ratio-of-sums, differences) are not expressible in
+a single semiring, but decompose into several free-connex join-aggregate
+queries whose *shared* results are combined by a final small circuit:
+
+* :func:`align_shared`   — line two shared result vectors up on a common
+  group-key list via OEP (the group keys are Alice's, the positions are
+  her private extended permutation).
+* :func:`divide_compose` — ``num / den`` per group, revealed to Alice
+  (used for ``avg`` and Q8's ``mkt_share``).
+* :func:`subtract_compose` — ``x - y`` per group (local on shares) then
+  revealed (used for Q9's ``amount``).
+* :func:`run_decomposed` — convenience: run several plans over the same
+  inputs and hand the shared results to a combiner.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..mpc.context import ALICE
+from ..mpc.engine import Engine
+from ..mpc.sharing import SharedVector, reveal_vector
+from ..relalg.relation import AnnotatedRelation
+from ..relalg.semiring import IntegerRing
+from .join import ObliviousJoinResult
+from .oriented import OrientedEngine
+
+__all__ = [
+    "align_shared",
+    "divide_compose",
+    "subtract_compose",
+]
+
+
+def align_shared(
+    engine: Engine,
+    base_tuples: Sequence[Tuple],
+    result: ObliviousJoinResult,
+    label: str = "align",
+) -> SharedVector:
+    """Shares of ``result``'s annotation for each tuple of
+    ``base_tuples`` (zero where absent).  The alignment map is Alice's
+    private information, so an OEP carries it."""
+    pos = {t: i for i, t in enumerate(result.tuples)}
+    n = len(result.tuples)
+    extended = result.annotations.concat(
+        SharedVector.zeros(1, result.annotations.modulus)
+    )
+    xi = [pos.get(t, n) for t in base_tuples]
+    oe = OrientedEngine(engine, ALICE)
+    return oe.oep(xi, extended, len(xi), label=label)
+
+
+def divide_compose(
+    engine: Engine,
+    numerator: ObliviousJoinResult,
+    denominator: ObliviousJoinResult,
+    scale: int = 1,
+    label: str = "divide",
+) -> AnnotatedRelation:
+    """``scale * num / den`` per group, revealed to Alice.
+
+    The group list is the denominator's (a group with zero denominator
+    has no defined ratio).  ``scale`` implements fixed-point precision:
+    Q8 reports ``mkt_share`` with ``scale = 10**4`` for 4 decimal digits.
+    """
+    if set(numerator.attributes) != set(denominator.attributes):
+        raise ValueError("numerator and denominator group keys differ")
+    ctx = engine.ctx
+    with ctx.section(label):
+        base = list(denominator.tuples)
+        num = align_shared(engine, base, numerator, label="align_num")
+        num = num.mul_public(np.full(len(base), scale, dtype=np.uint64))
+        den = denominator.annotations
+        quotients = engine.divide_reveal(num, den, label="div")
+    ring = IntegerRing(ctx.params.ell)
+    return AnnotatedRelation(
+        denominator.attributes, base, quotients, ring
+    )
+
+
+def subtract_compose(
+    engine: Engine,
+    left: ObliviousJoinResult,
+    right: ObliviousJoinResult,
+    label: str = "subtract",
+) -> AnnotatedRelation:
+    """``left - right`` per group over the union of both group lists,
+    revealed to Alice (subtraction of shares is local)."""
+    if set(left.attributes) != set(right.attributes):
+        raise ValueError("left and right group keys differ")
+    ctx = engine.ctx
+    with ctx.section(label):
+        perm = _column_permutation(right.attributes, left.attributes)
+        right_tuples = [
+            tuple(t[i] for i in perm) for t in right.tuples
+        ]
+        base = list(left.tuples)
+        seen = set(base)
+        for t in right_tuples:
+            if t not in seen:
+                base.append(t)
+                seen.add(t)
+        right_aligned = ObliviousJoinResult(
+            left.attributes, right_tuples, right.annotations
+        )
+        lv = align_shared(engine, base, left, label="align_left")
+        rv = align_shared(engine, base, right_aligned, label="align_right")
+        values = reveal_vector(ctx, lv - rv, ALICE, label="result")
+    ring = IntegerRing(ctx.params.ell)
+    return AnnotatedRelation(left.attributes, base, values, ring).nonzero()
+
+
+def _column_permutation(src: Sequence[str], dst: Sequence[str]) -> List[int]:
+    return [src.index(a) for a in dst]

@@ -1,0 +1,87 @@
+"""Differential privacy on the query results (Section 7).
+
+The 2PC protocol protects the *transcript*; the revealed results can
+additionally be protected with output perturbation.  Following the
+paper's sketch (after Johnson et al. [19] for join-count queries):
+
+1. each party finds the maximum multiplicity of the join attribute in
+   its own relations;
+2. the global sensitivity ``Delta`` is the product of the two maxima,
+   computed jointly (one multiplication circuit);
+3. Bob draws Laplace(Delta / epsilon) noise and adds it to *his share*
+   of each aggregate before the reveal — addition of shares is local,
+   so Alice only ever sees the noisy result.
+
+Noise is integer-valued (a two-sided geometric / discrete Laplace), the
+standard choice when aggregates live in a finite ring.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..mpc.context import ALICE, BOB, Context
+from ..mpc.engine import Engine
+from ..mpc.sharing import SharedVector, reveal_vector
+from ..relalg.relation import AnnotatedRelation
+
+__all__ = [
+    "max_multiplicity",
+    "joint_sensitivity",
+    "discrete_laplace",
+    "dp_reveal",
+]
+
+
+def max_multiplicity(rel: AnnotatedRelation, attrs: Sequence[str]) -> int:
+    """The largest number of tuples sharing one value of ``attrs`` —
+    each party evaluates this locally on its own relations."""
+    counts: Dict = {}
+    idx = rel.index_of(attrs)
+    for t in rel.tuples:
+        key = tuple(t[i] for i in idx)
+        counts[key] = counts.get(key, 0) + 1
+    return max(counts.values(), default=0)
+
+
+def joint_sensitivity(
+    engine: Engine, alice_max: int, bob_max: int
+) -> int:
+    """``Delta = alice_max * bob_max`` computed jointly and revealed (the
+    sensitivity itself is treated as public, as in [19])."""
+    a = engine.share(ALICE, [alice_max], label="dp/max_a")
+    b = engine.share(BOB, [bob_max], label="dp/max_b")
+    prod = engine.mul_shared(a, b, label="dp/sensitivity")
+    return int(reveal_vector(engine.ctx, prod, BOB, label="dp/delta")[0])
+
+
+def discrete_laplace(rng, scale: float, n: int) -> np.ndarray:
+    """Two-sided geometric noise with the given scale (``b = scale``):
+    ``P[k] ∝ exp(-|k| / b)``."""
+    if scale <= 0:
+        return np.zeros(n, dtype=np.int64)
+    p = 1.0 - np.exp(-1.0 / scale)
+    pos = rng.geometric(p, size=n) - 1
+    neg = rng.geometric(p, size=n) - 1
+    return (pos - neg).astype(np.int64)
+
+
+def dp_reveal(
+    engine: Engine,
+    values: SharedVector,
+    sensitivity: int,
+    epsilon: float,
+    label: str = "dp/reveal",
+) -> np.ndarray:
+    """Reveal ``values`` to Alice with Laplace(sensitivity/epsilon)
+    noise added by Bob to his shares (local, then one reveal)."""
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    ctx = engine.ctx
+    noise = discrete_laplace(
+        ctx.rng, sensitivity / epsilon, len(values)
+    )
+    noisy = values.add_public(noise, holder=BOB)
+    return reveal_vector(ctx, noisy, ALICE, label=label)

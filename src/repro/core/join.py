@@ -1,0 +1,204 @@
+"""The oblivious join (Section 6.3).
+
+Preconditions (established by the reduce and semijoin phases): every
+remaining attribute is an output attribute and every dangling tuple is
+zero-annotated, so the nonzero sub-relations satisfy
+``R*_F = pi_F(J*)`` — they are derivable from the query result and may
+be revealed to Alice.  Three steps:
+
+1. **Reveal** — per relation, a batch of small garbled circuits tests
+   ``v(t) != 0`` and outputs either the (encoded) tuple or a dummy to
+   Alice.  For Alice-owned relations only the indicator is needed.
+2. **Join** — Alice joins the revealed ``R*`` locally with the
+   (non-annotated) Yannakakis join order and sends ``|J*|`` to Bob.
+3. **Annotations** — for each relation, an OEP indexed by Alice's
+   extended permutation ``xi_F(i) = position of pi_F(t_i) in R_F``
+   aligns the annotation shares with the join results; a batch of
+   product circuits multiplies them up.
+
+The annotation shares of ``J*`` are returned (the caller reveals them —
+they are the query results — or feeds them into a composition circuit).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..mpc.context import ALICE, Context
+from ..mpc.engine import Engine
+from ..mpc.sharing import SharedVector
+from ..relalg.relation import AnnotatedRelation
+from ..relalg.operators import join as plain_join
+from ..relalg.semiring import IntegerRing
+from .codec import decode_tuple_bits, encode_tuple_bits, infer_specs
+from .oriented import OrientedEngine
+from .relation import SecureRelation, dummy_tuple
+
+__all__ = ["ObliviousJoinResult", "oblivious_join"]
+
+
+class ObliviousJoinResult:
+    """Join tuples (Alice's) plus their shared annotations."""
+
+    def __init__(
+        self,
+        attributes: Tuple[str, ...],
+        tuples: List[Tuple],
+        annotations: SharedVector,
+    ):
+        self.attributes = attributes
+        self.tuples = tuples
+        self.annotations = annotations
+
+
+def _reveal_nonzero(
+    engine: Engine, rel: SecureRelation, label: str
+) -> List[Tuple[int, Tuple]]:
+    """Step 1 for one relation: Alice learns the list of
+    ``(original position, tuple)`` for nonzero-annotated tuples."""
+    sv = rel.annotations.to_shared(engine, label=f"{label}/share")
+    if rel.owner == ALICE:
+        flags, _ = engine.reveal_nonzero_flags(sv, None, label=label)
+        return [
+            (i, tuple(rel.tuples[i]))
+            for i in range(len(rel))
+            if flags[i]
+        ]
+    specs = infer_specs(rel.tuples, len(rel.attributes))
+    payload_bits = [
+        encode_tuple_bits(t, specs) for t in rel.tuples
+    ]
+    flags, payloads = engine.reveal_nonzero_flags(
+        sv, payload_bits, label=label
+    )
+    out: List[Tuple[int, Tuple]] = []
+    for i in range(len(rel)):
+        if flags[i]:
+            out.append((i, decode_tuple_bits(payloads[i], specs)))
+    return out
+
+
+def _pad_join(
+    joined: AnnotatedRelation,
+    relations: Dict[str, SecureRelation],
+    pad_out_to: int,
+    ring: IntegerRing,
+) -> AnnotatedRelation:
+    """Append zero-annotated dummy join rows up to the declared size;
+    their hidden index columns point at each relation's extra zero slot
+    so the annotation product vanishes."""
+    if len(joined) > pad_out_to:
+        raise ValueError(
+            f"true output size {len(joined)} exceeds the declared "
+            f"bound {pad_out_to}"
+        )
+    visible = [
+        a for a in joined.attributes if not a.startswith("__idx_")
+    ]
+    idx_cols = {
+        a: len(relations[a[len("__idx_"):]])
+        for a in joined.attributes
+        if a.startswith("__idx_")
+    }
+    rows = list(joined.tuples)
+    for _ in range(pad_out_to - len(joined)):
+        dummy = dict(zip(visible, dummy_tuple(len(visible))))
+        rows.append(
+            tuple(
+                idx_cols[a] if a.startswith("__idx_") else dummy[a]
+                for a in joined.attributes
+            )
+        )
+    return AnnotatedRelation(joined.attributes, rows, None, ring)
+
+
+def oblivious_join(
+    engine: Engine,
+    relations: Dict[str, SecureRelation],
+    join_steps: List[Tuple[str, str]],
+    label: str = "oblivious_join",
+    pad_out_to: int = 0,
+) -> ObliviousJoinResult:
+    """Compute ``J*`` and its shared annotations.
+
+    ``join_steps`` is the reduced plan's bottom-up ``(child, parent)``
+    order; the last surviving node is the root.
+
+    ``pad_out_to``: if the true output size is sensitive, Alice pads
+    ``J*`` with zero-annotated dummy tuples up to this declared size
+    before disclosing it to Bob (Section 6.3 step 2); raises if the
+    true size exceeds the declared bound.
+    """
+    ctx = engine.ctx
+    ring = IntegerRing(ctx.params.ell)
+    with ctx.section(label):
+        # Step 1: reveal R*_F to Alice (with original positions).
+        revealed: Dict[str, List[Tuple[int, Tuple]]] = {}
+        shares: Dict[str, SharedVector] = {}
+        for name, rel in relations.items():
+            shares[name] = rel.annotations.to_shared(
+                engine, label="share"
+            )
+            revealed[name] = _reveal_nonzero(engine, rel, f"reveal/{name}")
+
+        # Step 2: Alice's local non-annotated join, tracking per-relation
+        # source positions through hidden index columns.
+        star: Dict[str, AnnotatedRelation] = {}
+        for name, rel in relations.items():
+            idx_attr = f"__idx_{name}"
+            star[name] = AnnotatedRelation(
+                tuple(rel.attributes) + (idx_attr,),
+                [t + (pos,) for pos, t in revealed[name]],
+                None,
+                ring,
+            )
+        order = list(join_steps)
+        if order:
+            rels = dict(star)
+            for child, parent in order:
+                rels[parent] = plain_join(rels[parent], rels[child])
+                del rels[child]
+            (root_name, joined), = rels.items()
+        else:
+            (root_name, joined), = star.items()
+        if pad_out_to:
+            joined = _pad_join(joined, relations, pad_out_to, ring)
+        out = len(joined)
+        ctx.send(ALICE, 8, "out_size")
+
+        # Step 3: per-relation OEP + one product circuit per join row.
+        if out == 0:
+            attrs = tuple(
+                a
+                for a in joined.attributes
+                if not a.startswith("__idx_")
+            )
+            return ObliviousJoinResult(
+                attrs, [], SharedVector.zeros(0, ctx.modulus)
+            )
+        oe = OrientedEngine(engine, ALICE)
+        factors: List[SharedVector] = []
+        for name in relations:
+            xi = [int(v) for v in joined.column(f"__idx_{name}")]
+            # One extra zero slot receives the padding rows' indices, so
+            # their annotation product is a (shared) zero.
+            extended = shares[name].concat(
+                SharedVector.zeros(1, ctx.modulus)
+            )
+            factors.append(
+                oe.oep(xi, extended, out, label=f"oep/{name}")
+            )
+        annots = oe.product_across(factors, label="prod")
+
+        keep = [
+            i
+            for i, a in enumerate(joined.attributes)
+            if not a.startswith("__idx_")
+        ]
+        attrs = tuple(joined.attributes[i] for i in keep)
+        tuples = [
+            tuple(t[i] for i in keep) for t in joined.tuples
+        ]
+    return ObliviousJoinResult(attrs, tuples, annots)

@@ -1,0 +1,154 @@
+"""The secure Yannakakis protocol (Section 6.4).
+
+Runs the same 3-phase :class:`~repro.yannakakis.plan.YannakakisPlan` as
+the plaintext algorithm, with each phase realised by the oblivious
+operators:
+
+1. **Reduce** — oblivious projection-aggregation + oblivious reduce-join
+   per fold; sizes never change, only annotations.
+2. **Semijoin** — dangling tuples are *zero-annotated* (not removed)
+   via oblivious semijoins, bottom-up then top-down.
+3. **Full join** — the oblivious join reveals ``J*`` to Alice and
+   computes its annotations in shared form.
+
+``secure_yannakakis`` reveals the annotations (they are the query
+results); ``secure_yannakakis_shared`` keeps them shared for query
+compositions (Section 7).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..mpc.context import ALICE, Context
+from ..mpc.engine import Engine
+from ..mpc.sharing import reveal_vector
+from ..relalg.operators import aggregate as plain_aggregate
+from ..relalg.relation import AnnotatedRelation
+from ..relalg.semiring import IntegerRing
+from ..yannakakis.plan import (
+    ReduceAggregate,
+    ReduceFold,
+    YannakakisPlan,
+)
+from .aggregation import oblivious_aggregate
+from .join import ObliviousJoinResult, oblivious_join
+from .relation import SecureRelation
+from .semijoin import oblivious_reduce_join, oblivious_semijoin
+
+__all__ = [
+    "secure_yannakakis",
+    "secure_yannakakis_shared",
+    "ProtocolStats",
+]
+
+
+@dataclass
+class ProtocolStats:
+    """Cost summary of one protocol run."""
+
+    seconds: float
+    total_bytes: int
+    rounds: int
+    bytes_by_phase: Dict[str, int] = field(default_factory=dict)
+
+
+def secure_yannakakis_shared(
+    engine: Engine,
+    relations: Dict[str, SecureRelation],
+    plan: YannakakisPlan,
+    pad_out_to: int = 0,
+) -> ObliviousJoinResult:
+    """Run the protocol, returning ``J*`` (Alice's) with annotations in
+    shared form — the building block for query composition.
+
+    ``pad_out_to`` hides the true output size from Bob behind a declared
+    upper bound (Section 4 / Section 6.3 step 2)."""
+    ctx = engine.ctx
+    rels = dict(relations)
+    missing = set(plan.tree.nodes) - set(rels)
+    if missing:
+        raise KeyError(f"missing input relations: {sorted(missing)}")
+
+    def run_semijoins() -> None:
+        with ctx.section("semijoin"):
+            for step in plan.semijoin_steps:
+                rels[step.target] = oblivious_semijoin(
+                    engine, rels[step.target], rels[step.filter],
+                    label=f"semi/{step.target}<-{step.filter}",
+                )
+
+    if plan.semijoin_first:  # the two-phase ablation order
+        run_semijoins()
+
+    with ctx.section("reduce"):
+        for step in plan.reduce_steps:
+            if isinstance(step, ReduceFold):
+                folded = oblivious_aggregate(
+                    engine, rels[step.child], step.agg_attrs,
+                    label=f"agg/{step.child}",
+                )
+                rels[step.parent] = oblivious_reduce_join(
+                    engine, rels[step.parent], folded,
+                    label=f"fold/{step.child}->{step.parent}",
+                )
+                del rels[step.child]
+            elif isinstance(step, ReduceAggregate):
+                rels[step.node] = oblivious_aggregate(
+                    engine, rels[step.node], step.attrs,
+                    label=f"agg/{step.node}",
+                )
+            else:  # pragma: no cover
+                raise TypeError(f"unknown reduce step {step!r}")
+
+    if not plan.semijoin_first:
+        run_semijoins()
+
+    with ctx.section("full_join"):
+        join_steps = [(s.child, s.parent) for s in plan.join_steps]
+        return oblivious_join(
+            engine, rels, join_steps, pad_out_to=pad_out_to
+        )
+
+
+def secure_yannakakis(
+    engine: Engine,
+    relations: Dict[str, SecureRelation],
+    plan: YannakakisPlan,
+) -> Tuple[AnnotatedRelation, ProtocolStats]:
+    """Evaluate the query and reveal the results to Alice.
+
+    Returns the result relation (attributes ordered as ``plan.output``,
+    duplicate group keys merged, zero groups dropped) and cost stats.
+    """
+    ctx = engine.ctx
+    start_msgs = len(ctx.transcript.messages)
+    t0 = time.perf_counter()
+    shared = secure_yannakakis_shared(engine, relations, plan)
+    values = reveal_vector(
+        ctx, shared.annotations, ALICE, label="result"
+    )
+    elapsed = time.perf_counter() - t0
+
+    ring = IntegerRing(ctx.params.ell)
+    result = AnnotatedRelation(
+        shared.attributes, shared.tuples, values, ring
+    )
+    result = plain_aggregate(result, plan.output).nonzero()
+
+    new_msgs = ctx.transcript.messages[start_msgs:]
+    by_phase: Dict[str, int] = {}
+    for m in new_msgs:
+        key = m.label.split("/")[0] if m.label else ""
+        by_phase[key] = by_phase.get(key, 0) + m.n_bytes
+    stats = ProtocolStats(
+        seconds=elapsed,
+        total_bytes=sum(m.n_bytes for m in new_msgs),
+        rounds=ctx.transcript.rounds,
+        bytes_by_phase=by_phase,
+    )
+    return result, stats

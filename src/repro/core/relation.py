@@ -1,0 +1,152 @@
+"""Secure relations: the data model of the oblivious operators.
+
+A :class:`SecureRelation` is a relation whose *tuples* are held by one
+party (the owner) and whose *annotations* are either known to the owner
+in the clear (:class:`SecureAnnotations` of kind ``plain`` — the common
+situation for protocol inputs, Section 6.5) or secret-shared between the
+parties (always the case for intermediate results).
+
+Dummy tuples (Section 4, footnote 2) are built from per-tuple nonces so
+that they are pairwise distinct, never collide with real domain values,
+and survive projection; their annotations are zero, so they contribute
+nothing to any aggregate.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..mpc.context import Context
+from ..mpc.cuckoo import encode_item
+from ..mpc.engine import Engine
+from ..mpc.sharing import SharedVector
+from ..relalg.relation import AnnotatedRelation
+
+__all__ = [
+    "DUMMY_MARKER",
+    "dummy_tuple",
+    "is_dummy_tuple",
+    "sort_key",
+    "SecureAnnotations",
+    "SecureRelation",
+]
+
+DUMMY_MARKER = "__dummy__"
+_dummy_nonce = itertools.count(1)
+
+
+def dummy_tuple(arity: int) -> Tuple:
+    """A fresh dummy tuple: every attribute carries the same unique nonce,
+    so any projection of a dummy is itself a distinct dummy value."""
+    nonce = next(_dummy_nonce)
+    return tuple((DUMMY_MARKER, nonce) for _ in range(max(arity, 1)))[
+        :arity
+    ] or ()
+
+
+def is_dummy_tuple(t: Tuple) -> bool:
+    return any(
+        isinstance(v, tuple) and len(v) == 2 and v[0] == DUMMY_MARKER
+        for v in t
+    )
+
+
+def sort_key(t: Tuple) -> bytes:
+    """A total order over heterogeneous tuples (ints, strings, dummies):
+    the canonical item encoding.  Owners sort locally with this key."""
+    return encode_item(tuple(t))
+
+
+@dataclass
+class SecureAnnotations:
+    """Annotation vector: plain (owner-known) or secret-shared."""
+
+    kind: str  # "plain" | "shared"
+    owner: Optional[str] = None
+    values: Optional[np.ndarray] = None
+    shares: Optional[SharedVector] = None
+
+    @classmethod
+    def plain(cls, owner: str, values) -> "SecureAnnotations":
+        arr = np.asarray(values, dtype=np.uint64)
+        return cls(kind="plain", owner=owner, values=arr)
+
+    @classmethod
+    def shared(cls, shares: SharedVector) -> "SecureAnnotations":
+        return cls(kind="shared", shares=shares)
+
+    def __len__(self) -> int:
+        if self.kind == "plain":
+            return len(self.values)
+        return len(self.shares)
+
+    def to_shared(self, engine: Engine, label: str = "annot") -> SharedVector:
+        """Convert to shared form (the owner shares its vector)."""
+        if self.kind == "shared":
+            return self.shares
+        return engine.share(self.owner, self.values, label)
+
+    def reconstruct(self) -> np.ndarray:
+        """Test-only / designated reveals: the cleartext annotations."""
+        if self.kind == "plain":
+            return self.values.copy()
+        return self.shares.reconstruct()
+
+
+@dataclass
+class SecureRelation:
+    """Tuples held by ``owner``; annotations plain or shared."""
+
+    owner: str
+    attributes: Tuple[str, ...]
+    tuples: List[Tuple]
+    annotations: SecureAnnotations
+
+    def __post_init__(self):
+        self.attributes = tuple(self.attributes)
+        if len(self.tuples) != len(self.annotations):
+            raise ValueError(
+                f"{len(self.tuples)} tuples but "
+                f"{len(self.annotations)} annotations"
+            )
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    @classmethod
+    def from_annotated(
+        cls, owner: str, rel: AnnotatedRelation
+    ) -> "SecureRelation":
+        """Wrap a party's plaintext input relation (annotations plain)."""
+        return cls(
+            owner=owner,
+            attributes=rel.attributes,
+            tuples=list(rel.tuples),
+            annotations=SecureAnnotations.plain(owner, rel.annotations),
+        )
+
+    def index_of(self, attrs: Sequence[str]) -> List[int]:
+        missing = [a for a in attrs if a not in self.attributes]
+        if missing:
+            raise KeyError(f"attributes {missing} not in {self.attributes}")
+        return [self.attributes.index(a) for a in attrs]
+
+    def project_tuples(self, attrs: Sequence[str]) -> List[Tuple]:
+        idx = self.index_of(attrs)
+        return [tuple(tup[i] for i in idx) for tup in self.tuples]
+
+    def to_annotated(self, ctx: Context) -> AnnotatedRelation:
+        """Test-only: reconstruct the plaintext K-relation this secure
+        relation represents (dummies keep their zero annotations)."""
+        from ..relalg.semiring import IntegerRing
+
+        return AnnotatedRelation(
+            self.attributes,
+            self.tuples,
+            self.annotations.reconstruct(),
+            IntegerRing(ctx.params.ell),
+        )

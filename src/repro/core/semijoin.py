@@ -1,0 +1,229 @@
+"""Oblivious semijoin and reduce-join (Section 6.2).
+
+``oblivious_reduce_join(parent, child)`` computes the annotated join
+``R = parent ⋈⊗ child`` under the reduce-phase constraint
+``child.attributes ⊆ parent.attributes``: the output has *exactly the
+parent's tuples*, only the annotations change — a parent tuple that
+joins a child tuple gets the product of their annotations, others get a
+(shared) zero.
+
+``oblivious_semijoin(target, filter)`` is
+``target ⋈⊗ pi^1_{T∩F}(filter)`` — it zero-annotates the target tuples
+with no nonzero join partner, leaving the rest untouched (multiplied by
+the shared indicator 1).
+
+Three regimes, matching the paper:
+
+* different owners, child annotations owner-known — PSI with plain
+  payloads (Section 6.5 fast path);
+* different owners, child annotations shared — PSI with secret-shared
+  payloads (Section 5.5);
+* same owner — no PSI: the owner locally aligns child tuples with
+  parent tuples (a dummy slot for non-joining tuples) and one OEP plus
+  the multiplication circuits refresh the shares.  Fully plain
+  same-owner inputs never leave the owner at all.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..mpc.engine import Engine
+from ..mpc.sharing import SharedVector
+from .aggregation import oblivious_support_projection
+from .oriented import OrientedEngine
+from .relation import SecureAnnotations, SecureRelation, dummy_tuple
+from .shared_payload_psi import psi_with_shared_payloads
+
+__all__ = ["oblivious_reduce_join", "oblivious_semijoin"]
+
+
+def _psi_items(rel: SecureRelation) -> List[Tuple]:
+    """A relation's tuples as PSI items (they are distinct whenever the
+    relation came out of a projection-aggregation, which the Yannakakis
+    plan guarantees)."""
+    return [tuple(t) for t in rel.tuples]
+
+
+def oblivious_reduce_join(
+    engine: Engine,
+    parent: SecureRelation,
+    child: SecureRelation,
+    label: str = "reduce_join",
+) -> SecureRelation:
+    """``parent ⋈⊗ child`` with ``child.attributes ⊆ parent.attributes``."""
+    if not set(child.attributes) <= set(parent.attributes):
+        raise ValueError(
+            "reduce-join requires the child's attributes to be a subset "
+            f"of the parent's ({child.attributes} vs {parent.attributes})"
+        )
+    ctx = engine.ctx
+    m = len(parent)
+    if m == 0:
+        return parent
+    keys = parent.project_tuples(child.attributes)
+
+    with ctx.section(label):
+        if not child.attributes:
+            new_annots = _scalar_child_payloads(engine, parent, child)
+        elif parent.owner == child.owner:
+            new_annots = _same_owner_payloads(
+                engine, parent, child, keys
+            )
+        else:
+            new_annots = _cross_owner_payloads(
+                engine, parent, child, keys
+            )
+    return SecureRelation(
+        parent.owner, parent.attributes, list(parent.tuples), new_annots
+    )
+
+
+def _scalar_child_payloads(
+    engine: Engine, parent: SecureRelation, child: SecureRelation
+) -> SecureAnnotations:
+    """Child aggregated to zero attributes: semantically a single empty
+    tuple whose annotation is the (local) sum of the child's annotation
+    vector — every parent tuple's annotation is scaled by that scalar.
+    No PSI is needed; summing shares and replicating them is local."""
+    ctx = engine.ctx
+    m = len(parent)
+    if (
+        parent.annotations.kind == "plain"
+        and child.annotations.kind == "plain"
+        and parent.owner == child.owner
+    ):
+        total = int(child.annotations.values.sum()) % ctx.modulus
+        new_vals = (
+            parent.annotations.values * np.uint64(total)
+        ) & ctx.mask
+        return SecureAnnotations.plain(parent.owner, new_vals)
+    oe = OrientedEngine(engine, parent.owner)
+    child_sv = child.annotations.to_shared(engine)
+    total_sv = child_sv.sum()
+    z = SharedVector(
+        np.tile(total_sv.alice, m), np.tile(total_sv.bob, m), ctx.modulus
+    )
+    if parent.annotations.kind == "plain":
+        new = oe.mul_owner_plain(parent.annotations.values, z)
+    else:
+        new = oe.mul_shared(parent.annotations.shares, z)
+    return SecureAnnotations.shared(new)
+
+
+def _same_owner_payloads(
+    engine: Engine,
+    parent: SecureRelation,
+    child: SecureRelation,
+    keys: List[Tuple],
+) -> SecureAnnotations:
+    """The simplified same-party protocol (end of Section 6.2)."""
+    owner = parent.owner
+    ctx = engine.ctx
+    m = len(parent)
+    n = len(child)
+    position = {}
+    for j, t in enumerate(child.tuples):
+        if tuple(t) in position:
+            raise ValueError(
+                "reduce-join requires distinct child tuples (run the "
+                "child through an oblivious projection-aggregation "
+                "first, as the Yannakakis plan does)"
+            )
+        position[tuple(t)] = j
+    mu = [position.get(key, n) for key in keys]  # n = the dummy slot
+
+    if (
+        parent.annotations.kind == "plain"
+        and child.annotations.kind == "plain"
+    ):
+        # Both relations fully at the owner: pure local computation.
+        child_vals = child.annotations.values
+        z = np.asarray(
+            [int(child_vals[j]) if j < n else 0 for j in mu],
+            dtype=np.uint64,
+        )
+        new_vals = (parent.annotations.values * z) & ctx.mask
+        return SecureAnnotations.plain(owner, new_vals)
+
+    oe = OrientedEngine(engine, owner)
+    child_sv = child.annotations.to_shared(engine)
+    extended = child_sv.concat(SharedVector.zeros(1, ctx.modulus))
+    z = oe.oep(mu, extended, m, label="oep")
+    if parent.annotations.kind == "plain":
+        new = oe.mul_owner_plain(parent.annotations.values, z)
+    else:
+        new = oe.mul_shared(parent.annotations.shares, z)
+    return SecureAnnotations.shared(new)
+
+
+def _cross_owner_payloads(
+    engine: Engine,
+    parent: SecureRelation,
+    child: SecureRelation,
+    keys: List[Tuple],
+) -> SecureAnnotations:
+    """The PSI-based protocol of Section 6.2 (different owners)."""
+    owner = parent.owner
+    ctx = engine.ctx
+    m = len(parent)
+    oe = OrientedEngine(engine, owner)
+
+    # X = pi_{F'}(parent), deduplicated, padded with dummies to M.
+    distinct: dict = {}
+    for key in keys:
+        distinct.setdefault(key, None)
+    x_items: List[Tuple] = list(distinct)
+    while len(x_items) < m:
+        x_items.append(dummy_tuple(len(child.attributes)))
+    x_index = {item: i for i, item in enumerate(x_items)}
+
+    child_items = _psi_items(child)
+    if child.annotations.kind == "plain":
+        res = oe.psi(
+            x_items,
+            child_items,
+            [int(v) for v in child.annotations.values],
+            label="psi",
+        )
+    else:
+        res = psi_with_shared_payloads(
+            engine, owner, x_items, child_items,
+            child.annotations.shares, label="psi_shared",
+        )
+
+    # Map per-bin payloads back to the parent's tuple positions.
+    item_bins = res.bin_of_item_index()
+    xi = [int(item_bins[x_index[key]]) for key in keys]
+    z = oe.oep(xi, _as_shared(res.payload, ctx), m, label="oep")
+    if parent.annotations.kind == "plain":
+        new = oe.mul_owner_plain(parent.annotations.values, z)
+    else:
+        new = oe.mul_shared(parent.annotations.shares, z)
+    return SecureAnnotations.shared(new)
+
+
+def _as_shared(payload, ctx) -> SharedVector:
+    if isinstance(payload, SharedVector):
+        return payload
+    raise TypeError("expected a shared per-bin payload vector")
+
+
+def oblivious_semijoin(
+    engine: Engine,
+    target: SecureRelation,
+    filter_rel: SecureRelation,
+    label: str = "semijoin",
+) -> SecureRelation:
+    """``target ⋉⊗ filter``: zero-annotate the target tuples that join no
+    nonzero-annotated filter tuple (Section 6.2, second type)."""
+    shared_attrs = [
+        a for a in filter_rel.attributes if a in set(target.attributes)
+    ]
+    with engine.ctx.section(label):
+        support = oblivious_support_projection(
+            engine, filter_rel, shared_attrs, label="support"
+        )
+        return oblivious_reduce_join(engine, target, support, label="join")

@@ -1,0 +1,147 @@
+"""Garbled circuits: free-XOR + half-gates, SHA-256 based.
+
+This is the REAL-mode back-end for Section 5.2.  Bob is the garbler and
+Alice the evaluator throughout (the roles never need to swap in the
+secure Yannakakis protocol, because outputs are re-shared).
+
+Construction:
+
+* A global 128-bit offset ``delta`` with LSB 1 (free-XOR).  Each wire
+  has labels ``W0`` and ``W1 = W0 ^ delta``; the LSB of a label is its
+  public "select bit" (point-and-permute).
+* XOR gates are free: ``Wc0 = Wa0 ^ Wb0``.
+* INV gates are free: ``Wc0 = Wa0 ^ delta`` (relabelling).
+* AND gates use the half-gates technique of Zahur, Rosulek & Evans:
+  two ciphertexts per gate — the modern standard, and what the ABY
+  framework underlying the paper's implementation ships.
+
+The evaluator learns exactly one label per wire; select bits are
+independent of semantic values.  Output wires are decoded with
+garbler-supplied permute bits.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .circuit import AND, INV, XOR, Circuit
+
+__all__ = ["GarblingResult", "GarbledTables", "garble", "evaluate_garbled"]
+
+LABEL_BYTES = 16
+#: Ciphertexts per AND gate (half-gates).
+ROWS_PER_AND = 2
+
+
+def _hash_label(label: int, index: int) -> int:
+    data = label.to_bytes(LABEL_BYTES, "little") + index.to_bytes(
+        8, "little"
+    )
+    return int.from_bytes(
+        hashlib.sha256(data).digest()[:LABEL_BYTES], "little"
+    )
+
+
+@dataclass
+class GarbledTables:
+    """What the garbler sends: two ciphertexts per AND gate."""
+
+    tables: List[Tuple[int, int]]
+
+    @property
+    def n_bytes(self) -> int:
+        return len(self.tables) * ROWS_PER_AND * LABEL_BYTES
+
+
+@dataclass
+class GarblingResult:
+    """The garbler's full view after garbling."""
+
+    delta: int
+    #: label-for-0 per wire
+    zero_labels: Dict[int, int]
+    tables: GarbledTables
+    circuit: Circuit
+
+    def label(self, wire: int, bit: int) -> int:
+        return self.zero_labels[wire] ^ (self.delta if bit else 0)
+
+    def output_permute_bits(self) -> List[int]:
+        """Select bit of each output wire's 0-label; XORing with the
+        evaluator's observed select bit yields the cleartext bit."""
+        return [self.zero_labels[w] & 1 for w in self.circuit.outputs]
+
+
+def garble(circuit: Circuit, rand_bytes) -> GarblingResult:
+    """Garble ``circuit``.  ``rand_bytes(n)`` supplies randomness (kept
+    as a parameter so tests can be deterministic)."""
+
+    def rand_label() -> int:
+        return int.from_bytes(rand_bytes(LABEL_BYTES), "little")
+
+    delta = rand_label() | 1  # LSB 1 so select bits of W0/W1 differ
+    zero: Dict[int, int] = {}
+    for w in circuit.alice_inputs:
+        zero[w] = rand_label()
+    for w in circuit.bob_inputs:
+        zero[w] = rand_label()
+    for w, _bit in circuit.const_wires:
+        # Constants are garbler-known inputs: a fresh wire whose active
+        # label (sent to the evaluator) encodes the constant.
+        zero[w] = rand_label()
+
+    tables: List[Tuple[int, int]] = []
+    for gate_id, g in enumerate(circuit.gates):
+        if g.op == XOR:
+            zero[g.out] = zero[g.a] ^ zero[g.b]
+        elif g.op == INV:
+            zero[g.out] = zero[g.a] ^ delta
+        elif g.op == AND:
+            wa0, wb0 = zero[g.a], zero[g.b]
+            wa1, wb1 = wa0 ^ delta, wb0 ^ delta
+            p_a, p_b = wa0 & 1, wb0 & 1
+            j, j2 = 2 * gate_id, 2 * gate_id + 1
+            # Generator half-gate: computes a AND p_b.
+            t_g = _hash_label(wa0, j) ^ _hash_label(wa1, j) ^ (
+                delta if p_b else 0
+            )
+            w_g0 = _hash_label(wa0, j) ^ (t_g if p_a else 0)
+            # Evaluator half-gate: computes a AND (b XOR p_b).
+            t_e = _hash_label(wb0, j2) ^ _hash_label(wb1, j2) ^ wa0
+            w_e0 = _hash_label(wb0, j2) ^ (
+                (t_e ^ wa0) if p_b else 0
+            )
+            zero[g.out] = w_g0 ^ w_e0
+            tables.append((t_g, t_e))
+        else:  # pragma: no cover
+            raise ValueError(f"unknown gate {g.op}")
+    return GarblingResult(delta, zero, GarbledTables(tables), circuit)
+
+
+def evaluate_garbled(
+    circuit: Circuit,
+    tables: GarbledTables,
+    input_labels: Dict[int, int],
+) -> Dict[int, int]:
+    """Evaluate with one active label per input/constant wire; returns
+    the active label of every output wire."""
+    label: Dict[int, int] = dict(input_labels)
+    table_iter = iter(tables.tables)
+    for gate_id, g in enumerate(circuit.gates):
+        if g.op == XOR:
+            label[g.out] = label[g.a] ^ label[g.b]
+        elif g.op == INV:
+            label[g.out] = label[g.a]  # relabelled: flipped meaning
+        elif g.op == AND:
+            t_g, t_e = next(table_iter)
+            wa, wb = label[g.a], label[g.b]
+            sa, sb = wa & 1, wb & 1
+            j, j2 = 2 * gate_id, 2 * gate_id + 1
+            w_g = _hash_label(wa, j) ^ (t_g if sa else 0)
+            w_e = _hash_label(wb, j2) ^ ((t_e ^ wa) if sb else 0)
+            label[g.out] = w_g ^ w_e
+        else:  # pragma: no cover
+            raise ValueError(f"unknown gate {g.op}")
+    return {w: label[w] for w in circuit.outputs}

@@ -1,0 +1,105 @@
+"""The two-party protocol context.
+
+A :class:`Context` bundles everything a protocol invocation needs: the
+security parameters, the execution mode, the communication transcript, and
+a deterministic randomness source.  Protocols are written as orchestration
+functions over one context; in REAL mode the cryptographic primitives
+actually run, in SIMULATED mode functionally-identical fast paths run and
+charge the identical communication to the transcript.
+"""
+
+from __future__ import annotations
+
+import enum
+from contextlib import contextmanager
+from typing import Optional
+
+import numpy as np
+
+from .params import DEFAULT_PARAMS, SecurityParams
+from .transcript import ALICE, BOB, Transcript, other_party
+
+__all__ = ["Mode", "Context", "ALICE", "BOB"]
+
+
+class Mode(enum.Enum):
+    """Primitive back-end selection.
+
+    ``REAL`` runs genuine cryptography (garbled circuits, DH-based OT,
+    masked PSI) — used by the test suite at small scale.  ``SIMULATED``
+    computes the same functionality directly and meters the same
+    communication — used at TPC-H benchmark scale.  See DESIGN.md,
+    "Execution modes".
+    """
+
+    REAL = "real"
+    SIMULATED = "simulated"
+
+
+class Context:
+    """Shared state of one protocol session between Alice and Bob."""
+
+    def __init__(
+        self,
+        mode: Mode = Mode.SIMULATED,
+        params: SecurityParams = DEFAULT_PARAMS,
+        seed: Optional[int] = None,
+    ):
+        self.mode = mode
+        self.params = params
+        self.transcript = Transcript()
+        self.rng = np.random.default_rng(seed)
+        self._roles_swapped = False
+
+    # -- convenience ----------------------------------------------------
+
+    @property
+    def modulus(self) -> int:
+        return self.params.modulus
+
+    @property
+    def mask(self) -> np.uint64:
+        return np.uint64(self.params.modulus - 1)
+
+    def random_ring_vector(self, n: int) -> np.ndarray:
+        """``n`` independent uniform elements of ``Z_{2^ell}``."""
+        return self.rng.integers(
+            0, self.params.modulus, size=n, dtype=np.uint64
+        )
+
+    def random_bytes(self, n: int) -> bytes:
+        return self.rng.bytes(n)
+
+    def send(self, sender: str, n_bytes: int, label: str = "") -> None:
+        if self._roles_swapped:
+            sender = other_party(sender)
+        self.transcript.send(sender, n_bytes, label)
+
+    def section(self, label: str):
+        return self.transcript.section(label)
+
+    @contextmanager
+    def swapped_roles(self):
+        """Mirror the protocol roles: inside this block, code written for
+        "Alice evaluates / Bob garbles" runs with the physical parties
+        exchanged.  Operators use this so that the relation *owner* always
+        plays the protocol-Alice role of Section 6, whichever physical
+        party it is.  Nesting toggles back."""
+        self._roles_swapped = not self._roles_swapped
+        try:
+            yield
+        finally:
+            self._roles_swapped = not self._roles_swapped
+
+    def fresh(self) -> "Context":
+        """A new context with the same configuration but an empty
+        transcript (used when measuring a sub-protocol in isolation)."""
+        child = Context(self.mode, self.params)
+        child.rng = self.rng
+        return child
+
+    def __repr__(self) -> str:
+        return (
+            f"Context(mode={self.mode.value}, kappa={self.params.kappa}, "
+            f"sigma={self.params.sigma}, ell={self.params.ell})"
+        )

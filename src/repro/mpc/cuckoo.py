@@ -1,0 +1,202 @@
+"""Cuckoo hashing for the PSI protocol (Section 5.3).
+
+Alice maps her ``M`` items into ``B = 1.27 * M`` bins with 3 hash
+functions so that each bin holds at most one item (failure probability
+below ``2^-sigma``; on failure we re-draw hash seeds, which the protocol
+permits since seeds are chosen before any data-dependent interaction).
+Bob hashes each of his items into *all three* candidate bins ("simple
+hashing"), padding every bin to a public maximum load.
+
+Items are serialised with a canonical encoding shared by both parties and
+compared inside circuits via short fingerprints; dummy slots draw from
+party-reserved fingerprint spaces so they can never collide with real
+items or with the other party's dummies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "encode_item",
+    "fingerprint",
+    "CuckooTable",
+    "simple_hash_bins",
+    "max_bin_load",
+    "num_bins",
+    "FINGERPRINT_BITS",
+    "DUMMY_ALICE",
+    "DUMMY_BOB",
+]
+
+#: Fingerprints are 64-bit; the top two bits partition the space into
+#: real items (00/01), Alice dummies (10) and Bob dummies (11).
+FINGERPRINT_BITS = 64
+_REAL_MASK = (1 << 62) - 1
+DUMMY_ALICE = 2 << 62
+DUMMY_BOB = 3 << 62
+
+
+def encode_item(item: Hashable) -> bytes:
+    """Canonical byte encoding, identical on both parties."""
+    if isinstance(item, bool):
+        return b"b" + bytes([item])
+    if isinstance(item, int):
+        # Variable length with a length prefix: injective for all ints.
+        length = max(1, (item.bit_length() + 8) // 8)
+        return (
+            b"i"
+            + length.to_bytes(4, "little")
+            + item.to_bytes(length, "little", signed=True)
+        )
+    if isinstance(item, str):
+        return b"s" + item.encode("utf-8")
+    if isinstance(item, bytes):
+        return b"y" + item
+    if isinstance(item, tuple):
+        parts = [encode_item(x) for x in item]
+        header = b"t" + len(parts).to_bytes(4, "little")
+        return header + b"".join(
+            len(p).to_bytes(4, "little") + p for p in parts
+        )
+    raise TypeError(f"cannot encode {type(item).__name__} as a PSI item")
+
+
+def _hash_to_bin(seed: bytes, item_bytes: bytes, n_bins: int) -> int:
+    digest = hashlib.blake2b(item_bytes, digest_size=8, key=seed).digest()
+    return int.from_bytes(digest, "little") % n_bins
+
+
+def fingerprint(item: Hashable, salt: bytes) -> int:
+    """62-bit item fingerprint in the "real" subspace.  A collision
+    between distinct items is a correctness failure with probability
+    ``< M*N / 2^62``, within the protocol's ``2^-sigma`` failure budget."""
+    digest = hashlib.blake2b(
+        encode_item(item), digest_size=8, key=salt
+    ).digest()
+    return int.from_bytes(digest, "little") & _REAL_MASK
+
+
+def num_bins(n_items: int, expansion: float = 1.27) -> int:
+    """Cuckoo table size ``B`` (footnote 3: B = 1.27 M suffices)."""
+    return max(1, math.ceil(n_items * expansion))
+
+
+def max_bin_load(
+    n_items: int, n_bins: int, n_hashes: int = 3, sigma: int = 40
+) -> int:
+    """Public bound ``L`` on Bob's simple-hash bin load such that
+    ``B * P[Binomial(n_hashes * N, 1/B) > L] < 2^-sigma``.
+
+    Computed with an exact binomial tail (Chernoff would be looser); the
+    bound depends only on public sizes, so padding to it leaks nothing.
+    """
+    if n_items == 0:
+        return 1
+    from scipy.stats import binom
+
+    n = n_items * n_hashes
+    p = 1.0 / n_bins
+    target = 2.0 ** (-sigma) / n_bins
+    # Smallest L with P[Bin(n,p) > L] < target.  scipy's survival function
+    # loses precision below ~1e-15, so scan upward with a log-space
+    # Chernoff bound once sf() underflows.
+    load = int(binom.isf(max(target, 1e-14), n, p)) + 1
+    if target < 1e-14:
+        mean = n * p
+        # Chernoff: P[X > L] <= exp(-mean) * (e*mean/L)^L for L > mean.
+        while load <= n:
+            log_tail = -mean + load * (1 + math.log(mean / load))
+            if log_tail < math.log(target):
+                break
+            load += 1
+    return min(load, n)
+
+
+class CuckooTable:
+    """Alice's cuckoo hash table: each bin holds at most one item index."""
+
+    def __init__(
+        self,
+        items: Sequence[Hashable],
+        n_bins: Optional[int] = None,
+        n_hashes: int = 3,
+        seed: int = 0,
+        max_relocations: int = 500,
+        max_rehashes: int = 32,
+    ):
+        unique = list(items)
+        if len(set(unique)) != len(unique):
+            raise ValueError("cuckoo hashing requires distinct items")
+        self.items = unique
+        self.n_hashes = n_hashes
+        self.n_bins = n_bins if n_bins is not None else num_bins(len(unique))
+        if self.n_bins < 1:
+            raise ValueError("need at least one bin")
+        self._encoded = [encode_item(x) for x in unique]
+        rng = np.random.default_rng(seed)
+        for attempt in range(max_rehashes):
+            self.seeds = [bytes(rng.bytes(16)) for _ in range(n_hashes)]
+            if self._try_build(rng, max_relocations):
+                return
+        raise RuntimeError(
+            f"cuckoo hashing failed after {max_rehashes} rehashes "
+            f"({len(unique)} items, {self.n_bins} bins)"
+        )
+
+    def _try_build(self, rng, max_relocations: int) -> bool:
+        #: bins[i] = item index or -1
+        bins = np.full(self.n_bins, -1, dtype=np.int64)
+        for idx in range(len(self.items)):
+            cur = idx
+            for _ in range(max_relocations):
+                candidates = self.bins_of_index(cur)
+                empty = [b for b in candidates if bins[b] == -1]
+                if empty:
+                    bins[empty[0]] = cur
+                    cur = -1
+                    break
+                victim_bin = candidates[rng.integers(0, len(candidates))]
+                cur, bins[victim_bin] = int(bins[victim_bin]), cur
+            if cur != -1:
+                return False
+        self.bins = bins
+        return True
+
+    def bins_of_index(self, idx: int) -> List[int]:
+        enc = self._encoded[idx]
+        return [
+            _hash_to_bin(s, enc, self.n_bins) for s in self.seeds
+        ]
+
+    def bins_of_item(self, item: Hashable) -> List[int]:
+        enc = encode_item(item)
+        return [
+            _hash_to_bin(s, enc, self.n_bins) for s in self.seeds
+        ]
+
+    def occupancy(self) -> int:
+        return int((self.bins >= 0).sum())
+
+
+def simple_hash_bins(
+    items: Sequence[Hashable], seeds: Sequence[bytes], n_bins: int
+) -> List[List[int]]:
+    """Bob's side: map each item (by index) to its candidate bins.
+    Returns ``bins[b] = [item indices hashed to b]`` with duplicates
+    within a bin removed (an item whose hash functions collide occupies a
+    single slot)."""
+    out: List[List[int]] = [[] for _ in range(n_bins)]
+    for idx, item in enumerate(items):
+        enc = encode_item(item)
+        seen = set()
+        for s in seeds:
+            b = _hash_to_bin(s, enc, n_bins)
+            if b not in seen:
+                out[b].append(idx)
+                seen.add(b)
+    return out

@@ -1,0 +1,471 @@
+"""High-level vectorised secure operations.
+
+The oblivious relational operators (Section 6) are written against this
+engine rather than raw primitives.  Every method is one constant-round
+batched protocol:
+
+* REAL mode garbles the circuit templates of :mod:`repro.mpc.gadgets`
+  once per vector element, batching all of Alice's input-label OTs.
+* SIMULATED mode computes the identical functionality with numpy and
+  charges the identical bytes via :func:`charge_garbled_batch`.
+
+Output shares are always *fresh*: Alice's share is the circuit output
+(masked with Bob's random ``r``), Bob's share is ``-r`` — the ABY-style
+Yao-to-arithmetic conversion described in Section 5.2.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from . import gadgets
+from .context import ALICE, BOB, Context, Mode
+from .gadgets import bits_of, int_of
+from .ot import make_ot
+from .sharing import SharedVector, reveal_vector, share_vector
+from .transcript import other_party
+from .yao import charge_garbled_batch, charge_ot, run_garbled_batch
+
+__all__ = ["Engine"]
+
+
+class Engine:
+    """Batched secure vector operations over one protocol context."""
+
+    def __init__(self, ctx: Context, ot_group_bits: int = 2048):
+        self.ctx = ctx
+        self.ot = make_ot(ctx, ot_group_bits)
+        # A second extension instance for OTs in the reverse direction
+        # (Bob choosing) — used by the Gilboa multiplication's second
+        # cross term; runs under swapped protocol roles.
+        self._ot_rev = make_ot(ctx, ot_group_bits)
+
+    # -- sharing ----------------------------------------------------------
+
+    def share(self, owner: str, values, label: str = "share") -> SharedVector:
+        return share_vector(self.ctx, owner, values, label)
+
+    def reveal(self, sv: SharedVector, to: str = ALICE,
+               label: str = "reveal") -> np.ndarray:
+        return reveal_vector(self.ctx, sv, to, label)
+
+    def zeros(self, n: int) -> SharedVector:
+        return SharedVector.zeros(n, self.ctx.modulus)
+
+    # -- element-wise products ---------------------------------------------
+    #
+    # Arithmetic products use Gilboa's OT-based multiplication (the
+    # A-mult of the ABY framework underlying the paper's implementation):
+    # one OT per bit of the chosen factor, ~50x cheaper than a garbled
+    # 32-bit multiplier.  ``via="gc"`` keeps the garbled-circuit path for
+    # the ablation benchmark.
+
+    def _gilboa_cross(
+        self, bits_owner: str, u: np.ndarray, v: np.ndarray,
+        label: str,
+    ) -> SharedVector:
+        """Fresh shares of ``u_i * v_i`` where ``bits_owner`` holds ``u``
+        and the other party holds ``v``: per bit ``i`` of ``u``, one OT
+        of ``(r, r + (v << i))`` selected by that bit."""
+        ctx = self.ctx
+        ell = ctx.params.ell
+        n = len(u)
+        mask = ctx.mask
+        reverse = bits_owner == BOB
+        ot = self._ot_rev if reverse else self.ot
+        with ctx.section(label):
+            if ctx.mode == Mode.SIMULATED:
+                rb = max(1, ell // 8)
+                if reverse:
+                    with ctx.swapped_roles():
+                        charge_ot(ctx, ot, n * ell, 2 * rb * n * ell)
+                else:
+                    charge_ot(ctx, ot, n * ell, 2 * rb * n * ell)
+                prod = (
+                    u.astype(np.uint64) * v.astype(np.uint64)
+                ) & mask
+                return self._fresh(prod)
+            rb = max(1, ell // 8)
+            r = ctx.rng.integers(
+                0, ctx.modulus, size=(n, ell), dtype=np.uint64
+            )
+            pairs = []
+            choices = []
+            for j in range(n):
+                vj = int(v[j])
+                for i in range(ell):
+                    r_ji = int(r[j, i])
+                    m0 = r_ji.to_bytes(rb, "little")
+                    m1 = (
+                        (r_ji + (vj << i)) & int(mask)
+                    ).to_bytes(rb, "little")
+                    pairs.append((m0, m1))
+                    choices.append((int(u[j]) >> i) & 1)
+            if reverse:
+                with ctx.swapped_roles():
+                    got = ot.transfer(pairs, choices)
+            else:
+                got = ot.transfer(pairs, choices)
+            recv = np.zeros(n, dtype=np.uint64)
+            for j in range(n):
+                total = 0
+                for i in range(ell):
+                    total += int.from_bytes(got[j * ell + i], "little")
+                recv[j] = total & int(mask)
+            sender_share = (-r.sum(axis=1, dtype=np.uint64)) & mask
+            if reverse:
+                return SharedVector(sender_share, recv, ctx.modulus)
+            return SharedVector(recv, sender_share, ctx.modulus)
+
+    def mul_shared(self, x: SharedVector, y: SharedVector,
+                   label: str = "mul", via: str = "ot") -> SharedVector:
+        """``z_i = x_i * y_i`` with both factors secret-shared.
+
+        ``(x1+x2)(y1+y2) = x1*y1 + x2*y2 + x1*y2 + x2*y1``: the first two
+        terms are local, the cross terms each take one Gilboa OT batch.
+        """
+        if len(x) != len(y):
+            raise ValueError("vector length mismatch")
+        if via == "gc":
+            return self._mul_shared_gc(x, y, label)
+        ctx = self.ctx
+        mask = ctx.mask
+        with ctx.section(label):
+            cross1 = self._gilboa_cross(ALICE, x.alice, y.bob, "cross_ab")
+            cross2 = self._gilboa_cross(BOB, x.bob, y.alice, "cross_ba")
+        local = SharedVector(
+            (x.alice * y.alice) & mask,
+            (x.bob * y.bob) & mask,
+            ctx.modulus,
+        )
+        return local + cross1 + cross2
+
+    def _mul_shared_gc(self, x: SharedVector, y: SharedVector,
+                       label: str) -> SharedVector:
+        """Garbled-circuit multiplication (ablation reference)."""
+        ell = self.ctx.params.ell
+        circuit = gadgets.mul_shared_circuit(ell)
+        return self._run_masked(
+            circuit,
+            label,
+            n=len(x),
+            alice_words=[x.alice, y.alice],
+            bob_words=[x.bob, y.bob],
+            semantics=lambda: (x.reconstruct() * y.reconstruct()),
+        )
+
+    def mul_alice_plain(self, plain, y: SharedVector,
+                        label: str = "mul_plain") -> SharedVector:
+        """``z_i = a_i * y_i`` where Alice knows ``a`` in the clear:
+        ``a*y1`` is local to Alice, ``a*y2`` is one Gilboa batch."""
+        a = np.asarray(plain, dtype=np.uint64) & self.ctx.mask
+        if len(a) != len(y):
+            raise ValueError("vector length mismatch")
+        ctx = self.ctx
+        with ctx.section(label):
+            cross = self._gilboa_cross(ALICE, a, y.bob, "cross")
+        local = SharedVector(
+            (a * y.alice) & ctx.mask,
+            np.zeros(len(y), dtype=np.uint64),
+            ctx.modulus,
+        )
+        return local + cross
+
+    def indicator_nonzero(self, x: SharedVector,
+                          label: str = "nonzero") -> SharedVector:
+        """``z_i = Ind(x_i != 0)`` as shared ring elements."""
+        ell = self.ctx.params.ell
+        circuit = gadgets.nonzero_circuit(ell)
+        return self._run_masked(
+            circuit,
+            label,
+            n=len(x),
+            alice_words=[x.alice],
+            bob_words=[x.bob],
+            semantics=lambda: (x.reconstruct() != 0).astype(np.uint64),
+        )
+
+    # -- the Section 6.1 merge-gate chains ---------------------------------
+
+    def merge_aggregate_sum(
+        self,
+        same_as_next: Sequence[bool],
+        v: SharedVector,
+        label: str = "merge_sum",
+    ) -> SharedVector:
+        """The oblivious aggregation chain: tuples are sorted by group key
+        (Alice-local); ``same_as_next[i]`` says tuple ``i`` and ``i+1``
+        share the key.  Output position ``i`` holds the group's
+        +-aggregate iff ``i`` is the group's last member, else 0."""
+        n = len(v)
+        if n == 0:
+            return self.zeros(0)
+        if len(same_as_next) != n - 1:
+            raise ValueError("need n-1 boundary indicators")
+        ell = self.ctx.params.ell
+        ctx = self.ctx
+        ind = np.asarray(same_as_next, dtype=bool)
+        with ctx.section(label):
+            if ctx.mode == Mode.SIMULATED:
+                self._charge_chain(gadgets.merge_sum_circuit, n)
+                plain = v.reconstruct()
+                out = self._segment_last_sums(ind, plain)
+                return self._fresh(out)
+            circuit = gadgets.merge_sum_circuit(ell, n)
+            r = ctx.random_ring_vector(n)
+            alice_bits = list(ind.astype(int))
+            for val in v.alice:
+                alice_bits += bits_of(int(val), ell)
+            bob_bits: List[int] = []
+            for val in v.bob:
+                bob_bits += bits_of(int(val), ell)
+            for val in r:
+                bob_bits += bits_of(int(val), ell)
+            outs = run_garbled_batch(
+                ctx, self.ot, circuit, [alice_bits], [bob_bits]
+            )[0]
+            words = np.asarray(
+                [int_of(outs[i * ell : (i + 1) * ell]) for i in range(n)],
+                dtype=np.uint64,
+            )
+            return SharedVector(words, (-r) & ctx.mask, ctx.modulus)
+
+    def merge_aggregate_or(
+        self,
+        same_as_next: Sequence[bool],
+        v: SharedVector,
+        label: str = "merge_or",
+    ) -> SharedVector:
+        """The chain with OR in place of the semiring addition — used by
+        ``pi^1``.  ``v`` holds shared 0/1 indicators."""
+        n = len(v)
+        if n == 0:
+            return self.zeros(0)
+        if len(same_as_next) != n - 1:
+            raise ValueError("need n-1 boundary indicators")
+        ell = self.ctx.params.ell
+        ctx = self.ctx
+        ind = np.asarray(same_as_next, dtype=bool)
+        with ctx.section(label):
+            if ctx.mode == Mode.SIMULATED:
+                self._charge_chain(gadgets.merge_or_circuit, n)
+                plain = (v.reconstruct() != 0).astype(np.uint64)
+                out = self._segment_last_sums(ind, plain)
+                return self._fresh((out != 0).astype(np.uint64))
+            circuit = gadgets.merge_or_circuit(ell, n)
+            r = ctx.random_ring_vector(n)
+            alice_bits = list(ind.astype(int)) + [
+                int(val) & 1 for val in v.alice
+            ]
+            bob_bits = [int(val) & 1 for val in v.bob]
+            for val in r:
+                bob_bits += bits_of(int(val), ell)
+            outs = run_garbled_batch(
+                ctx, self.ot, circuit, [alice_bits], [bob_bits]
+            )[0]
+            words = np.asarray(
+                [int_of(outs[i * ell : (i + 1) * ell]) for i in range(n)],
+                dtype=np.uint64,
+            )
+            return SharedVector(words, (-r) & ctx.mask, ctx.modulus)
+
+    # -- Section 6.3 helpers -------------------------------------------------
+
+    def product_across(self, factors: Sequence[SharedVector],
+                       label: str = "prod") -> SharedVector:
+        """``z_i = prod_k factors[k][i]`` — one annotation product per
+        join result (Section 6.3, step 3): ``k - 1`` chained Gilboa
+        multiplications (the chain length is the query size, so the
+        round count stays query-dependent only)."""
+        k = len(factors)
+        if k == 0:
+            raise ValueError("need at least one factor")
+        n = len(factors[0])
+        if any(len(f) != n for f in factors):
+            raise ValueError("vector length mismatch")
+        with self.ctx.section(label):
+            acc = factors[0]
+            for i, f in enumerate(factors[1:], start=1):
+                acc = self.mul_shared(acc, f, label=f"mul{i}")
+        return acc
+
+    def reveal_nonzero_flags(
+        self, v: SharedVector, payload_bits_list: Optional[List[List[int]]] = None,
+        label: str = "reveal_nonzero",
+    ):
+        """Section 6.3 step 1: for each shared annotation, reveal to Alice
+        whether it is nonzero, and — when ``payload_bits_list`` carries
+        Bob's encoded tuples — the tuple payload for nonzero entries.
+
+        Returns ``(flags, payloads)`` where ``payloads`` is ``None`` when
+        no payload was supplied.
+        """
+        n = len(v)
+        ell = self.ctx.params.ell
+        ctx = self.ctx
+        if payload_bits_list is not None:
+            if len(payload_bits_list) != n:
+                raise ValueError("one payload per annotation required")
+            pbits = len(payload_bits_list[0]) if n else 0
+            if any(len(p) != pbits for p in payload_bits_list):
+                raise ValueError("payloads must be fixed-width")
+        else:
+            pbits = 0
+        circuit = gadgets.reveal_tuple_circuit(ell, pbits) if pbits else None
+        with ctx.section(label):
+            if ctx.mode == Mode.SIMULATED:
+                template = gadgets.reveal_tuple_circuit(ell, pbits)
+                charge_garbled_batch(ctx, self.ot, template, n)
+                plain = v.reconstruct()
+                flags = (plain != 0).astype(bool)
+                if payload_bits_list is None:
+                    return flags, None
+                payloads = [
+                    payload_bits_list[i] if flags[i] else [0] * pbits
+                    for i in range(n)
+                ]
+                return flags, payloads
+            template = gadgets.reveal_tuple_circuit(ell, pbits)
+            alice_bits = [bits_of(int(a), ell) for a in v.alice]
+            bob_bits = []
+            for i in range(n):
+                bb = bits_of(int(v.bob[i]), ell)
+                if pbits:
+                    bb += list(payload_bits_list[i])
+                bob_bits.append(bb)
+            outs = run_garbled_batch(
+                ctx, self.ot, template, alice_bits, bob_bits
+            )
+            flags = np.asarray([o[0] for o in outs], dtype=bool)
+            if payload_bits_list is None:
+                return flags, None
+            return flags, [o[1:] for o in outs]
+
+    # -- division (query composition, Section 7) ----------------------------
+
+    def divide_reveal(self, x: SharedVector, y: SharedVector,
+                      label: str = "div") -> np.ndarray:
+        """``x_i // y_i`` revealed to Alice (the final step of an
+        avg/ratio composition; the quotient is part of the query result).
+        Division by zero yields the all-ones word."""
+        if len(x) != len(y):
+            raise ValueError("vector length mismatch")
+        n = len(x)
+        ell = self.ctx.params.ell
+        ctx = self.ctx
+        circuit = gadgets.div_reveal_circuit(ell)
+        with ctx.section(label):
+            if ctx.mode == Mode.SIMULATED:
+                charge_garbled_batch(ctx, self.ot, circuit, n)
+                xs = x.reconstruct().astype(np.uint64)
+                ys = y.reconstruct().astype(np.uint64)
+                out = np.full(n, self.ctx.modulus - 1, dtype=np.uint64)
+                nz = ys != 0
+                out[nz] = xs[nz] // ys[nz]
+                return out
+            alice_bits = [
+                bits_of(int(a), ell) + bits_of(int(b), ell)
+                for a, b in zip(x.alice, y.alice)
+            ]
+            bob_bits = [
+                bits_of(int(a), ell) + bits_of(int(b), ell)
+                for a, b in zip(x.bob, y.bob)
+            ]
+            outs = run_garbled_batch(
+                ctx, self.ot, circuit, alice_bits, bob_bits
+            )
+            return np.asarray([int_of(o) for o in outs], dtype=np.uint64)
+
+    # -- internals -----------------------------------------------------------
+
+    def _charge_chain(self, make_circuit, n: int) -> None:
+        """Charge a length-``n`` merge chain exactly: the chain circuit is
+        structurally linear in ``n``, so its gate/input counts extrapolate
+        exactly from the n=2 and n=3 template builds."""
+        from .circuits.garbling import LABEL_BYTES, ROWS_PER_AND
+
+        ctx, ot = self.ctx, self.ot
+        ell = ctx.params.ell
+        if n <= 3:
+            charge_garbled_batch(ctx, ot, make_circuit(ell, n), 1)
+            return
+        c2, c3 = make_circuit(ell, 2), make_circuit(ell, 3)
+
+        def extrapolate(f2: int, f3: int) -> int:
+            return f2 + (n - 2) * (f3 - f2)
+
+        ands = extrapolate(c2.and_count, c3.and_count)
+        bob_in = extrapolate(
+            len(c2.bob_inputs) + len(c2.const_wires),
+            len(c3.bob_inputs) + len(c3.const_wires),
+        )
+        alice_in = extrapolate(len(c2.alice_inputs), len(c3.alice_inputs))
+        outs = extrapolate(len(c2.outputs), len(c3.outputs))
+        ctx.send(BOB, ROWS_PER_AND * LABEL_BYTES * ands, "gc/tables")
+        ctx.send(BOB, LABEL_BYTES * bob_in, "gc/bob_labels")
+        from .yao import charge_ot
+
+        with ctx.section("gc/alice_labels"):
+            charge_ot(ctx, ot, alice_in, 2 * LABEL_BYTES * alice_in)
+        ctx.send(BOB, (outs + 7) // 8, "gc/decode")
+
+    def _fresh(self, plain: np.ndarray) -> SharedVector:
+        a = self.ctx.random_ring_vector(len(plain))
+        return SharedVector(
+            a, (plain.astype(np.uint64) - a) & self.ctx.mask,
+            self.ctx.modulus,
+        )
+
+    @staticmethod
+    def _segment_last_sums(ind: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """Vectorised merge-chain semantics: position i gets its group's
+        (wrap-around) sum iff it is the last of its group, else 0."""
+        n = len(values)
+        out = np.zeros(n, dtype=np.uint64)
+        if n == 0:
+            return out
+        ends = np.flatnonzero(~ind) if n > 1 else np.asarray([], dtype=int)
+        ends = np.concatenate([ends, [n - 1]]).astype(np.int64)
+        csum = np.cumsum(values.astype(np.uint64), dtype=np.uint64)
+        seg_totals = np.diff(np.concatenate([[np.uint64(0)], csum[ends]]))
+        out[ends] = seg_totals
+        return out
+
+    def _run_masked(
+        self,
+        circuit,
+        label: str,
+        n: int,
+        alice_words: Sequence[np.ndarray],
+        bob_words: Sequence[np.ndarray],
+        semantics,
+    ) -> SharedVector:
+        """Run one masked-output circuit per element: Bob's inputs are his
+        words plus a fresh mask ``r``; Alice's share is the output."""
+        ctx = self.ctx
+        ell = ctx.params.ell
+        with ctx.section(label):
+            if n == 0:
+                return self.zeros(0)
+            if ctx.mode == Mode.SIMULATED:
+                charge_garbled_batch(ctx, self.ot, circuit, n)
+                return self._fresh(np.asarray(semantics()) & ctx.mask)
+            r = ctx.random_ring_vector(n)
+            alice_bits = [
+                sum((bits_of(int(w[i]), ell) for w in alice_words), [])
+                for i in range(n)
+            ]
+            bob_bits = [
+                sum((bits_of(int(w[i]), ell) for w in bob_words), [])
+                + bits_of(int(r[i]), ell)
+                for i in range(n)
+            ]
+            outs = run_garbled_batch(
+                ctx, self.ot, circuit, alice_bits, bob_bits
+            )
+            out_words = np.asarray(
+                [int_of(o) for o in outs], dtype=np.uint64
+            )
+            return SharedVector(out_words, (-r) & ctx.mask, ctx.modulus)

@@ -1,0 +1,262 @@
+"""Oblivious extended permutation (Section 5.4).
+
+Alice holds a function ``xi : [N] -> [M]`` (an *extended permutation* —
+repetitions and drops allowed); the parties hold a shared length-``M``
+vector and must obtain fresh shares of ``y_i = x_{xi(i)}`` without Bob
+learning ``xi`` or either party learning the values.
+
+Construction (Mohassel & Sadeghian [24]): decompose the EP into
+
+    permutation P1  ->  replication pass  ->  permutation P2
+
+over ``max(M, N)`` wires.  ``P1`` brings one copy of every needed source
+to the head of its block of duplicated targets; the replication pass has
+each wire either keep its value or copy its left neighbour; ``P2`` routes
+the block members to their target positions.  Permutations run on a
+Benes switching network; every 2x2 switch and every replication gate is
+applied to the shared values with ONE 1-out-of-2 OT in which Bob offers
+both refreshed share pairs and Alice selects with her (private) control
+bit.  All OTs across the whole network are batched into a single OT-
+extension call, so the protocol runs in constant rounds with
+``~O((M+N) log(M+N))`` communication.
+
+SIMULATED mode reshares ``x[xi]`` directly and charges identical bytes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .context import Context, Mode
+from .sharing import SharedVector
+from .waksman import benes_network, pad_permutation, switch_count
+from .yao import charge_ot
+
+__all__ = ["oblivious_permutation", "oblivious_extended_permutation"]
+
+
+def _ring_bytes(ctx: Context) -> int:
+    return max(1, ctx.params.ell // 8)
+
+
+def _encode(vals: Sequence[int], ctx: Context) -> bytes:
+    rb = _ring_bytes(ctx)
+    return b"".join(int(v).to_bytes(rb, "little") for v in vals)
+
+
+def _decode(data: bytes, ctx: Context) -> List[int]:
+    rb = _ring_bytes(ctx)
+    return [
+        int.from_bytes(data[i : i + rb], "little")
+        for i in range(0, len(data), rb)
+    ]
+
+
+def oblivious_permutation(
+    ctx: Context, ot, perm: Sequence[int], values: SharedVector,
+    label: str = "oep/perm",
+) -> SharedVector:
+    """Permute a shared vector by Alice's private bijection:
+    output position ``perm[i]`` receives input ``i``'s value, with fresh
+    shares.  ``len(perm) == len(values)``."""
+    n = len(values)
+    if sorted(perm) != list(range(n)):
+        raise ValueError("perm must be a bijection on the vector's indices")
+    with ctx.section(label):
+        if ctx.mode == Mode.SIMULATED:
+            inv = np.empty(n, dtype=np.int64)
+            inv[np.asarray(perm, dtype=np.int64)] = np.arange(n)
+            out_plain = values.reconstruct()[inv]
+            n_switches = switch_count(n)
+            charge_ot(ctx, ot, n_switches, 2 * 2 * _ring_bytes(ctx) * n_switches)
+            return _fresh_shares(ctx, out_plain)
+        layers = benes_network(pad_permutation(perm))
+        padded = values.concat(
+            SharedVector.zeros(_padded_size(n) - n, ctx.modulus)
+        )
+        switched = _apply_switch_network(ctx, ot, [layers], [], padded)
+        # Output position perm[i] received input i; read back in order.
+        return switched.take(np.arange(n))
+
+
+def oblivious_extended_permutation(
+    ctx: Context, ot, xi: Sequence[int], values: SharedVector, n_out: int,
+    label: str = "oep/ext",
+) -> SharedVector:
+    """``y_i = x_{xi(i)}`` for ``i in [n_out]`` with fresh shares; ``xi``
+    is Alice's private map into the input vector's index range."""
+    m = len(values)
+    xi = list(xi)
+    if len(xi) != n_out:
+        raise ValueError("xi must give one source per output position")
+    if any(not 0 <= s < m for s in xi):
+        raise IndexError("xi references positions outside the input vector")
+    with ctx.section(label):
+        if ctx.mode == Mode.SIMULATED:
+            out_plain = values.reconstruct()[np.asarray(xi, dtype=np.int64)]
+            n_work = _padded_size(max(m, n_out, 1))
+            n_switches = 2 * switch_count(n_work)
+            rb = _ring_bytes(ctx)
+            charge_ot(
+                ctx, ot,
+                n_switches + (n_work - 1),
+                2 * 2 * rb * n_switches + 2 * rb * (n_work - 1),
+            )
+            return _fresh_shares(ctx, out_plain)
+        return _oep_real(ctx, ot, xi, values, n_out)
+
+
+# ----------------------------------------------------------------------
+# REAL-mode machinery
+# ----------------------------------------------------------------------
+
+
+def _padded_size(n: int) -> int:
+    size = 1
+    while size < n:
+        size *= 2
+    return size
+
+
+def _fresh_shares(ctx: Context, plain: np.ndarray) -> SharedVector:
+    a = ctx.random_ring_vector(len(plain))
+    return SharedVector(a, (plain - a) & ctx.mask, ctx.modulus)
+
+
+def _oep_real(
+    ctx: Context, ot, xi: List[int], values: SharedVector, n_out: int
+) -> SharedVector:
+    m = len(values)
+    n_work = _padded_size(max(m, n_out, 1))
+    padded = values.concat(SharedVector.zeros(n_work - m, ctx.modulus))
+
+    # Group target positions by source so duplicates are consecutive.
+    order = sorted(range(n_out), key=lambda i: (xi[i], i))
+    # P1: bring each used source to the head position of its block.
+    perm1 = [-1] * n_work
+    copy_bits = [False] * n_work
+    prev_source = None
+    for g, target in enumerate(order):
+        s = xi[target]
+        if s != prev_source:
+            perm1[s] = g
+            prev_source = s
+        else:
+            copy_bits[g] = True
+    free_slots = iter(
+        g for g in range(n_work) if g not in set(
+            p for p in perm1 if p >= 0
+        )
+    )
+    for s in range(n_work):
+        if perm1[s] == -1:
+            perm1[s] = next(free_slots)
+    # P2: route block member g to its target position order[g].
+    perm2 = [-1] * n_work
+    taken = [False] * n_work
+    for g, target in enumerate(order):
+        perm2[g] = target
+        taken[target] = True
+    free_targets = iter(t for t in range(n_work) if not taken[t])
+    for g in range(n_work):
+        if perm2[g] == -1:
+            perm2[g] = next(free_targets)
+
+    layers1 = benes_network(perm1)
+    layers2 = benes_network(perm2)
+    routed = _apply_switch_network(
+        ctx, ot, [layers1, layers2], copy_bits, padded
+    )
+    return routed.take(np.arange(n_out))
+
+
+def _run_network(
+    ctx: Context,
+    layers: List[List[Tuple[int, int, bool]]],
+    alice: np.ndarray,
+    bob: np.ndarray,
+    pairs: List[Tuple[bytes, bytes]],
+    choices: List[int],
+    plan: List[Tuple[str, int, int]],
+) -> None:
+    """Stage Bob's OT message pairs and Alice's choices for one network.
+    ``bob`` is updated in place to the post-network shares (Bob can do
+    this before any interaction); Alice's updates are replayed later with
+    the OT results via ``plan``."""
+    mask = int(ctx.modulus - 1)
+    rb = _ring_bytes(ctx)
+    rng = ctx.rng
+    for layer in layers:
+        for a, b, swap in layer:
+            ra = int(rng.integers(0, ctx.modulus))
+            rbv = int(rng.integers(0, ctx.modulus))
+            ua, ub = int(bob[a]), int(bob[b])
+            m0 = _encode([(ua - ra) & mask, (ub - rbv) & mask], ctx)
+            m1 = _encode([(ub - ra) & mask, (ua - rbv) & mask], ctx)
+            pairs.append((m0, m1))
+            choices.append(1 if swap else 0)
+            plan.append(("switch", a, b))
+            bob[a], bob[b] = ra, rbv
+
+
+def _replay_network(
+    ctx: Context,
+    alice: np.ndarray,
+    plan: List[Tuple[str, int, int]],
+    swaps: List[int],
+    messages: List[bytes],
+) -> None:
+    mask = int(ctx.modulus - 1)
+    for (kind, a, b), swap, msg in zip(plan, swaps, messages):
+        vals = _decode(msg, ctx)
+        if kind == "switch":
+            xa, xb = int(alice[a]), int(alice[b])
+            if swap:
+                xa, xb = xb, xa
+            alice[a] = (xa + vals[0]) & mask
+            alice[b] = (xb + vals[1]) & mask
+        else:  # replication gate: position b copies a or keeps itself
+            keep = int(alice[b])
+            prev = int(alice[a])
+            alice[b] = ((prev if swap else keep) + vals[0]) & mask
+
+
+def _apply_switch_network(
+    ctx: Context,
+    ot,
+    networks: List[List[List[Tuple[int, int, bool]]]],
+    replication_after_first: Sequence[bool],
+    values: SharedVector,
+) -> SharedVector:
+    """Run one or two Benes networks with an optional replication pass in
+    between, batching every OT into one extension call."""
+    alice = values.alice.astype(np.uint64).copy()
+    bob = values.bob.astype(np.uint64).copy()
+    mask = int(ctx.modulus - 1)
+    rb = _ring_bytes(ctx)
+    rng = ctx.rng
+
+    pairs: List[Tuple[bytes, bytes]] = []
+    choices: List[int] = []
+    plan: List[Tuple[str, int, int]] = []
+
+    _run_network(ctx, networks[0], alice, bob, pairs, choices, plan)
+    if replication_after_first:
+        n = len(bob)
+        for i in range(1, n):
+            r = int(rng.integers(0, ctx.modulus))
+            m0 = _encode([(int(bob[i]) - r) & mask], ctx)
+            m1 = _encode([(int(bob[i - 1]) - r) & mask], ctx)
+            pairs.append((m0, m1))
+            choices.append(1 if replication_after_first[i] else 0)
+            plan.append(("copy", i - 1, i))
+            bob[i] = r
+    if len(networks) > 1:
+        _run_network(ctx, networks[1], alice, bob, pairs, choices, plan)
+
+    with ctx.section("switches"):
+        messages = ot.transfer(pairs, choices)
+    _replay_network(ctx, alice, plan, choices, messages)
+    return SharedVector(alice, bob, ctx.modulus)

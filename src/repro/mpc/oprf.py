@@ -1,0 +1,245 @@
+"""Batched oblivious PRF (KKRT-style) and polynomial OPPRF.
+
+The circuit-based PSI of Pinkas et al. [27] rests on an *oblivious
+programmable PRF*: per cuckoo bin, Alice learns one pseudorandom value
+``F_b(x_b)`` for her single item while Bob can program the function so
+that every one of his items hashed to the bin maps to a chosen target.
+
+* :class:`KkrtOprf` — the OT-extension-based batched OPRF of Kolesnikov
+  et al. (KKRT16): an IKNP matrix widened to ``w = 448`` columns whose
+  row ``j`` is correlated with the pseudorandom code ``C(x_j)`` of
+  Alice's input; Bob, holding the secret column-selection ``s``, can
+  evaluate ``F_j(y) = H(j, Q_j xor (C(y) & s))`` on any ``y``.
+* :func:`interpolate_oprf_targets` / polynomial OPPRF — Bob interpolates,
+  per bin, a degree-``L-1`` polynomial over ``GF(2^61 - 1)`` through
+  ``(F_b(y), target_y)`` for his items (random filler points pad every
+  bin to the public degree), so the hint's size is input-independent and
+  Alice's evaluation reveals nothing about membership.
+
+SIMULATED mode computes ``F_j(y)`` directly from a shared salt and
+charges the real message sizes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .context import ALICE, BOB, Context, Mode
+from .modp import modp_group
+from .ot import _kdf, _prg_bits, _stream_xor
+
+__all__ = [
+    "OPRF_WIDTH",
+    "OPPRF_PRIME",
+    "BatchedOprf",
+    "poly_interpolate",
+    "poly_eval",
+]
+
+#: KKRT code width (bits); 448 gives ~128-bit security for the code.
+OPRF_WIDTH = 448
+
+#: Field for OPPRF interpolation: the Mersenne prime 2^61 - 1.
+OPPRF_PRIME = (1 << 61) - 1
+
+
+def _code(fp: int, salt: bytes, width: int = OPRF_WIDTH) -> np.ndarray:
+    """Pseudorandom code ``C(fp)``: ``width`` bits derived from the item
+    fingerprint."""
+    return _prg_bits(
+        fp.to_bytes(8, "little") + salt, width, b"kkrt-code"
+    )
+
+
+def _out_hash(row: int, row_bits: np.ndarray, salt: bytes) -> int:
+    data = row.to_bytes(8, "little") + np.packbits(row_bits).tobytes()
+    digest = hashlib.blake2b(data, digest_size=8, key=salt[:16]).digest()
+    return int.from_bytes(digest, "little")
+
+
+class BatchedOprf:
+    """One OPRF instance per row (= cuckoo bin).
+
+    After construction, ``alice_values[j]`` is Alice's output
+    ``F_j(x_j)`` and :meth:`bob_eval` lets Bob evaluate ``F_j`` on
+    arbitrary fingerprints.
+    """
+
+    def __init__(
+        self,
+        ctx: Context,
+        alice_fps: Sequence[int],
+        group_bits: int = 2048,
+    ):
+        self.ctx = ctx
+        self._salt = b"oprf-session"
+        m = len(alice_fps)
+        self._m = m
+        if ctx.mode == Mode.REAL:
+            self._setup_real(list(alice_fps), group_bits)
+        else:
+            self._setup_simulated(list(alice_fps))
+
+    # -- REAL: KKRT over a width-448 IKNP matrix --------------------------
+
+    def _setup_real(self, fps: List[int], group_bits: int) -> None:
+        ctx = self.ctx
+        rng = ctx.rng
+        w = OPRF_WIDTH
+        m = self._m
+        # Base OTs, roles reversed: Bob (the OPRF sender) receives with
+        # secret choice s; Alice offers seed pairs.
+        g = modp_group(group_bits)
+        s = rng.integers(0, 2, size=w, dtype=np.uint8)
+        seeds_alice = [
+            (ctx.random_bytes(16), ctx.random_bytes(16)) for _ in range(w)
+        ]
+        a = int(rng.integers(1, 1 << 62)) % g.q
+        big_a = g.pow(g.g, a)
+        ctx.send(ALICE, g.element_bytes, "oprf/base/A")
+        inv_a = g.inv(big_a)
+        seeds_bob: List[bytes] = []
+        total_ct = 0
+        for i in range(w):
+            b = int(rng.integers(1, 1 << 62)) % g.q
+            big_b = g.pow(g.g, b)
+            if s[i]:
+                big_b = (big_b * big_a) % g.p
+            bob_key = _kdf(big_b.to_bytes(g.element_bytes, "little"))
+            # Alice, knowing a, derives both candidate keys.
+            k0 = _kdf(
+                g.pow(big_b, a).to_bytes(g.element_bytes, "little")
+            )
+            k1 = _kdf(
+                g.pow((big_b * inv_a) % g.p, a).to_bytes(
+                    g.element_bytes, "little"
+                )
+            )
+            m0, m1 = seeds_alice[i]
+            c0, c1 = _stream_xor(k0, m0), _stream_xor(k1, m1)
+            total_ct += len(c0) + len(c1)
+            received = _stream_xor(
+                _kdf(
+                    g.pow(big_a, b).to_bytes(g.element_bytes, "little")
+                ),
+                c1 if s[i] else c0,
+            )
+            seeds_bob.append(received)
+        ctx.send(BOB, g.element_bytes * w, "oprf/base/B")
+        ctx.send(ALICE, total_ct, "oprf/base/ciphertexts")
+
+        if m == 0:
+            self.alice_values = []
+            self._bob_rows = np.zeros((0, w), dtype=np.uint8)
+            self._s = s
+            return
+
+        # Alice: T columns; correction u_i = t0 ^ t1 ^ code-column-i.
+        codes = np.stack([_code(fp, self._salt) for fp in fps])  # m x w
+        t_cols = np.stack(
+            [_prg_bits(seeds_alice[i][0], m, b"col") for i in range(w)]
+        )
+        u_cols = np.stack(
+            [
+                t_cols[i]
+                ^ _prg_bits(seeds_alice[i][1], m, b"col")
+                ^ codes[:, i]
+                for i in range(w)
+            ]
+        )
+        ctx.send(ALICE, w * ((m + 7) // 8), "oprf/u")
+
+        # Bob: q columns; Q_j = T_j ^ (C(x_j) & s).
+        q_cols = np.stack(
+            [
+                _prg_bits(seeds_bob[i], m, b"col") ^ (s[i] * u_cols[i])
+                for i in range(w)
+            ]
+        )
+        t_rows = t_cols.T  # m x w
+        self._bob_rows = q_cols.T
+        self._s = s
+        self.alice_values = [
+            _out_hash(j, t_rows[j], self._salt) for j in range(m)
+        ]
+
+    def _bob_eval_real(self, row: int, fp: int) -> int:
+        masked = self._bob_rows[row] ^ (_code(fp, self._salt) & self._s)
+        return _out_hash(row, masked, self._salt)
+
+    # -- SIMULATED --------------------------------------------------------
+
+    def _setup_simulated(self, fps: List[int]) -> None:
+        ctx = self.ctx
+        w, m = OPRF_WIDTH, self._m
+        elem = 2048 // 8
+        ctx.send(ALICE, elem, "oprf/base/A")
+        ctx.send(BOB, elem * w, "oprf/base/B")
+        ctx.send(ALICE, 32 * w, "oprf/base/ciphertexts")
+        if m:
+            ctx.send(ALICE, w * ((m + 7) // 8), "oprf/u")
+        self.alice_values = [
+            self._bob_eval_sim(j, fp) for j, fp in enumerate(fps)
+        ]
+
+    def _bob_eval_sim(self, row: int, fp: int) -> int:
+        digest = hashlib.blake2b(
+            row.to_bytes(8, "little") + fp.to_bytes(8, "little"),
+            digest_size=8,
+            key=self._salt,
+        ).digest()
+        return int.from_bytes(digest, "little")
+
+    def bob_eval(self, row: int, fp: int) -> int:
+        if self.ctx.mode == Mode.REAL:
+            return self._bob_eval_real(row, fp)
+        return self._bob_eval_sim(row, fp)
+
+
+# -- polynomial OPPRF hints over GF(2^61 - 1) ----------------------------
+
+
+def _mod_inv(x: int, p: int = OPPRF_PRIME) -> int:
+    return pow(x, p - 2, p)
+
+
+def poly_interpolate(
+    points: Sequence[Tuple[int, int]], p: int = OPPRF_PRIME
+) -> List[int]:
+    """Lagrange interpolation: coefficients (low degree first) of the
+    unique degree-``len(points)-1`` polynomial through ``points``."""
+    n = len(points)
+    xs = [x % p for x, _ in points]
+    ys = [y % p for _, y in points]
+    if len(set(xs)) != n:
+        raise ValueError("interpolation points must have distinct x")
+    coeffs = [0] * n
+    for i in range(n):
+        # Basis polynomial prod_{j != i} (X - x_j) / (x_i - x_j).
+        basis = [1]
+        denom = 1
+        for j in range(n):
+            if j == i:
+                continue
+            # basis *= (X - x_j)
+            new = [0] * (len(basis) + 1)
+            for k, c in enumerate(basis):
+                new[k + 1] = (new[k + 1] + c) % p
+                new[k] = (new[k] - c * xs[j]) % p
+            basis = new
+            denom = denom * (xs[i] - xs[j]) % p
+        scale = ys[i] * _mod_inv(denom, p) % p
+        for k, c in enumerate(basis):
+            coeffs[k] = (coeffs[k] + c * scale) % p
+    return coeffs
+
+
+def poly_eval(coeffs: Sequence[int], x: int, p: int = OPPRF_PRIME) -> int:
+    acc = 0
+    for c in reversed(coeffs):
+        acc = (acc * x + c) % p
+    return acc

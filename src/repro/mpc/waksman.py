@@ -1,0 +1,146 @@
+"""Beneš switching networks for oblivious permutation.
+
+The OEP protocol of Mohassel & Sadeghian routes values through a network
+of 2x2 switches whose settings only the permutation holder (Alice) knows.
+This module builds the network *and* its routing for an arbitrary
+permutation: sizes are padded to the next power of two (padded slots are
+routed identically), giving ``2*log2(n) - 1`` layers and about
+``n*log2(n)`` switches.
+
+The routing algorithm is the classic looping/2-colouring argument: the
+two inputs of every input-layer switch must enter different sub-networks,
+and the two inputs targeting the same output-layer switch must arrive
+from different sub-networks; walking these constraints around their even
+cycles yields a consistent assignment.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+__all__ = ["benes_network", "apply_network", "switch_count", "pad_permutation"]
+
+#: A switch: (wire_a, wire_b, swap?).  Switches within a layer are disjoint.
+Switch = Tuple[int, int, bool]
+Layer = List[Switch]
+
+
+def pad_permutation(perm: Sequence[int]) -> List[int]:
+    """Extend a permutation of [n] to the next power of two with identity
+    on the padding slots."""
+    n = len(perm)
+    size = 1
+    while size < n:
+        size *= 2
+    return list(perm) + list(range(n, size))
+
+
+def benes_network(perm: Sequence[int]) -> List[Layer]:
+    """Layers of switches realising ``wire[perm[i]] <- wire[i]``, i.e.
+    the value entering on wire ``i`` leaves on wire ``perm[i]``.
+
+    ``perm`` must be a permutation whose length is a power of two (use
+    :func:`pad_permutation` first).
+    """
+    n = len(perm)
+    if n & (n - 1):
+        raise ValueError("Benes network size must be a power of two")
+    if sorted(perm) != list(range(n)):
+        raise ValueError("not a permutation")
+    return _route(list(perm), list(range(n)))
+
+
+def _route(perm: List[int], wires: List[int]) -> List[Layer]:
+    """Recursive Benes routing on the global wire ids in ``wires``."""
+    n = len(perm)
+    if n == 1:
+        return []
+    if n == 2:
+        return [[(wires[0], wires[1], perm[0] == 1)]]
+
+    inv = [0] * n
+    for i, t in enumerate(perm):
+        inv[t] = i
+
+    # 2-colouring: subnet[i] in {0,1} for each input position.
+    subnet = [-1] * n
+    for start in range(n):
+        if subnet[start] != -1:
+            continue
+        i, colour = start, 0
+        while subnet[i] == -1:
+            subnet[i] = colour
+            # The input landing in the same *output* pair must differ.
+            partner_out = inv[perm[i] ^ 1]
+            if subnet[partner_out] == -1:
+                subnet[partner_out] = colour ^ 1
+            # Its *input*-pair partner must differ from it in turn.
+            i = partner_out ^ 1
+            colour = subnet[partner_out] ^ 1
+
+    in_layer: Layer = []
+    top_perm = [0] * (n // 2)
+    bot_perm = [0] * (n // 2)
+    for p in range(n // 2):
+        a, b = 2 * p, 2 * p + 1
+        swap = subnet[a] == 1
+        in_layer.append((wires[a], wires[b], swap))
+        top_in = b if swap else a
+        bot_in = a if swap else b
+        top_perm[p] = perm[top_in] // 2
+        bot_perm[p] = perm[bot_in] // 2
+
+    out_layer: Layer = []
+    for q in range(n // 2):
+        # The element reaching output switch q from the top subnet is the
+        # input with subnet colour 0 whose target lies in output pair q.
+        top_elem = next(
+            i for i in (inv[2 * q], inv[2 * q + 1]) if subnet[i] == 0
+        )
+        out_layer.append(
+            (wires[2 * q], wires[2 * q + 1], perm[top_elem] == 2 * q + 1)
+        )
+
+    top_wires = [wires[2 * p] for p in range(n // 2)]
+    bot_wires = [wires[2 * p + 1] for p in range(n // 2)]
+    top_layers = _route(top_perm, top_wires)
+    bot_layers = _route(bot_perm, bot_wires)
+    # Merge the parallel sub-networks layer by layer.
+    middle: List[Layer] = []
+    for d in range(max(len(top_layers), len(bot_layers))):
+        layer: Layer = []
+        if d < len(top_layers):
+            layer.extend(top_layers[d])
+        if d < len(bot_layers):
+            layer.extend(bot_layers[d])
+        middle.append(layer)
+    return [in_layer] + middle + [out_layer]
+
+
+def apply_network(layers: List[Layer], values: Sequence) -> List:
+    """Plaintext application (reference semantics for tests)."""
+    vals = list(values)
+    for layer in layers:
+        for a, b, swap in layer:
+            if swap:
+                vals[a], vals[b] = vals[b], vals[a]
+    return vals
+
+
+def switch_count(n: int) -> int:
+    """Number of switches of a padded Benes network on ``n`` inputs —
+    the quantity the SIMULATED cost model charges per permutation."""
+    size = 1
+    while size < max(1, n):
+        size *= 2
+    if size == 1:
+        return 0
+
+    def count(m: int) -> int:
+        if m == 1:
+            return 0
+        if m == 2:
+            return 1
+        return m + 2 * count(m // 2)
+
+    return count(size)

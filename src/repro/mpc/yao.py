@@ -1,0 +1,150 @@
+"""The garbled-circuit 2PC protocol wrapper (Section 5.2).
+
+Bob garbles, Alice evaluates; the circuit's outputs are decoded to Alice.
+Shared outputs are realised by the standard mask trick: the circuit
+computes ``f(...) + r`` with Bob's fresh random ``r`` as an extra input,
+Alice's output *is* her arithmetic share and Bob's share is ``-r`` — this
+is the Yao-to-arithmetic conversion of [ABY, 12] that the paper invokes
+in Section 5.2.
+
+Communication per batch of instances of one circuit:
+
+* garbled tables: two ``16``-byte ciphertexts per AND gate (half-gates)
+* Bob's input and constant wire labels: 16 bytes each
+* Alice's input labels: one OT per bit (via OT extension)
+* output decode bits: one bit per output wire
+
+``charge_garbled_batch`` charges exactly these bytes in SIMULATED mode so
+that transcripts agree between modes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .circuits.circuit import Circuit
+from .circuits.garbling import (
+    LABEL_BYTES,
+    ROWS_PER_AND,
+    evaluate_garbled,
+    garble,
+)
+from .context import ALICE, BOB, Context
+from .ot import SimulatedOT
+
+__all__ = [
+    "run_garbled_batch",
+    "charge_garbled_batch",
+    "charge_ot",
+]
+
+
+def charge_ot(
+    ctx: Context, ot, n_transfers: int, total_pair_bytes: int
+) -> None:
+    """Charge the transcript what an IKNP batch of ``n_transfers`` OTs
+    costs, where ``total_pair_bytes`` is the summed length of *both*
+    messages over all pairs (SIMULATED mode only)."""
+    if n_transfers == 0:
+        return
+    kappa = ctx.params.kappa
+    if isinstance(ot, SimulatedOT) and not ot._base_charged:
+        elem = 2048 // 8
+        ctx.send(ALICE, elem, "ot/ext/base/A")
+        ctx.send(BOB, elem * kappa, "ot/ext/base/B")
+        ctx.send(ALICE, 32 * kappa, "ot/ext/base/ciphertexts")
+        ot._base_charged = True
+    ctx.send(ALICE, kappa * ((n_transfers + 7) // 8), "ot/ext/u")
+    ctx.send(BOB, total_pair_bytes, "ot/ext/ciphertexts")
+
+
+def run_garbled_batch(
+    ctx: Context,
+    ot,
+    circuit: Circuit,
+    alice_bits_list: Sequence[Sequence[int]],
+    bob_bits_list: Sequence[Sequence[int]],
+) -> List[List[int]]:
+    """REAL mode: garble and evaluate ``circuit`` once per instance,
+    batching all of Alice's input-label OTs into a single extension call.
+    Returns each instance's output bits (known to Alice)."""
+    if len(alice_bits_list) != len(bob_bits_list):
+        raise ValueError("need matching numbers of Alice/Bob input vectors")
+    n = len(alice_bits_list)
+    if n == 0:
+        return []
+
+    garblings = []
+    tables_bytes = 0
+    bob_label_bytes = 0
+    label_pairs = []
+    choice_bits: List[int] = []
+    for alice_bits, bob_bits in zip(alice_bits_list, bob_bits_list):
+        g = garble(circuit, ctx.random_bytes)
+        garblings.append(g)
+        tables_bytes += g.tables.n_bytes
+        bob_label_bytes += LABEL_BYTES * (
+            len(circuit.bob_inputs) + len(circuit.const_wires)
+        )
+        for w, bit in zip(circuit.alice_inputs, alice_bits):
+            pair = (
+                g.label(w, 0).to_bytes(LABEL_BYTES, "little"),
+                g.label(w, 1).to_bytes(LABEL_BYTES, "little"),
+            )
+            label_pairs.append(pair)
+            choice_bits.append(int(bit) & 1)
+    ctx.send(BOB, tables_bytes, "gc/tables")
+    ctx.send(BOB, bob_label_bytes, "gc/bob_labels")
+    with ctx.section("gc/alice_labels"):
+        alice_labels = ot.transfer(label_pairs, choice_bits)
+
+    outputs: List[List[int]] = []
+    decode_bytes = 0
+    cursor = 0
+    for g, bob_bits in zip(garblings, bob_bits_list):
+        input_labels = {}
+        for w in circuit.alice_inputs:
+            input_labels[w] = int.from_bytes(alice_labels[cursor], "little")
+            cursor += 1
+        for w, bit in zip(circuit.bob_inputs, bob_bits):
+            input_labels[w] = g.label(w, int(bit) & 1)
+        for w, bit in circuit.const_wires:
+            input_labels[w] = g.label(w, bit)
+        active = evaluate_garbled(circuit, g.tables, input_labels)
+        permute = g.output_permute_bits()
+        decode_bytes += (len(circuit.outputs) + 7) // 8
+        outputs.append(
+            [
+                (active[w] & 1) ^ p
+                for w, p in zip(circuit.outputs, permute)
+            ]
+        )
+    ctx.send(BOB, decode_bytes, "gc/decode")
+    return outputs
+
+
+def charge_garbled_batch(
+    ctx: Context, ot, circuit: Circuit, n_instances: int
+) -> None:
+    """SIMULATED mode: charge exactly what :func:`run_garbled_batch`
+    would send for ``n_instances`` of ``circuit``."""
+    if n_instances == 0:
+        return
+    ctx.send(
+        BOB,
+        ROWS_PER_AND * LABEL_BYTES * circuit.and_count * n_instances,
+        "gc/tables",
+    )
+    ctx.send(
+        BOB,
+        LABEL_BYTES
+        * (len(circuit.bob_inputs) + len(circuit.const_wires))
+        * n_instances,
+        "gc/bob_labels",
+    )
+    n_alice_bits = len(circuit.alice_inputs) * n_instances
+    with ctx.section("gc/alice_labels"):
+        charge_ot(ctx, ot, n_alice_bits, 2 * LABEL_BYTES * n_alice_bits)
+    ctx.send(
+        BOB, ((len(circuit.outputs) + 7) // 8) * n_instances, "gc/decode"
+    )

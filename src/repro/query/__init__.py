@@ -1,0 +1,18 @@
+"""Query frontend: the join-aggregate query API and the ownership-aware
+planner."""
+
+from .builder import JoinAggregateQuery
+from .decompose import decompose_by_attribute, run_decomposed
+from .planner import choose_plan, plan_cost
+from .sql import SqlError, compile_sql, parse_sql
+
+__all__ = [
+    "JoinAggregateQuery",
+    "SqlError",
+    "choose_plan",
+    "compile_sql",
+    "decompose_by_attribute",
+    "parse_sql",
+    "plan_cost",
+    "run_decomposed",
+]

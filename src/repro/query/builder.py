@@ -1,0 +1,117 @@
+"""The public query API.
+
+A :class:`JoinAggregateQuery` bundles the relations (each with its
+owner), the output attributes, and the annotation semantics, and can be
+evaluated three ways:
+
+* ``run_plain``  — plaintext Yannakakis (the non-private baseline);
+* ``run_naive``  — plaintext join-then-aggregate (oracle);
+* ``run_secure`` — the secure Yannakakis protocol over a 2PC engine.
+
+Example
+-------
+>>> q = (JoinAggregateQuery(output=["cls"])
+...      .add_relation("R1", r1, owner=ALICE)
+...      .add_relation("R2", r2, owner=BOB))
+>>> result, stats = q.run_secure(engine)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..core.join import ObliviousJoinResult
+from ..core.protocol import (
+    ProtocolStats,
+    secure_yannakakis,
+    secure_yannakakis_shared,
+)
+from ..core.relation import SecureRelation
+from ..mpc.context import ALICE
+from ..mpc.engine import Engine
+from ..relalg.hypergraph import Hypergraph
+from ..relalg.join_tree import is_free_connex
+from ..relalg.relation import AnnotatedRelation
+from ..yannakakis.plain import execute_plan
+from ..yannakakis.naive import naive_join_aggregate
+from ..yannakakis.plan import YannakakisPlan
+from .planner import choose_plan
+
+__all__ = ["JoinAggregateQuery"]
+
+
+class JoinAggregateQuery:
+    """A free-connex join-aggregate query over party-owned relations."""
+
+    def __init__(self, output: Sequence[str]):
+        self.output: Tuple[str, ...] = tuple(output)
+        self.relations: Dict[str, AnnotatedRelation] = {}
+        self.owners: Dict[str, str] = {}
+        self._plan: Optional[YannakakisPlan] = None
+
+    def add_relation(
+        self,
+        name: str,
+        relation: AnnotatedRelation,
+        owner: str = ALICE,
+    ) -> "JoinAggregateQuery":
+        if name in self.relations:
+            raise ValueError(f"relation {name!r} added twice")
+        self.relations[name] = relation
+        self.owners[name] = owner
+        self._plan = None
+        return self
+
+    # -- structure --------------------------------------------------------
+
+    def hypergraph(self) -> Hypergraph:
+        return Hypergraph(
+            {n: r.attributes for n, r in self.relations.items()}
+        )
+
+    def is_free_connex(self) -> bool:
+        return is_free_connex(self.hypergraph(), set(self.output))
+
+    def plan(self) -> YannakakisPlan:
+        """The ownership-aware plan (cached until relations change)."""
+        if self._plan is None:
+            sizes = {n: len(r) for n, r in self.relations.items()}
+            self._plan = choose_plan(
+                self.hypergraph(), self.output, self.owners, sizes
+            )
+        return self._plan
+
+    @property
+    def input_size(self) -> int:
+        """IN: the total number of input tuples."""
+        return sum(len(r) for r in self.relations.values())
+
+    # -- evaluation ---------------------------------------------------------
+
+    def run_plain(self) -> AnnotatedRelation:
+        return execute_plan(self.plan(), self.relations)
+
+    def run_naive(self) -> AnnotatedRelation:
+        return naive_join_aggregate(self.relations, list(self.output))
+
+    def _secure_inputs(self) -> Dict[str, SecureRelation]:
+        return {
+            name: SecureRelation.from_annotated(self.owners[name], rel)
+            for name, rel in self.relations.items()
+        }
+
+    def run_secure(
+        self, engine: Engine
+    ) -> Tuple[AnnotatedRelation, ProtocolStats]:
+        return secure_yannakakis(engine, self._secure_inputs(), self.plan())
+
+    def run_secure_shared(
+        self, engine: Engine, pad_out_to: int = 0
+    ) -> ObliviousJoinResult:
+        """Query-composition building block: results stay shared.
+        ``pad_out_to`` hides the true output size behind a declared
+        bound (Section 4)."""
+        return secure_yannakakis_shared(
+            engine, self._secure_inputs(), self.plan(), pad_out_to
+        )

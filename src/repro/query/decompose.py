@@ -1,0 +1,114 @@
+"""Decomposition of non-free-connex queries (Section 8.1, generalised).
+
+An acyclic query can fail the free-connex condition when its output
+attributes straddle the join tree (the Q9 situation: grouping by
+``s_nationkey`` *and* ``o_year``).  The paper's workaround — which this
+module generalises — fixes one offending attribute to each value of a
+small public domain: every sub-query drops that attribute from the
+``GROUP BY`` and adds a selection for one value, restoring the
+free-connex property, and the final result is the union of the
+per-value results tagged with the value.
+
+``decompose_by_attribute`` picks the rewrite apart mechanically:
+
+* choose the output attribute to fix (caller-supplied, with a public
+  value domain — e.g. a nation key, a category, a year);
+* per value, build the sub-query with the PRIVATE selection policy
+  (failing tuples become dummies, so every sub-query costs the same and
+  the transcript stays value-independent);
+* verify each sub-query is free-connex.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..core.selection import SelectionPolicy, apply_selection
+from ..mpc.engine import Engine
+from ..relalg.relation import AnnotatedRelation
+from ..relalg.semiring import IntegerRing
+from .builder import JoinAggregateQuery
+
+__all__ = ["decompose_by_attribute", "run_decomposed"]
+
+
+def decompose_by_attribute(
+    query: JoinAggregateQuery,
+    attribute: str,
+    domain: Iterable,
+) -> List[Tuple[object, JoinAggregateQuery]]:
+    """Split ``query`` into one free-connex sub-query per domain value.
+
+    ``attribute`` must be an output attribute of ``query``; ``domain``
+    is its public value domain.  Returns ``(value, sub_query)`` pairs;
+    raises ``ValueError`` if a sub-query is still not free-connex (fix
+    a different attribute, or several).
+    """
+    if attribute not in query.output:
+        raise ValueError(
+            f"{attribute!r} is not an output attribute of the query"
+        )
+    holders = [
+        name
+        for name, rel in query.relations.items()
+        if attribute in rel.attributes
+    ]
+    if not holders:
+        raise ValueError(f"no relation carries {attribute!r}")
+    remaining_output = [a for a in query.output if a != attribute]
+
+    out: List[Tuple[object, JoinAggregateQuery]] = []
+    for value in domain:
+        sub = JoinAggregateQuery(output=list(remaining_output))
+        for name, rel in query.relations.items():
+            if attribute in rel.attributes:
+                rel = apply_selection(
+                    rel,
+                    lambda row, v=value: row[attribute] == v,
+                    SelectionPolicy.PRIVATE,
+                )
+                rel = _project_out(rel, attribute)
+            sub.add_relation(name, rel, query.owners[name])
+        if not sub.is_free_connex():
+            raise ValueError(
+                f"fixing {attribute!r} does not make the query "
+                "free-connex; decompose on a different attribute"
+            )
+        out.append((value, sub))
+    return out
+
+
+def _project_out(
+    rel: AnnotatedRelation, attribute: str
+) -> AnnotatedRelation:
+    keep = [a for a in rel.attributes if a != attribute]
+    idx = rel.index_of(keep)
+    return AnnotatedRelation(
+        tuple(keep),
+        [tuple(t[i] for i in idx) for t in rel.tuples],
+        rel.annotations,
+        rel.semiring,
+    )
+
+
+def run_decomposed(
+    engine: Engine,
+    query: JoinAggregateQuery,
+    attribute: str,
+    domain: Iterable,
+) -> AnnotatedRelation:
+    """Decompose, run every sub-query securely, and reassemble the full
+    group-by result with the fixed attribute back in front."""
+    parts = decompose_by_attribute(query, attribute, domain)
+    ring = IntegerRing(engine.ctx.params.ell)
+    rows: List[Tuple] = []
+    vals: List[int] = []
+    for value, sub in parts:
+        result, _ = sub.run_secure(engine)
+        for t, v in result:
+            rows.append((value,) + t)
+            vals.append(v)
+    attrs = (attribute,) + tuple(
+        a for a in query.output if a != attribute
+    )
+    return AnnotatedRelation(attrs, rows, vals, ring)

@@ -1,0 +1,516 @@
+"""A SQL frontend for free-connex join-aggregate queries.
+
+Compiles the fragment the paper's queries live in::
+
+    SELECT g1, g2, SUM(expr)
+    FROM   t1, t2, ...
+    WHERE  t1.a = t2.b AND t2.c < 10 AND t1.d IN ('x', 'y')
+    GROUP BY g1, g2
+
+into a :class:`~repro.query.JoinAggregateQuery`:
+
+* equality conditions between columns become natural-join attributes
+  (a union-find merges transitively-equated columns under one name);
+* conditions against literals become selections, applied with a
+  per-relation :class:`~repro.core.selection.SelectionPolicy`
+  (default: PRIVATE — failing tuples become zero-annotated dummies);
+* the ``SUM`` expression's columns must come from a single table (as in
+  every query of the paper); that table carries the annotation, all
+  others are annotated 1.  ``COUNT(*)`` annotates everything with 1;
+* the ``GROUP BY`` columns are the output attributes.
+
+The grammar is deliberately small and explicit: identifiers, qualified
+names, integer/string literals, ``+ - *`` with parentheses in the
+aggregate, ``= != < <= > >=``, ``IN``, ``AND``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.selection import SelectionPolicy, apply_selection
+from ..mpc.context import ALICE
+from ..relalg.operators import map_annotations
+from ..relalg.relation import AnnotatedRelation
+from .builder import JoinAggregateQuery
+
+__all__ = ["SqlError", "compile_sql", "parse_sql", "ParsedQuery"]
+
+
+class SqlError(ValueError):
+    """A parse or compilation failure, with a human-oriented message."""
+
+
+# ----------------------------------------------------------------------
+# tokenizer
+# ----------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<number>\d+)
+      | (?P<string>'(?:[^'])*')
+      | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+      | (?P<op><=|>=|!=|<>|[=<>(),.*+\-])
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "select", "from", "where", "group", "by", "and", "in",
+    "sum", "count", "as",
+}
+
+
+def _tokenize(sql: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(sql):
+        m = _TOKEN_RE.match(sql, pos)
+        if not m or m.end() == pos:
+            rest = sql[pos:].strip()
+            if not rest:
+                break
+            raise SqlError(f"cannot tokenize near {rest[:20]!r}")
+        pos = m.end()
+        if m.lastgroup == "number":
+            tokens.append(("number", m.group("number")))
+        elif m.lastgroup == "string":
+            tokens.append(("string", m.group("string")[1:-1]))
+        elif m.lastgroup == "name":
+            name = m.group("name")
+            kind = "kw" if name.lower() in _KEYWORDS else "name"
+            tokens.append((kind, name.lower() if kind == "kw" else name))
+        else:
+            tokens.append(("op", m.group("op")))
+    return tokens
+
+
+# ----------------------------------------------------------------------
+# AST
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    table: Optional[str]
+    column: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}" if self.table else self.column
+
+
+@dataclass(frozen=True)
+class Condition:
+    """``left <op> right`` where each side is a ColumnRef or a literal;
+    ``op`` may also be ``in`` with a literal list on the right."""
+
+    left: object
+    op: str
+    right: object
+
+
+#: Aggregate expression node: ("col", ColumnRef) | ("lit", int)
+#: | (op, lhs, rhs) for op in "+-*".
+Expr = Tuple
+
+
+@dataclass
+class ParsedQuery:
+    group_by: List[ColumnRef]
+    aggregate: Optional[Expr]  # None for COUNT(*)
+    tables: List[str]
+    conditions: List[Condition]
+
+
+class _Parser:
+    def __init__(self, tokens: List[Tuple[str, str]]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> Tuple[str, str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else ("eof", "")
+
+    def next(self) -> Tuple[str, str]:
+        tok = self.peek()
+        self.pos += 1
+        return tok
+
+    def expect(self, kind: str, value: Optional[str] = None) -> str:
+        k, v = self.next()
+        if k != kind or (value is not None and v != value):
+            raise SqlError(
+                f"expected {value or kind}, got {v!r} "
+                f"(token #{self.pos})"
+            )
+        return v
+
+    def accept(self, kind: str, value: Optional[str] = None) -> bool:
+        k, v = self.peek()
+        if k == kind and (value is None or v == value):
+            self.pos += 1
+            return True
+        return False
+
+    # -- grammar ----------------------------------------------------------
+
+    def parse(self) -> ParsedQuery:
+        self.expect("kw", "select")
+        group_by_select: List[ColumnRef] = []
+        aggregate: Optional[Expr] = None
+        saw_agg = False
+        while True:
+            if self.accept("kw", "sum"):
+                self.expect("op", "(")
+                aggregate = self.parse_expr()
+                self.expect("op", ")")
+                saw_agg = True
+            elif self.accept("kw", "count"):
+                self.expect("op", "(")
+                self.expect("op", "*")
+                self.expect("op", ")")
+                aggregate = None
+                saw_agg = True
+            else:
+                group_by_select.append(self.parse_column())
+            if not self.accept("op", ","):
+                break
+        if not saw_agg:
+            raise SqlError(
+                "the select list needs a SUM(...) or COUNT(*) aggregate"
+            )
+
+        self.expect("kw", "from")
+        tables = [self.expect("name")]
+        while self.accept("op", ","):
+            tables.append(self.expect("name"))
+
+        conditions: List[Condition] = []
+        if self.accept("kw", "where"):
+            conditions.append(self.parse_condition())
+            while self.accept("kw", "and"):
+                conditions.append(self.parse_condition())
+
+        group_by: List[ColumnRef] = []
+        if self.accept("kw", "group"):
+            self.expect("kw", "by")
+            group_by.append(self.parse_column())
+            while self.accept("op", ","):
+                group_by.append(self.parse_column())
+
+        if self.peek()[0] != "eof":
+            raise SqlError(f"trailing tokens from {self.peek()[1]!r}")
+        if {str(c) for c in group_by_select} != {str(c) for c in group_by}:
+            raise SqlError(
+                "non-aggregate select columns must equal the GROUP BY "
+                f"columns ({group_by_select} vs {group_by})"
+            )
+        return ParsedQuery(group_by, aggregate, tables, conditions)
+
+    def parse_column(self) -> ColumnRef:
+        first = self.expect("name")
+        if self.accept("op", "."):
+            return ColumnRef(first, self.expect("name"))
+        return ColumnRef(None, first)
+
+    def parse_condition(self) -> Condition:
+        left = self.parse_operand()
+        if self.accept("kw", "in"):
+            self.expect("op", "(")
+            values = [self.parse_literal()]
+            while self.accept("op", ","):
+                values.append(self.parse_literal())
+            self.expect("op", ")")
+            return Condition(left, "in", tuple(values))
+        k, op = self.next()
+        if k != "op" or op not in ("=", "!=", "<>", "<", "<=", ">", ">="):
+            raise SqlError(f"expected a comparison operator, got {op!r}")
+        if op == "<>":
+            op = "!="
+        right = self.parse_operand()
+        return Condition(left, op, right)
+
+    def parse_operand(self):
+        k, v = self.peek()
+        if k == "name":
+            return self.parse_column()
+        return self.parse_literal()
+
+    def parse_literal(self):
+        k, v = self.next()
+        if k == "number":
+            return int(v)
+        if k == "string":
+            return v
+        raise SqlError(f"expected a literal, got {v!r}")
+
+    # arithmetic for the aggregate expression: + - over * over atoms
+    def parse_expr(self) -> Expr:
+        node = self.parse_term()
+        while True:
+            if self.accept("op", "+"):
+                node = ("+", node, self.parse_term())
+            elif self.accept("op", "-"):
+                node = ("-", node, self.parse_term())
+            else:
+                return node
+
+    def parse_term(self) -> Expr:
+        node = self.parse_atom()
+        while self.accept("op", "*"):
+            node = ("*", node, self.parse_atom())
+        return node
+
+    def parse_atom(self) -> Expr:
+        if self.accept("op", "("):
+            node = self.parse_expr()
+            self.expect("op", ")")
+            return node
+        k, v = self.peek()
+        if k == "number":
+            self.next()
+            return ("lit", int(v))
+        return ("col", self.parse_column())
+
+
+def parse_sql(sql: str) -> ParsedQuery:
+    """Parse without compiling (exposed for tooling and tests)."""
+    return _Parser(_tokenize(sql)).parse()
+
+
+# ----------------------------------------------------------------------
+# compilation
+# ----------------------------------------------------------------------
+
+
+def _expr_columns(expr: Optional[Expr]) -> List[ColumnRef]:
+    if expr is None:
+        return []
+    tag = expr[0]
+    if tag == "col":
+        return [expr[1]]
+    if tag == "lit":
+        return []
+    return _expr_columns(expr[1]) + _expr_columns(expr[2])
+
+
+def _eval_expr(expr: Expr, row: dict) -> int:
+    tag = expr[0]
+    if tag == "lit":
+        return expr[1]
+    if tag == "col":
+        return int(row[expr[1].column])
+    a, b = _eval_expr(expr[1], row), _eval_expr(expr[2], row)
+    if tag == "+":
+        return a + b
+    if tag == "-":
+        return a - b
+    return a * b
+
+
+_COMPARATORS: Dict[str, Callable] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "in": lambda a, b: a in b,
+}
+
+
+class _Resolver:
+    """Maps column references to their owning tables."""
+
+    def __init__(self, tables: Dict[str, AnnotatedRelation]):
+        self.tables = tables
+        self.owner_of: Dict[str, List[str]] = {}
+        for tname, rel in tables.items():
+            for attr in rel.attributes:
+                self.owner_of.setdefault(attr, []).append(tname)
+
+    def resolve(self, ref: ColumnRef) -> Tuple[str, str]:
+        if ref.table is not None:
+            if ref.table not in self.tables:
+                raise SqlError(f"unknown table {ref.table!r}")
+            if ref.column not in self.tables[ref.table].attributes:
+                raise SqlError(
+                    f"table {ref.table!r} has no column {ref.column!r}"
+                )
+            return ref.table, ref.column
+        owners = self.owner_of.get(ref.column, [])
+        if not owners:
+            raise SqlError(f"unknown column {ref.column!r}")
+        if len(owners) > 1:
+            raise SqlError(
+                f"column {ref.column!r} is ambiguous "
+                f"(in {sorted(owners)}); qualify it"
+            )
+        return owners[0], ref.column
+
+
+def compile_sql(
+    sql: str,
+    tables: Dict[str, AnnotatedRelation],
+    owners: Optional[Dict[str, str]] = None,
+    selection_policy: SelectionPolicy = SelectionPolicy.PRIVATE,
+    selection_bounds: Optional[Dict[str, int]] = None,
+) -> JoinAggregateQuery:
+    """Compile a SQL string over the given base tables.
+
+    ``owners`` maps table name -> party (default: everything Alice's).
+    Literal selections are applied per ``selection_policy`` before the
+    protocol; ``selection_bounds`` supplies per-table bounds for the
+    BOUNDED policy.
+    """
+    parsed = parse_sql(sql)
+    missing = [t for t in parsed.tables if t not in tables]
+    if missing:
+        raise SqlError(f"tables not provided: {missing}")
+    scope = {t: tables[t] for t in parsed.tables}
+    resolver = _Resolver(scope)
+    owners = owners or {}
+
+    # 1. union-find over equated columns -> canonical join names.
+    parent: Dict[Tuple[str, str], Tuple[str, str]] = {}
+
+    def find(x):
+        parent.setdefault(x, x)
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a, b):
+        parent[find(a)] = find(b)
+
+    join_conds: List[Tuple[Tuple[str, str], Tuple[str, str]]] = []
+    selections: Dict[str, List[Condition]] = {}
+    for cond in parsed.conditions:
+        left_is_col = isinstance(cond.left, ColumnRef)
+        right_is_col = isinstance(cond.right, ColumnRef)
+        if left_is_col and right_is_col:
+            if cond.op != "=":
+                raise SqlError(
+                    "only equality joins are supported between columns"
+                )
+            a = resolver.resolve(cond.left)
+            b = resolver.resolve(cond.right)
+            union(a, b)
+            join_conds.append((a, b))
+        elif left_is_col:
+            t, c = resolver.resolve(cond.left)
+            selections.setdefault(t, []).append(
+                Condition(c, cond.op, cond.right)
+            )
+        else:
+            raise SqlError(
+                "conditions must have a column on the left-hand side"
+            )
+
+    # Canonical name per equivalence class.
+    def canonical(tc: Tuple[str, str]) -> str:
+        root = find(tc)
+        return f"{root[1]}"
+
+    # Detect canonical-name collisions between distinct classes.
+    class_of_name: Dict[str, Tuple[str, str]] = {}
+    rename: Dict[str, Dict[str, str]] = {t: {} for t in scope}
+    for t, rel in scope.items():
+        for attr in rel.attributes:
+            root = find((t, attr))
+            name = canonical((t, attr))
+            if (
+                name in class_of_name
+                and class_of_name[name] != root
+            ):
+                # qualify with the root table to disambiguate
+                name = f"{root[0]}_{root[1]}"
+            class_of_name[name] = root
+            rename[t][attr] = name
+
+    # 2. aggregate expression -> one table's annotations.
+    agg_cols = [_c for _c in _expr_columns(parsed.aggregate)]
+    agg_tables = {resolver.resolve(c)[0] for c in agg_cols}
+    if len(agg_tables) > 1:
+        raise SqlError(
+            "the aggregate expression must use columns of a single "
+            f"table (got {sorted(agg_tables)}); decompose the query "
+            "(Section 7) if you need cross-table arithmetic"
+        )
+    agg_table = next(iter(agg_tables), None)
+
+    # 3. output attributes.
+    output: List[str] = []
+    group_cols: Dict[str, List[str]] = {}
+    for ref in parsed.group_by:
+        t, c = resolver.resolve(ref)
+        group_cols.setdefault(t, []).append(c)
+        output.append(rename[t][c])
+
+    # 4. per-table preparation: select -> annotate -> project -> rename.
+    query = JoinAggregateQuery(output=output)
+    bounds = selection_bounds or {}
+    # NOTE: use the final (collision-qualified) names, not the raw
+    # canonical ones — two distinct classes may share a column name.
+    join_attr_names = {
+        rename[t][c] for pair in join_conds for (t, c) in pair
+    }
+    for t in parsed.tables:
+        rel = scope[t]
+        # The SQL aggregate fully defines the annotations: every table
+        # is neutralised to 1, then the aggregate expression is
+        # installed on its carrier table.  (Annotate before selecting:
+        # the expression must see real values, and the selection may
+        # replace rows with dummies.)
+        if t == agg_table and parsed.aggregate is not None:
+            rel = map_annotations(
+                rel,
+                lambda row, old, e=parsed.aggregate: _eval_expr(e, row),
+            )
+        else:
+            rel = rel.replace(
+                annotations=[rel.semiring.one] * len(rel)
+            )
+        conds = selections.get(t, [])
+        if conds:
+
+            def predicate(row, conds=conds):
+                return all(
+                    _COMPARATORS[c.op](row[c.left], c.right)
+                    for c in conds
+                )
+
+            rel = apply_selection(
+                rel, predicate, selection_policy, bounds.get(t)
+            )
+        keep = [
+            a
+            for a in rel.attributes
+            if rename[t][a] in join_attr_names
+            or a in group_cols.get(t, [])
+        ]
+        projected = _project_keep_annotations(rel, keep)
+        renamed = projected.replace(
+            attributes=tuple(rename[t][a] for a in keep)
+        )
+        query.add_relation(t, renamed, owners.get(t, ALICE))
+    return query
+
+
+def _project_keep_annotations(
+    rel: AnnotatedRelation, attrs: Sequence[str]
+) -> AnnotatedRelation:
+    """Project tuples to ``attrs`` keeping one annotation per original
+    row (a multiset projection, *not* an aggregation — the protocol's
+    aggregation operators handle the merging)."""
+    idx = rel.index_of(attrs)
+    return AnnotatedRelation(
+        tuple(attrs),
+        [tuple(t[i] for i in idx) for t in rel.tuples],
+        rel.annotations,
+        rel.semiring,
+    )

@@ -1,0 +1,39 @@
+"""Annotated relational algebra: semirings, relations, operators, and the
+structural theory (hypergraphs, join trees, free-connex) from Section 3."""
+
+from .hypergraph import Hypergraph
+from .join_tree import JoinTree, find_free_connex_tree, is_free_connex
+from .operators import (
+    aggregate,
+    join,
+    map_annotations,
+    rename,
+    select,
+    select_with_dummies,
+    semijoin,
+    support_projection,
+    union,
+)
+from .relation import AnnotatedRelation
+from .semiring import DEFAULT_RING, BooleanSemiring, IntegerRing, Semiring
+
+__all__ = [
+    "AnnotatedRelation",
+    "BooleanSemiring",
+    "DEFAULT_RING",
+    "Hypergraph",
+    "IntegerRing",
+    "JoinTree",
+    "Semiring",
+    "aggregate",
+    "find_free_connex_tree",
+    "is_free_connex",
+    "join",
+    "map_annotations",
+    "rename",
+    "select",
+    "select_with_dummies",
+    "semijoin",
+    "support_projection",
+    "union",
+]

@@ -1,0 +1,153 @@
+"""Query hypergraphs and acyclicity testing (Section 3.1).
+
+A join query is modelled as a hypergraph whose vertices are attributes and
+whose hyperedges are relations.  Acyclicity is decided with the classical
+GYO (Graham / Yu–Ozsoyoglu) reduction; join trees are constructed with the
+maximum-weight spanning tree method of Bernstein & Goodman (weight =
+number of shared attributes), which yields a join tree iff the hypergraph
+is alpha-acyclic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+__all__ = ["Hypergraph"]
+
+
+class Hypergraph:
+    """A named hypergraph: each hyperedge has a unique name (the relation
+    name) and a set of attribute vertices."""
+
+    def __init__(self, edges: Dict[str, Iterable[str]]):
+        if not edges:
+            raise ValueError("hypergraph needs at least one hyperedge")
+        self.edges: Dict[str, FrozenSet[str]] = {
+            name: frozenset(attrs) for name, attrs in edges.items()
+        }
+        self.vertices: FrozenSet[str] = frozenset().union(*self.edges.values())
+
+    def __repr__(self) -> str:
+        body = ", ".join(
+            f"{name}({', '.join(sorted(attrs))})"
+            for name, attrs in self.edges.items()
+        )
+        return f"Hypergraph[{body}]"
+
+    # ------------------------------------------------------------------
+    # acyclicity
+    # ------------------------------------------------------------------
+
+    def is_acyclic(self) -> bool:
+        """GYO reduction: repeatedly remove ear vertices (vertices in a
+        single hyperedge) and ear edges (edges contained in another edge).
+        The hypergraph is alpha-acyclic iff the reduction empties it."""
+        edges: List[FrozenSet[str]] = list(self.edges.values())
+        changed = True
+        while changed and len(edges) > 1:
+            changed = False
+            # Remove vertices that occur in exactly one hyperedge.
+            counts: Dict[str, int] = {}
+            for e in edges:
+                for v in e:
+                    counts[v] = counts.get(v, 0) + 1
+            lonely = {v for v, c in counts.items() if c == 1}
+            if lonely:
+                new_edges = [e - lonely for e in edges]
+                if new_edges != edges:
+                    edges = new_edges
+                    changed = True
+            # Remove edges contained in some other edge (including dups).
+            kept: List[FrozenSet[str]] = []
+            for i, e in enumerate(edges):
+                contained = any(
+                    (e <= f) and (i != j) and (e != f or i > j)
+                    for j, f in enumerate(edges)
+                )
+                if not contained:
+                    kept.append(e)
+            if len(kept) != len(edges):
+                edges = kept
+                changed = True
+        return len(edges) == 1
+
+    # ------------------------------------------------------------------
+    # join trees
+    # ------------------------------------------------------------------
+
+    def _intersection_graph(self) -> nx.Graph:
+        g = nx.Graph()
+        names = list(self.edges)
+        g.add_nodes_from(names)
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                w = len(self.edges[a] & self.edges[b])
+                if w > 0:
+                    g.add_edge(a, b, weight=w)
+        return g
+
+    def _is_valid_join_tree(self, tree: nx.Graph) -> bool:
+        """Check the running-intersection property: for every attribute,
+        the tree nodes containing it induce a connected subtree."""
+        for attr in self.vertices:
+            nodes = [n for n in tree.nodes if attr in self.edges[n]]
+            if len(nodes) > 1:
+                sub = tree.subgraph(nodes)
+                if not nx.is_connected(sub):
+                    return False
+        return True
+
+    def join_tree_edges(self) -> Optional[List[Tuple[str, str]]]:
+        """One (unrooted) join tree as a list of node-name pairs, or ``None``
+        if the hypergraph is cyclic.
+
+        Disconnected hypergraphs (Cartesian products) are handled by linking
+        the components with weight-0 edges, which vacuously preserves the
+        running-intersection property.
+        """
+        g = self._intersection_graph()
+        names = list(self.edges)
+        # Link components so a spanning tree exists.
+        comps = [list(c) for c in nx.connected_components(g)]
+        for a, b in zip(comps, comps[1:]):
+            g.add_edge(a[0], b[0], weight=0)
+        if len(names) == 1:
+            return []
+        mst = nx.maximum_spanning_tree(g, weight="weight")
+        if not self._is_valid_join_tree(mst):
+            return None
+        return list(mst.edges())
+
+    def all_join_trees(self, limit: int = 2000) -> List[List[Tuple[str, str]]]:
+        """Enumerate join trees (as edge lists) up to ``limit`` spanning
+        trees inspected.  Used by the free-connex search for small queries;
+        TPC-H queries have at most 5 relations so this is instantaneous."""
+        g = self._intersection_graph()
+        # A valid join tree may connect relations that share no attribute
+        # (Cartesian components can attach anywhere), so enumerate over
+        # the complete graph with weight-0 filler edges.
+        names = list(self.edges)
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                if not g.has_edge(a, b):
+                    g.add_edge(a, b, weight=0)
+        if len(self.edges) == 1:
+            return [[]]
+        trees: List[List[Tuple[str, str]]] = []
+        for i, tree in enumerate(nx.SpanningTreeIterator(g)):
+            if i >= limit:
+                break
+            if self._is_valid_join_tree(tree):
+                trees.append(list(tree.edges()))
+        return trees
+
+    def with_edge(self, name: str, attrs: Iterable[str]) -> "Hypergraph":
+        """A copy with one extra hyperedge (used by the free-connex test,
+        which adds the output attributes as a virtual hyperedge)."""
+        if name in self.edges:
+            raise ValueError(f"edge name {name!r} already present")
+        new = dict(self.edges)
+        new[name] = frozenset(attrs)
+        return Hypergraph(new)

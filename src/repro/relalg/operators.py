@@ -1,0 +1,205 @@
+"""Plaintext annotated relational operators (Section 3.1).
+
+These are the non-private reference semantics for the operators that the
+secure protocol makes oblivious:
+
+* ``aggregate``            — annotated projection-aggregation ``pi_F^(+)``
+* ``support_projection``   — ``pi_F^1`` (nonzero support, annotations reset to 1)
+* ``join``                 — annotated natural join  ``R ⋈⊗ S``
+* ``semijoin``             — annotated semijoin      ``R ⋉⊗ S  =  R ⋈⊗ pi^1_{F∩F'}(S)``
+* ``select``               — selection, with the dummy-tuple variant used by
+                             the privacy extension in Section 7.
+
+All operators are hash-based and run in time linear in input + output size,
+matching the complexity the Yannakakis algorithm relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .relation import AnnotatedRelation
+
+__all__ = [
+    "aggregate",
+    "support_projection",
+    "join",
+    "semijoin",
+    "select",
+    "select_with_dummies",
+    "map_annotations",
+    "rename",
+    "union",
+]
+
+
+def aggregate(rel: AnnotatedRelation, attrs: Sequence[str]) -> AnnotatedRelation:
+    """``pi_attrs^(+)(rel)``: project onto ``attrs`` and +-aggregate the
+    annotations of tuples sharing each distinct projection.
+
+    With ``attrs = ()`` this returns a single empty tuple annotated with the
+    +-aggregate of the whole relation — i.e. a scalar aggregate.
+    """
+    sr = rel.semiring
+    idx = rel.index_of(attrs)
+    groups: Dict[Tuple, int] = {}
+    order: List[Tuple] = []
+    for t, v in rel:
+        key = tuple(t[i] for i in idx)
+        if key not in groups:
+            groups[key] = v
+            order.append(key)
+        else:
+            groups[key] = sr.add(groups[key], v)
+    if not attrs and not rel.tuples:
+        # pi_{}^(+) of an empty relation is the empty tuple annotated 0.
+        return AnnotatedRelation(attrs, [()], [sr.zero], sr)
+    return AnnotatedRelation(attrs, order, [groups[k] for k in order], sr)
+
+
+def support_projection(
+    rel: AnnotatedRelation, attrs: Sequence[str]
+) -> AnnotatedRelation:
+    """``pi_attrs^1(rel)``: distinct projections of *nonzero*-annotated
+    tuples, all annotated with the multiplicative identity 1."""
+    sr = rel.semiring
+    idx = rel.index_of(attrs)
+    seen: Dict[Tuple, None] = {}
+    for t, v in rel:
+        if v != sr.zero:
+            seen.setdefault(tuple(t[i] for i in idx), None)
+    keys = list(seen)
+    return AnnotatedRelation(attrs, keys, [sr.one] * len(keys), sr)
+
+
+def join(r1: AnnotatedRelation, r2: AnnotatedRelation) -> AnnotatedRelation:
+    """Annotated natural join ``r1 ⋈⊗ r2``.
+
+    Output attributes are ``r1``'s followed by ``r2``'s new ones; the
+    annotation of each result is the ⊗-product of the contributing
+    annotations.  Hash join: O(|r1| + |r2| + |output|).
+    """
+    if r1.semiring != r2.semiring:
+        raise ValueError("cannot join relations over different semirings")
+    sr = r1.semiring
+    shared = [a for a in r1.attributes if a in r2.attributes]
+    extra = [a for a in r2.attributes if a not in r1.attributes]
+    out_attrs = list(r1.attributes) + extra
+
+    r2_shared_idx = r2.index_of(shared)
+    r2_extra_idx = r2.index_of(extra)
+    table: Dict[Tuple, List[Tuple[Tuple, int]]] = {}
+    for t, v in r2:
+        key = tuple(t[i] for i in r2_shared_idx)
+        table.setdefault(key, []).append((tuple(t[i] for i in r2_extra_idx), v))
+
+    r1_shared_idx = r1.index_of(shared)
+    out_tuples: List[Tuple] = []
+    out_annots: List[int] = []
+    for t, v in r1:
+        key = tuple(t[i] for i in r1_shared_idx)
+        for extra_vals, w in table.get(key, ()):
+            out_tuples.append(t + extra_vals)
+            out_annots.append(sr.mul(v, w))
+    return AnnotatedRelation(out_attrs, out_tuples, out_annots, sr)
+
+
+def semijoin(r1: AnnotatedRelation, r2: AnnotatedRelation) -> AnnotatedRelation:
+    """Annotated semijoin ``r1 ⋉⊗ r2 = r1 ⋈⊗ pi^1_{F∩F'}(r2)``.
+
+    Returns the tuples of ``r1`` that join with at least one nonzero tuple
+    of ``r2``, annotations preserved (definition in Section 3.1).
+    """
+    shared = [a for a in r1.attributes if a in r2.attributes]
+    return join(r1, support_projection(r2, shared))
+
+
+def select(
+    rel: AnnotatedRelation, predicate: Callable[[dict], bool]
+) -> AnnotatedRelation:
+    """Plain selection: keep tuples whose row-dict satisfies ``predicate``.
+
+    This is option (1) of Section 7 (public selectivity): the relation
+    shrinks and the protocol's input size drops accordingly.
+    """
+    keep = [
+        i
+        for i, t in enumerate(rel.tuples)
+        if predicate(dict(zip(rel.attributes, t)))
+    ]
+    return AnnotatedRelation(
+        rel.attributes,
+        [rel.tuples[i] for i in keep],
+        rel.annotations[keep] if keep else [],
+        rel.semiring,
+    )
+
+
+def select_with_dummies(
+    rel: AnnotatedRelation, predicate: Callable[[dict], bool]
+) -> AnnotatedRelation:
+    """Selection with *private* selectivity — option (2) of Section 7.
+
+    Tuples failing the predicate are kept but zero-annotated, so the
+    relation size (and hence the protocol's cost) is input-independent.
+    """
+    annots = rel.annotations.copy()
+    for i, t in enumerate(rel.tuples):
+        if not predicate(dict(zip(rel.attributes, t))):
+            annots[i] = rel.semiring.zero
+    return rel.replace(annotations=annots)
+
+
+def rename(
+    rel: AnnotatedRelation, mapping: Dict[str, str]
+) -> AnnotatedRelation:
+    """Rename attributes (``{old: new}``); unknown keys are rejected."""
+    missing = [a for a in mapping if a not in rel.attributes]
+    if missing:
+        raise KeyError(f"attributes {missing} not in {rel.attributes}")
+    return rel.replace(
+        attributes=tuple(mapping.get(a, a) for a in rel.attributes)
+    )
+
+
+def union(
+    r1: AnnotatedRelation, r2: AnnotatedRelation
+) -> AnnotatedRelation:
+    """K-relation union: annotations of common tuples are ⊕-combined
+    (bag-union semantics under the counting semiring)."""
+    if set(r1.attributes) != set(r2.attributes):
+        raise ValueError(
+            f"union needs identical attribute sets "
+            f"({r1.attributes} vs {r2.attributes})"
+        )
+    if r1.semiring != r2.semiring:
+        raise ValueError("cannot union relations over different semirings")
+    perm = [r2.attributes.index(a) for a in r1.attributes]
+    tuples = list(r1.tuples) + [
+        tuple(t[i] for i in perm) for t in r2.tuples
+    ]
+    annots = list(r1.annotations) + list(r2.annotations)
+    return AnnotatedRelation(r1.attributes, tuples, annots, r1.semiring)
+
+
+def map_annotations(
+    rel: AnnotatedRelation, fn: Callable[[dict, int], int]
+) -> AnnotatedRelation:
+    """Re-annotate every tuple via ``fn(row_dict, old_annotation)``.
+
+    Used to install query-specific annotations, e.g. Q3's
+    ``l_extendedprice * (1 - l_discount)``.
+    """
+    sr = rel.semiring
+    new = np.asarray(
+        [
+            sr.normalize(int(fn(dict(zip(rel.attributes, t)), int(v))))
+            for t, v in rel
+        ],
+        dtype=np.uint64,
+    )
+    if len(rel) == 0:
+        new = np.zeros(0, dtype=np.uint64)
+    return rel.replace(annotations=new)

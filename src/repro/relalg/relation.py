@@ -1,0 +1,212 @@
+"""Annotated relations (K-relations) following Section 3.1 of the paper.
+
+An annotated relation is a collection of tuples over a fixed attribute list,
+each carrying an annotation from a commutative semiring.  Tuples are stored
+as plain Python tuples of hashable values; annotations live in a parallel
+``uint64`` numpy array so that secret sharing and vectorised semiring
+arithmetic are cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .semiring import DEFAULT_RING, Semiring
+
+__all__ = ["AnnotatedRelation"]
+
+
+def _as_annotation_array(values, length: int, semiring: Semiring) -> np.ndarray:
+    if values is None:
+        return np.full(length, semiring.one, dtype=np.uint64)
+    if isinstance(values, np.ndarray):
+        if values.dtype.kind == "f":
+            raise TypeError("annotations must be integers, not floats")
+        arr = (values.astype(np.int64, copy=False) % semiring.modulus).astype(
+            np.uint64
+        )
+    else:
+        values = list(values)
+        if any(isinstance(v, float) for v in values):
+            raise TypeError("annotations must be integers, not floats")
+        arr = np.asarray(
+            [semiring.normalize(int(v)) for v in values], dtype=np.uint64
+        )
+    if arr.shape != (length,):
+        raise ValueError(
+            f"annotation array has shape {arr.shape}, expected ({length},)"
+        )
+    return arr
+
+
+class AnnotatedRelation:
+    """A relation whose tuples carry semiring annotations.
+
+    Parameters
+    ----------
+    attributes:
+        Ordered attribute names.  Order matters for tuple layout only; all
+        relational operators match attributes by name.
+    tuples:
+        Iterable of equal-length tuples of hashable values.
+    annotations:
+        Optional iterable of semiring elements (defaults to all-ones, the
+        multiplicative identity — the convention for "plain" relations).
+    semiring:
+        The annotation semiring (defaults to ``Z_{2^32}``).
+    """
+
+    __slots__ = ("attributes", "tuples", "annotations", "semiring")
+
+    def __init__(
+        self,
+        attributes: Sequence[str],
+        tuples: Iterable[Tuple],
+        annotations=None,
+        semiring: Semiring = DEFAULT_RING,
+    ):
+        self.attributes: Tuple[str, ...] = tuple(attributes)
+        if len(set(self.attributes)) != len(self.attributes):
+            raise ValueError(f"duplicate attributes in {self.attributes}")
+        self.tuples: List[Tuple] = [tuple(t) for t in tuples]
+        for t in self.tuples:
+            if len(t) != len(self.attributes):
+                raise ValueError(
+                    f"tuple {t!r} has arity {len(t)}, "
+                    f"schema has {len(self.attributes)} attributes"
+                )
+        self.semiring = semiring
+        self.annotations = _as_annotation_array(
+            annotations, len(self.tuples), semiring
+        )
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls,
+        attributes: Sequence[str],
+        rows: Iterable[dict],
+        annotation_of=None,
+        semiring: Semiring = DEFAULT_RING,
+    ) -> "AnnotatedRelation":
+        """Build a relation from dict rows.
+
+        ``annotation_of`` is an optional callable mapping a row dict to its
+        annotation; by default every tuple is annotated with 1.
+        """
+        attributes = tuple(attributes)
+        tuples, annotations = [], []
+        for row in rows:
+            tuples.append(tuple(row[a] for a in attributes))
+            annotations.append(
+                semiring.normalize(int(annotation_of(row))) if annotation_of else semiring.one
+            )
+        return cls(attributes, tuples, annotations, semiring)
+
+    @classmethod
+    def empty(
+        cls, attributes: Sequence[str], semiring: Semiring = DEFAULT_RING
+    ) -> "AnnotatedRelation":
+        return cls(attributes, [], [], semiring)
+
+    def replace(
+        self, tuples=None, annotations=None, attributes=None
+    ) -> "AnnotatedRelation":
+        """Copy with selected fields replaced (annotations re-normalised)."""
+        return AnnotatedRelation(
+            self.attributes if attributes is None else attributes,
+            self.tuples if tuples is None else tuples,
+            self.annotations if annotations is None else annotations,
+            self.semiring,
+        )
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __iter__(self) -> Iterator[Tuple[Tuple, int]]:
+        for t, v in zip(self.tuples, self.annotations):
+            yield t, int(v)
+
+    def __repr__(self) -> str:
+        return (
+            f"AnnotatedRelation({list(self.attributes)}, "
+            f"{len(self.tuples)} tuples, {self.semiring!r})"
+        )
+
+    def index_of(self, attrs: Sequence[str]) -> List[int]:
+        """Positions of ``attrs`` within this relation's attribute list."""
+        missing = [a for a in attrs if a not in self.attributes]
+        if missing:
+            raise KeyError(f"attributes {missing} not in {self.attributes}")
+        return [self.attributes.index(a) for a in attrs]
+
+    def key_of(self, t: Tuple, attrs: Sequence[str]) -> Tuple:
+        """Project a single tuple onto ``attrs`` (by name)."""
+        idx = self.index_of(attrs)
+        return tuple(t[i] for i in idx)
+
+    def keys(self, attrs: Sequence[str]) -> List[Tuple]:
+        """Projection of every tuple onto ``attrs``, preserving order and
+        duplicates (the *tuple list* of ``pi_attrs``, not its set)."""
+        idx = self.index_of(attrs)
+        return [tuple(t[i] for i in idx) for t in self.tuples]
+
+    def column(self, attr: str) -> List:
+        i = self.attributes.index(attr)
+        return [t[i] for t in self.tuples]
+
+    def annotation_of(self, t: Tuple) -> int:
+        """Total annotation of tuple ``t`` (sum over duplicates); zero if
+        absent.  This realises the K-relation view of the multiset."""
+        total = self.semiring.zero
+        for u, v in self:
+            if u == t:
+                total = self.semiring.add(total, v)
+        return total
+
+    def to_dict(self) -> dict:
+        """Aggregate duplicates into a ``{tuple: annotation}`` map.
+
+        This is the canonical K-relation semantics; two relations are
+        semantically equal iff their dicts agree on nonzero annotations.
+        """
+        out: dict = {}
+        for t, v in self:
+            out[t] = self.semiring.add(out.get(t, self.semiring.zero), v)
+        return {t: v for t, v in out.items() if v != self.semiring.zero}
+
+    def nonzero(self) -> "AnnotatedRelation":
+        """The sub-relation of nonzero-annotated tuples (``R*`` in §6.3)."""
+        keep = [i for i, v in enumerate(self.annotations) if int(v) != 0]
+        return AnnotatedRelation(
+            self.attributes,
+            [self.tuples[i] for i in keep],
+            self.annotations[keep] if keep else [],
+            self.semiring,
+        )
+
+    def semantically_equal(self, other: "AnnotatedRelation") -> bool:
+        """Equality as K-relations: same nonzero annotation per tuple.
+
+        Dummy (zero-annotated) tuples are ignored, which is exactly the
+        sense in which the paper's oblivious operators return output that is
+        "semantically equivalent" to the true operator output.
+        """
+        if set(self.attributes) != set(other.attributes):
+            return False
+        if self.semiring != other.semiring:
+            return False
+        perm = [other.attributes.index(a) for a in self.attributes]
+        reordered = {
+            tuple(t[i] for i in perm): v for t, v in other.to_dict().items()
+        }
+        return self.to_dict() == reordered

@@ -1,0 +1,150 @@
+"""Commutative semirings for annotated relations.
+
+The paper (Section 3.1) takes annotations from a finite commutative semiring
+``(S, +, *)`` whose ground set is identified with ``Z_n``, ``n = 2**ell``.
+The only requirements are that 0 is the additive identity, 1 is the
+multiplicative identity, and both operations have small Boolean circuits.
+
+Two concrete semirings cover every query in the paper:
+
+* :class:`IntegerRing` — ``(Z_{2^ell}, +, *)`` with wrap-around arithmetic,
+  used for ``sum`` aggregates (Example 3.1).
+* :class:`BooleanSemiring` — ``({0, 1}, OR, AND)``, used for set semantics
+  and for the support projection ``pi^1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Semiring", "IntegerRing", "BooleanSemiring", "DEFAULT_RING"]
+
+
+class Semiring:
+    """A commutative semiring over a subset of the integers.
+
+    Subclasses define ``zero``, ``one``, scalar ``add``/``mul`` and
+    vectorised ``add_vec``/``mul_vec`` over numpy ``uint64`` arrays.
+    Annotation values are always plain Python ints (or uint64 arrays) in
+    ``[0, modulus)`` so they can be secret-shared directly.
+    """
+
+    zero: int = 0
+    one: int = 1
+
+    @property
+    def modulus(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def bit_length(self) -> int:
+        """Number of bits ``ell`` needed to represent any annotation."""
+        return (self.modulus - 1).bit_length()
+
+    def add(self, a: int, b: int) -> int:
+        raise NotImplementedError
+
+    def mul(self, a: int, b: int) -> int:
+        raise NotImplementedError
+
+    def add_vec(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def mul_vec(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def normalize(self, value: int) -> int:
+        """Map an arbitrary integer into the semiring's ground set."""
+        return value % self.modulus
+
+    def sum(self, values) -> int:
+        total = self.zero
+        for v in values:
+            total = self.add(total, v)
+        return total
+
+    def product(self, values) -> int:
+        total = self.one
+        for v in values:
+            total = self.mul(total, v)
+        return total
+
+    def __eq__(self, other) -> bool:
+        return type(self) is type(other) and self.modulus == other.modulus
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.modulus))
+
+
+class IntegerRing(Semiring):
+    """The ring ``(Z_{2^ell}, +, *)`` with operations modulo ``2**ell``.
+
+    This is the semiring used for all ``sum(...)`` aggregates in the paper's
+    TPC-H experiments, with ``ell = 32``.  ``ell`` must be at most 63 so that
+    vectorised arithmetic fits in ``uint64`` without Python-level bignums.
+    """
+
+    def __init__(self, ell: int = 32):
+        if not 1 <= ell <= 63:
+            raise ValueError(f"ell must be in [1, 63], got {ell}")
+        self.ell = ell
+        self._modulus = 1 << ell
+        self._mask = np.uint64(self._modulus - 1)
+
+    @property
+    def modulus(self) -> int:
+        return self._modulus
+
+    @property
+    def bit_length(self) -> int:
+        return self.ell
+
+    def add(self, a: int, b: int) -> int:
+        return (a + b) % self._modulus
+
+    def mul(self, a: int, b: int) -> int:
+        return (a * b) % self._modulus
+
+    def add_vec(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return (a + b) & self._mask
+
+    def mul_vec(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return (a * b) & self._mask
+
+    def neg(self, a: int) -> int:
+        """Additive inverse — the ring structure the paper exploits for
+        subtraction-of-shares (e.g. the Q9 ``amount`` aggregate)."""
+        return (-a) % self._modulus
+
+    def __repr__(self) -> str:
+        return f"IntegerRing(ell={self.ell})"
+
+
+class BooleanSemiring(Semiring):
+    """The semiring ``({False, True}, OR, AND)`` encoded as ``{0, 1}``."""
+
+    @property
+    def modulus(self) -> int:
+        return 2
+
+    def add(self, a: int, b: int) -> int:
+        return int(bool(a) or bool(b))
+
+    def mul(self, a: int, b: int) -> int:
+        return int(bool(a) and bool(b))
+
+    def add_vec(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return ((a != 0) | (b != 0)).astype(np.uint64)
+
+    def mul_vec(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return ((a != 0) & (b != 0)).astype(np.uint64)
+
+    def normalize(self, value: int) -> int:
+        return int(bool(value))
+
+    def __repr__(self) -> str:
+        return "BooleanSemiring()"
+
+
+#: The paper's default: 32-bit annotations (Section 8.2).
+DEFAULT_RING = IntegerRing(32)

@@ -1,0 +1,46 @@
+"""Naive join-then-aggregate evaluation.
+
+Materialises the full annotated join (possibly a Cartesian product across
+disconnected components) and then aggregates.  Exponentially worse than
+Yannakakis on queries with large intermediate joins — it plays the role of
+the unoptimised plan whose blow-up motivates the paper, and doubles as an
+independent correctness oracle in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from ..relalg.operators import aggregate, join
+from ..relalg.relation import AnnotatedRelation
+
+__all__ = ["naive_join_aggregate", "full_join"]
+
+
+def full_join(relations: Dict[str, AnnotatedRelation]) -> AnnotatedRelation:
+    """The annotated natural join of all relations, in a join order that
+    prefers connected relations (to avoid needless Cartesian blow-up)."""
+    if not relations:
+        raise ValueError("need at least one relation")
+    remaining = dict(relations)
+    name, current = next(iter(remaining.items()))
+    del remaining[name]
+    while remaining:
+        # Prefer a relation sharing attributes with the current result.
+        pick = next(
+            (
+                n
+                for n, r in remaining.items()
+                if set(r.attributes) & set(current.attributes)
+            ),
+            next(iter(remaining)),
+        )
+        current = join(current, remaining.pop(pick))
+    return current
+
+
+def naive_join_aggregate(
+    relations: Dict[str, AnnotatedRelation], output: Sequence[str]
+) -> AnnotatedRelation:
+    """``pi_output^(+)( ⋈⊗ relations )`` by brute force."""
+    return aggregate(full_join(relations), output).nonzero()

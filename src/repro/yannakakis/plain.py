@@ -1,0 +1,92 @@
+"""Plaintext execution of the 3-phase Yannakakis plan.
+
+This is both the non-private baseline (standing in for MySQL in the
+paper's experiments) and the correctness oracle for the secure protocol:
+both execute the identical :class:`~repro.yannakakis.plan.YannakakisPlan`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..relalg.join_tree import JoinTree, find_free_connex_tree
+from ..relalg.hypergraph import Hypergraph
+from ..relalg.operators import aggregate, join, semijoin
+from ..relalg.relation import AnnotatedRelation
+from .plan import (
+    ReduceAggregate,
+    ReduceFold,
+    YannakakisPlan,
+    build_plan,
+)
+
+__all__ = ["execute_plan", "yannakakis"]
+
+
+def execute_plan(
+    plan: YannakakisPlan, relations: Dict[str, AnnotatedRelation]
+) -> AnnotatedRelation:
+    """Run the three phases on plaintext annotated relations and return the
+    query result with attributes ordered as ``plan.output``."""
+    rels = dict(relations)
+    missing = set(plan.tree.nodes) - set(rels)
+    if missing:
+        raise KeyError(f"missing input relations: {sorted(missing)}")
+
+    def run_semijoins() -> None:
+        for step in plan.semijoin_steps:
+            rels[step.target] = semijoin(
+                rels[step.target], rels[step.filter]
+            )
+
+    # The two-phase ablation order: semijoins on the unreduced tree.
+    if plan.semijoin_first:
+        run_semijoins()
+
+    # Phase 1: reduce.
+    for step in plan.reduce_steps:
+        if isinstance(step, ReduceFold):
+            folded = aggregate(rels[step.child], step.agg_attrs)
+            rels[step.parent] = join(rels[step.parent], folded)
+            del rels[step.child]
+        elif isinstance(step, ReduceAggregate):
+            rels[step.node] = aggregate(rels[step.node], step.attrs)
+        else:  # pragma: no cover - plan only emits the two step types
+            raise TypeError(f"unknown reduce step {step!r}")
+
+    # Phase 2: semijoins (remove dangling tuples).
+    if not plan.semijoin_first:
+        run_semijoins()
+
+    # Phase 3: full join.
+    for step in plan.join_steps:
+        rels[step.parent] = join(rels[step.parent], rels[step.child])
+        del rels[step.child]
+
+    result = rels[plan.root]
+    # Reorder columns to the requested output order and drop zero groups.
+    result = aggregate(result, plan.output)
+    return result.nonzero()
+
+
+def yannakakis(
+    relations: Dict[str, AnnotatedRelation],
+    output: Sequence[str],
+    tree: Optional[JoinTree] = None,
+) -> AnnotatedRelation:
+    """Evaluate a free-connex join-aggregate query on plaintext relations.
+
+    If ``tree`` is not supplied, a free-connex rooted join tree is searched
+    for automatically; ``ValueError`` is raised when none exists.
+    """
+    if tree is None:
+        hypergraph = Hypergraph(
+            {name: rel.attributes for name, rel in relations.items()}
+        )
+        tree = find_free_connex_tree(hypergraph, output)
+        if tree is None:
+            raise ValueError(
+                "query is not free-connex; no valid rooted join tree exists"
+            )
+    plan = build_plan(tree, output)
+    return execute_plan(plan, relations)

@@ -1,0 +1,56 @@
+"""Shared fixtures: contexts, engines, and small random relations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mpc import ALICE, BOB, Context, Engine, Mode
+from repro.relalg import AnnotatedRelation, IntegerRing
+
+#: Small OT group for REAL-mode tests (2048-bit is the production default).
+TEST_GROUP_BITS = 1536
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def sim_ctx():
+    return Context(Mode.SIMULATED, seed=1)
+
+
+@pytest.fixture
+def real_ctx():
+    return Context(Mode.REAL, seed=2)
+
+
+@pytest.fixture
+def sim_engine(sim_ctx):
+    return Engine(sim_ctx, TEST_GROUP_BITS)
+
+
+@pytest.fixture
+def real_engine(real_ctx):
+    return Engine(real_ctx, TEST_GROUP_BITS)
+
+
+@pytest.fixture(params=[Mode.SIMULATED, Mode.REAL])
+def any_engine(request):
+    ctx = Context(request.param, seed=3)
+    return Engine(ctx, TEST_GROUP_BITS)
+
+
+RING = IntegerRing(32)
+
+
+def random_relation(rng, attrs, n, key_range=8, annot_range=50, ring=RING):
+    """A small random annotated relation with integer attributes."""
+    tuples = [
+        tuple(int(v) for v in rng.integers(0, key_range, len(attrs)))
+        for _ in range(n)
+    ]
+    annots = rng.integers(0, annot_range, n)
+    return AnnotatedRelation(attrs, tuples, annots, ring)

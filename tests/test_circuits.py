@@ -1,0 +1,137 @@
+"""The Boolean circuit builder: every gadget against integer semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpc.circuits import Circuit, CircuitBuilder
+from repro.mpc.gadgets import bits_of, int_of
+
+
+ELL = 12
+WORD = st.integers(0, 2**ELL - 1)
+
+
+def run2(gadget, x, y, ell=ELL):
+    """Build a 2-word circuit, evaluate on (x, y) with x from Alice."""
+    b = CircuitBuilder()
+    xs = b.alice_input_bits(ell)
+    ys = b.bob_input_bits(ell)
+    out = gadget(b, xs, ys)
+    circuit = b.build(out if isinstance(out, list) else [out])
+    bits = circuit.evaluate(bits_of(x, ell), bits_of(y, ell))
+    return int_of(bits)
+
+
+class TestWordGadgets:
+    @given(x=WORD, y=WORD)
+    @settings(max_examples=80, deadline=None)
+    def test_add(self, x, y):
+        assert run2(lambda b, xs, ys: b.add(xs, ys), x, y) == (x + y) % 2**ELL
+
+    @given(x=WORD, y=WORD)
+    @settings(max_examples=80, deadline=None)
+    def test_sub(self, x, y):
+        assert run2(lambda b, xs, ys: b.sub(xs, ys), x, y) == (x - y) % 2**ELL
+
+    @given(x=WORD, y=WORD)
+    @settings(max_examples=80, deadline=None)
+    def test_mul(self, x, y):
+        assert run2(lambda b, xs, ys: b.mul(xs, ys), x, y) == (x * y) % 2**ELL
+
+    @given(x=WORD)
+    @settings(max_examples=40, deadline=None)
+    def test_neg(self, x):
+        assert run2(lambda b, xs, ys: b.neg(xs), x, 0) == (-x) % 2**ELL
+
+    @given(x=WORD, y=WORD)
+    @settings(max_examples=80, deadline=None)
+    def test_eq_and_comparisons(self, x, y):
+        assert run2(lambda b, xs, ys: [b.eq(xs, ys)], x, y) == int(x == y)
+        assert run2(lambda b, xs, ys: [b.lt_unsigned(xs, ys)], x, y) == int(x < y)
+        assert run2(lambda b, xs, ys: [b.gt_unsigned(xs, ys)], x, y) == int(x > y)
+
+    @given(x=WORD)
+    @settings(max_examples=40, deadline=None)
+    def test_is_zero_nonzero(self, x):
+        assert run2(lambda b, xs, ys: [b.is_zero(xs)], x, 0) == int(x == 0)
+        assert run2(lambda b, xs, ys: [b.nonzero(xs)], x, 0) == int(x != 0)
+
+    @given(x=WORD, y=WORD, sel=st.integers(0, 1))
+    @settings(max_examples=60, deadline=None)
+    def test_mux(self, x, y, sel):
+        def gadget(b, xs, ys):
+            s = b.constant(sel)
+            return b.mux(s, xs, ys)
+
+        assert run2(gadget, x, y) == (x if sel else y)
+
+    @given(x=WORD, y=WORD)
+    @settings(max_examples=80, deadline=None)
+    def test_div(self, x, y):
+        def quot(b, xs, ys):
+            q, _ = b.div_unsigned(xs, ys)
+            return q
+
+        def rem(b, xs, ys):
+            _, r = b.div_unsigned(xs, ys)
+            return r
+
+        if y == 0:
+            assert run2(quot, x, y) == 2**ELL - 1
+            assert run2(rem, x, y) == x
+        else:
+            assert run2(quot, x, y) == x // y
+            assert run2(rem, x, y) == x % y
+
+
+class TestStructure:
+    def test_and_counts(self):
+        ell = 16
+        b = CircuitBuilder()
+        xs, ys = b.alice_input_bits(ell), b.bob_input_bits(ell)
+        b.add(xs, ys)
+        c = b.build([])
+        assert c.and_count == ell  # one AND per bit of a ripple adder
+
+        b = CircuitBuilder()
+        xs, ys = b.alice_input_bits(ell), b.bob_input_bits(ell)
+        b.mul(xs, ys)
+        assert b.build([]).and_count == ell * ell  # schoolbook multiplier
+
+    def test_constants_cached(self):
+        b = CircuitBuilder()
+        w1, w2 = b.constant(1), b.constant(1)
+        assert w1 == w2
+
+    def test_or_via_one_and(self):
+        b = CircuitBuilder()
+        x = b.alice_input_bits(1)
+        y = b.bob_input_bits(1)
+        b.or_(x[0], y[0])
+        c = b.build([])
+        assert c.and_count == 1
+
+    def test_word_length_mismatch(self):
+        b = CircuitBuilder()
+        with pytest.raises(ValueError):
+            b.add(b.alice_input_bits(4), b.bob_input_bits(5))
+
+    def test_evaluate_validates_input_counts(self):
+        b = CircuitBuilder()
+        xs = b.alice_input_bits(2)
+        c = b.build(xs)
+        with pytest.raises(ValueError):
+            c.evaluate([1], [])
+        with pytest.raises(ValueError):
+            c.evaluate([1, 0], [1])
+
+    def test_and_tree_of_empty_is_one(self):
+        b = CircuitBuilder()
+        w = b._and_tree([])
+        c = b.build([w])
+        assert c.evaluate([], []) == [1]
+
+    def test_bits_roundtrip(self):
+        for v in (0, 1, 5, 2**ELL - 1):
+            assert int_of(bits_of(v, ELL)) == v

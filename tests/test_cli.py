@@ -1,0 +1,30 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_tpch_q3(self, capsys):
+        assert main(["tpch", "Q3", "--scale", "1", "--show", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Q3" in out and "matches plaintext: True" in out
+
+    def test_figures_single(self, capsys):
+        assert main(["figures", "--queries", "Q10", "--scales", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+
+    def test_estimate(self, capsys):
+        assert main(["estimate", "Q3", "--scale", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "input tuples" in out
+
+    def test_unknown_query_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["tpch", "Q99"])
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,82 @@
+"""The fixed-width tuple codec used by the oblivious join's reveal."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.codec import (
+    AttrSpec,
+    decode_tuple_bits,
+    encode_tuple_bits,
+    infer_specs,
+    tuple_bits,
+)
+from repro.core.relation import dummy_tuple
+
+
+class TestInferSpecs:
+    def test_small_ints_use_four_bytes(self):
+        specs = infer_specs([(1, 2), (3, 4)], 2)
+        assert specs == [AttrSpec("int", 4), AttrSpec("int", 4)]
+
+    def test_large_ints_widen(self):
+        specs = infer_specs([(2**40,)], 1)
+        assert specs[0].n_bytes == 8
+
+    def test_strings_round_up(self):
+        specs = infer_specs([("abcde",)], 1)
+        assert specs[0] == AttrSpec("str", 8)
+
+    def test_dummies_skipped(self):
+        specs = infer_specs([dummy_tuple(1), (7,)], 1)
+        assert specs[0].kind == "int"
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            infer_specs([(1.5,)], 1)
+
+
+class TestRoundtrip:
+    @given(
+        a=st.integers(-(2**31), 2**31 - 1),
+        b=st.text(
+            alphabet=st.characters(
+                codec="utf-8", exclude_characters="\x00"
+            ),
+            max_size=12,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_int_str_roundtrip(self, a, b):
+        t = (a, b)
+        specs = infer_specs([t], 2)
+        bits = encode_tuple_bits(t, specs)
+        assert len(bits) == tuple_bits(specs)
+        assert decode_tuple_bits(bits, specs) == t
+
+    def test_negative_and_large(self):
+        t = (-7, 2**40, "x")
+        specs = infer_specs([t], 3)
+        assert decode_tuple_bits(encode_tuple_bits(t, specs), specs) == t
+
+    def test_dummy_encodes_to_zeros(self):
+        specs = [AttrSpec("int", 4)]
+        assert encode_tuple_bits(dummy_tuple(1), specs) == [0] * 32
+
+    def test_fixed_width_is_value_independent(self):
+        specs = infer_specs([(1, "abc"), (999999, "x")], 2)
+        b1 = encode_tuple_bits((1, "abc"), specs)
+        b2 = encode_tuple_bits((999999, "x"), specs)
+        assert len(b1) == len(b2)
+
+    def test_oversized_string_rejected(self):
+        with pytest.raises(ValueError):
+            encode_tuple_bits(("toolongstring",), [AttrSpec("str", 4)])
+
+    def test_nul_in_string_rejected(self):
+        with pytest.raises(ValueError):
+            encode_tuple_bits(("a\x00b",), [AttrSpec("str", 8)])
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            encode_tuple_bits((1, 2), [AttrSpec("int", 4)])

@@ -1,0 +1,152 @@
+"""Query composition (Section 7): avg, ratio-of-sums, differences."""
+
+import numpy as np
+import pytest
+
+from repro.core.composition import (
+    align_shared,
+    divide_compose,
+    subtract_compose,
+)
+from repro.core.join import ObliviousJoinResult
+from repro.mpc import ALICE, BOB, Context, Engine, Mode
+from repro.query import JoinAggregateQuery
+from repro.relalg import AnnotatedRelation, IntegerRing
+from repro.tpch.queries import to_signed
+
+from .conftest import TEST_GROUP_BITS
+
+RING = IntegerRing(32)
+
+
+def mk_engine(mode=Mode.SIMULATED, seed=13):
+    return Engine(Context(mode, seed=seed), TEST_GROUP_BITS)
+
+
+def shared_result(eng, attrs, rows, values):
+    return ObliviousJoinResult(
+        tuple(attrs), list(rows), eng.share(BOB, values)
+    )
+
+
+class TestAlign:
+    def test_alignment_with_missing_groups(self):
+        eng = mk_engine()
+        res = shared_result(eng, ("g",), [(1,), (2,)], [10, 20])
+        base = [(2,), (9,), (1,)]
+        out = align_shared(eng, base, res)
+        assert list(out.reconstruct()) == [20, 0, 10]
+
+    def test_empty_base(self):
+        eng = mk_engine()
+        res = shared_result(eng, ("g",), [(1,)], [5])
+        assert len(align_shared(eng, [], res)) == 0
+
+
+@pytest.mark.parametrize("mode", [Mode.SIMULATED, Mode.REAL])
+class TestDivide:
+    def test_ratio_per_group(self, mode):
+        eng = mk_engine(mode)
+        num = shared_result(eng, ("g",), [(1,), (2,)], [10, 9])
+        den = shared_result(eng, ("g",), [(2,), (1,)], [2, 5])
+        out = divide_compose(eng, num, den)
+        assert out.to_dict() == {(2,): 4, (1,): 2}
+
+    def test_scale_for_fixed_point(self, mode):
+        eng = mk_engine(mode)
+        num = shared_result(eng, ("g",), [(1,)], [1])
+        den = shared_result(eng, ("g",), [(1,)], [3])
+        out = divide_compose(eng, num, den, scale=1000)
+        assert out.to_dict() == {(1,): 333}
+
+    def test_numerator_group_missing(self, mode):
+        eng = mk_engine(mode)
+        num = shared_result(eng, ("g",), [], np.zeros(0, dtype=np.int64))
+        den = shared_result(eng, ("g",), [(1,)], [4])
+        out = divide_compose(eng, num, den)
+        # 0 / 4 = 0; zero annotations are dropped by to_dict
+        assert out.to_dict() == {}
+
+    def test_key_mismatch_rejected(self, mode):
+        eng = mk_engine(mode)
+        num = shared_result(eng, ("g",), [(1,)], [1])
+        den = shared_result(eng, ("h",), [(1,)], [1])
+        with pytest.raises(ValueError):
+            divide_compose(eng, num, den)
+
+
+class TestSubtract:
+    def test_union_of_groups(self):
+        eng = mk_engine()
+        left = shared_result(eng, ("g",), [(1,), (2,)], [10, 7])
+        right = shared_result(eng, ("g",), [(2,), (3,)], [3, 4])
+        out = subtract_compose(eng, left, right)
+        got = {
+            t: to_signed(v, 32) for t, v in out.to_dict().items()
+        }
+        assert got == {(1,): 10, (2,): 4, (3,): -4}
+
+    def test_column_order_reconciled(self):
+        eng = mk_engine()
+        left = shared_result(eng, ("g", "h"), [(1, 2)], [10])
+        right = shared_result(eng, ("h", "g"), [(2, 1)], [4])
+        out = subtract_compose(eng, left, right)
+        assert out.to_dict() == {(1, 2): 6}
+
+    def test_exact_cancellation_disappears(self):
+        eng = mk_engine()
+        left = shared_result(eng, ("g",), [(1,)], [5])
+        right = shared_result(eng, ("g",), [(1,)], [5])
+        assert subtract_compose(eng, left, right).to_dict() == {}
+
+
+class TestEndToEndAvg:
+    def test_secure_avg_matches_plaintext(self):
+        rng = np.random.default_rng(2)
+        stores = AnnotatedRelation(
+            ("store", "region"),
+            [(s, s % 2) for s in range(8)],
+            None,
+            RING,
+        )
+        rows = [(int(rng.integers(0, 8)), t) for t in range(60)]
+        amounts = rng.integers(1, 500, 60)
+
+        def build(kind):
+            txns = AnnotatedRelation(
+                ("store", "txn"),
+                rows,
+                amounts if kind == "sum" else None,
+                RING,
+            )
+            return (
+                JoinAggregateQuery(output=["region"])
+                .add_relation("stores", stores, owner=ALICE)
+                .add_relation("txns", txns, owner=BOB)
+            )
+
+        eng = mk_engine()
+        sums = build("sum").run_secure_shared(eng)
+        counts = build("count").run_secure_shared(eng)
+        avg = divide_compose(eng, sums, counts)
+
+        sum_p = build("sum").run_plain().to_dict()
+        cnt_p = build("count").run_plain().to_dict()
+        expect = {g: sum_p[g] // cnt_p[g] for g in cnt_p}
+        assert avg.to_dict() == expect
+
+    def test_intermediate_sums_never_revealed(self):
+        """No reveal of the sum/count vectors appears in the transcript —
+        only the divide's output."""
+        eng = mk_engine()
+        num = shared_result(eng, ("g",), [(1,)], [10])
+        den = shared_result(eng, ("g",), [(1,)], [2])
+        before = [
+            m.label for m in eng.ctx.transcript.messages
+        ]
+        divide_compose(eng, num, den)
+        new_labels = [
+            m.label
+            for m in eng.ctx.transcript.messages[len(before):]
+        ]
+        assert not any("reveal" in l for l in new_labels)

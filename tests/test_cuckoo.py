@@ -1,0 +1,148 @@
+"""Cuckoo hashing, simple hashing, bin-load bounds, item encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpc.cuckoo import (
+    DUMMY_ALICE,
+    DUMMY_BOB,
+    CuckooTable,
+    encode_item,
+    fingerprint,
+    max_bin_load,
+    num_bins,
+    simple_hash_bins,
+)
+
+
+class TestEncodeItem:
+    def test_types_are_disjoint(self):
+        # 1 and "1" and (1,) must encode differently.
+        assert encode_item(1) != encode_item("1")
+        assert encode_item(1) != encode_item((1,))
+        assert encode_item(True) != encode_item(1)
+
+    def test_tuple_structure_preserved(self):
+        assert encode_item((1, 2)) != encode_item((12,))
+        assert encode_item(("ab", "c")) != encode_item(("a", "bc"))
+
+    def test_negative_ints(self):
+        assert encode_item(-5) != encode_item(5)
+
+    def test_nested_tuples(self):
+        assert encode_item(((1, 2), 3)) != encode_item((1, (2, 3)))
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            encode_item(3.14)
+
+    @given(
+        a=st.one_of(st.integers(), st.text(max_size=8)),
+        b=st.one_of(st.integers(), st.text(max_size=8)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_injective_on_scalars(self, a, b):
+        if a != b:
+            assert encode_item(a) != encode_item(b)
+
+
+class TestFingerprint:
+    def test_in_real_subspace(self):
+        fp = fingerprint(("x", 1), b"salt")
+        assert fp >> 62 == 0  # top two bits reserved for dummies
+
+    def test_dummy_spaces_disjoint(self):
+        assert DUMMY_ALICE >> 62 == 2
+        assert DUMMY_BOB >> 62 == 3
+
+    def test_salt_changes_fingerprint(self):
+        assert fingerprint(1, b"a" * 16) != fingerprint(1, b"b" * 16)
+
+
+class TestCuckooTable:
+    def test_each_item_in_one_candidate_bin(self):
+        items = [("item", i) for i in range(200)]
+        table = CuckooTable(items)
+        for idx in range(len(items)):
+            assert any(
+                table.bins[b] == idx for b in table.bins_of_index(idx)
+            )
+
+    def test_at_most_one_item_per_bin(self):
+        table = CuckooTable(list(range(300)))
+        occupied = table.bins[table.bins >= 0]
+        assert len(set(occupied)) == len(occupied)
+
+    def test_occupancy_equals_item_count(self):
+        table = CuckooTable(list(range(50)))
+        assert table.occupancy() == 50
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            CuckooTable([1, 1, 2])
+
+    def test_empty_set(self):
+        table = CuckooTable([], n_bins=1)
+        assert table.occupancy() == 0
+
+    def test_default_bins_expansion(self):
+        table = CuckooTable(list(range(100)))
+        assert table.n_bins == num_bins(100) == 127
+
+    def test_bins_of_item_matches_index(self):
+        items = ["a", "b", "c"]
+        table = CuckooTable(items)
+        for i, item in enumerate(items):
+            assert table.bins_of_item(item) == table.bins_of_index(i)
+
+    def test_deterministic_given_seed(self):
+        t1 = CuckooTable(list(range(64)), seed=5)
+        t2 = CuckooTable(list(range(64)), seed=5)
+        assert (t1.bins == t2.bins).all()
+
+    def test_impossible_table_raises(self):
+        with pytest.raises(RuntimeError):
+            CuckooTable(list(range(10)), n_bins=3, max_rehashes=2)
+
+
+class TestSimpleHashing:
+    def test_items_land_in_their_candidate_bins(self):
+        alice = CuckooTable(list(range(50)))
+        bob_items = list(range(25, 75))
+        bins = simple_hash_bins(bob_items, alice.seeds, alice.n_bins)
+        for idx, item in enumerate(bob_items):
+            candidates = set(alice.bins_of_item(item))
+            holding = {b for b, members in enumerate(bins) if idx in members}
+            assert holding <= candidates
+            assert holding  # at least one bin
+
+    def test_common_item_shares_a_bin(self):
+        # The PSI correctness invariant: equal items meet in the bin the
+        # cuckoo table chose for Alice's copy.
+        alice = CuckooTable(list(range(40)))
+        bins = simple_hash_bins(list(range(40)), alice.seeds, alice.n_bins)
+        for i in range(40):
+            b = [j for j, idx in enumerate(alice.bins) if idx == i][0]
+            assert i in bins[b]
+
+
+class TestLoadBound:
+    def test_bound_holds_empirically(self):
+        n, bins = 500, num_bins(400)
+        bound = max_bin_load(n, bins)
+        rng = np.random.default_rng(0)
+        for trial in range(5):
+            items = [("t", trial, i) for i in range(n)]
+            table = CuckooTable(list(range(400)), seed=trial)
+            hashed = simple_hash_bins(items, table.seeds, bins)
+            assert max(len(b) for b in hashed) <= bound
+
+    def test_bound_monotone_in_sigma(self):
+        assert max_bin_load(100, 127, sigma=60) >= max_bin_load(
+            100, 127, sigma=20
+        )
+
+    def test_zero_items(self):
+        assert max_bin_load(0, 10) == 1

@@ -1,0 +1,175 @@
+"""The engine's vectorised secure operations — both modes."""
+
+import numpy as np
+import pytest
+
+from repro.mpc import ALICE, BOB, Context, Engine, Mode
+
+from .conftest import TEST_GROUP_BITS
+
+
+def mk_engine(mode, seed=21):
+    return Engine(Context(mode, seed=seed), TEST_GROUP_BITS)
+
+
+@pytest.mark.parametrize("mode", [Mode.SIMULATED, Mode.REAL])
+class TestProducts:
+    def test_mul_shared(self, mode):
+        eng = mk_engine(mode)
+        rng = np.random.default_rng(1)
+        x = eng.share(ALICE, rng.integers(0, 2**31, 8))
+        y = eng.share(BOB, rng.integers(0, 2**31, 8))
+        z = eng.mul_shared(x, y)
+        expect = (x.reconstruct() * y.reconstruct()) & eng.ctx.mask
+        assert (z.reconstruct() == expect).all()
+
+    def test_mul_alice_plain(self, mode):
+        eng = mk_engine(mode)
+        a = np.asarray([0, 1, 7, 2**31], dtype=np.uint64)
+        y = eng.share(BOB, [5, 5, 5, 5])
+        z = eng.mul_alice_plain(a, y)
+        assert (z.reconstruct() == (a * 5) & eng.ctx.mask).all()
+
+    def test_mul_gc_variant(self, mode):
+        eng = mk_engine(mode)
+        x = eng.share(ALICE, [3, 0, 9])
+        y = eng.share(BOB, [4, 7, 0])
+        z = eng.mul_shared(x, y, via="gc")
+        assert list(z.reconstruct()) == [12, 0, 0]
+
+    def test_product_across(self, mode):
+        eng = mk_engine(mode)
+        fs = [
+            eng.share(ALICE, [2, 1]),
+            eng.share(BOB, [3, 5]),
+            eng.share(ALICE, [4, 0]),
+        ]
+        z = eng.product_across(fs)
+        assert list(z.reconstruct()) == [24, 0]
+
+    def test_indicator_nonzero(self, mode):
+        eng = mk_engine(mode)
+        x = eng.share(ALICE, [0, 1, 0, 2**31, 0])
+        z = eng.indicator_nonzero(x)
+        assert list(z.reconstruct()) == [0, 1, 0, 1, 0]
+
+    def test_output_shares_fresh(self, mode):
+        eng = mk_engine(mode)
+        x = eng.share(ALICE, [7] * 16)
+        y = eng.share(BOB, [1] * 16)
+        z = eng.mul_shared(x, y)
+        assert not (z.alice == x.alice).all()
+
+
+@pytest.mark.parametrize("mode", [Mode.SIMULATED, Mode.REAL])
+class TestMergeChains:
+    def test_sum_groups(self, mode):
+        eng = mk_engine(mode)
+        v = eng.share(ALICE, [3, 4, 5, 6, 7, 8])
+        same = [True, False, False, True, True]
+        out = eng.merge_aggregate_sum(same, v)
+        assert list(out.reconstruct()) == [0, 7, 5, 0, 0, 21]
+
+    def test_or_groups(self, mode):
+        eng = mk_engine(mode)
+        v = eng.share(BOB, [0, 1, 0, 0, 1, 0])
+        same = [True, False, False, True, True]
+        out = eng.merge_aggregate_or(same, v)
+        assert list(out.reconstruct()) == [0, 1, 0, 0, 0, 1]
+
+    def test_single_element(self, mode):
+        eng = mk_engine(mode)
+        v = eng.share(ALICE, [9])
+        assert list(eng.merge_aggregate_sum([], v).reconstruct()) == [9]
+
+    def test_empty(self, mode):
+        eng = mk_engine(mode)
+        out = eng.merge_aggregate_sum([], eng.zeros(0))
+        assert len(out) == 0
+
+    def test_wraparound_sum(self, mode):
+        eng = mk_engine(mode)
+        big = eng.ctx.modulus - 1
+        v = eng.share(ALICE, [big, 2])
+        out = eng.merge_aggregate_sum([True], v)
+        assert list(out.reconstruct()) == [0, 1]
+
+    def test_indicator_count_mismatch(self, mode):
+        eng = mk_engine(mode)
+        v = eng.share(ALICE, [1, 2])
+        with pytest.raises(ValueError):
+            eng.merge_aggregate_sum([], v)
+
+
+@pytest.mark.parametrize("mode", [Mode.SIMULATED, Mode.REAL])
+class TestRevealAndDivide:
+    def test_reveal_nonzero_flags(self, mode):
+        eng = mk_engine(mode)
+        v = eng.share(BOB, [0, 3, 0, 1])
+        flags, payloads = eng.reveal_nonzero_flags(v)
+        assert list(flags) == [False, True, False, True]
+        assert payloads is None
+
+    def test_reveal_with_payloads(self, mode):
+        eng = mk_engine(mode)
+        v = eng.share(BOB, [0, 3])
+        pb = [[1, 1, 0, 1], [0, 1, 1, 0]]
+        flags, payloads = eng.reveal_nonzero_flags(v, pb)
+        assert payloads[0] == [0, 0, 0, 0]  # hidden: annotation is 0
+        assert payloads[1] == [0, 1, 1, 0]
+
+    def test_divide_reveal(self, mode):
+        eng = mk_engine(mode)
+        x = eng.share(ALICE, [100, 17, 5])
+        y = eng.share(BOB, [7, 3, 0])
+        q = eng.divide_reveal(x, y)
+        assert list(q[:2]) == [14, 5]
+        assert q[2] == eng.ctx.modulus - 1  # division by zero sentinel
+
+
+class TestCostParity:
+    def test_mul_bytes_match_across_modes(self):
+        def run(mode):
+            eng = Engine(Context(mode, seed=5), 2048)
+            x = eng.share(ALICE, list(range(10)))
+            y = eng.share(BOB, list(range(10)))
+            eng.mul_shared(x, y)
+            return eng.ctx.transcript.total_bytes
+
+        assert run(Mode.REAL) == run(Mode.SIMULATED)
+
+    def test_merge_chain_extrapolated_charge_is_exact(self):
+        """The SIMULATED chain charge must equal REAL's actual bytes."""
+
+        def run(mode, n):
+            eng = Engine(Context(mode, seed=5), 2048)
+            v = eng.share(ALICE, list(range(n)))
+            eng.merge_aggregate_sum([i % 2 == 0 for i in range(n - 1)], v)
+            return eng.ctx.transcript.total_bytes
+
+        for n in (2, 3, 7, 12):
+            assert run(Mode.REAL, n) == run(Mode.SIMULATED, n), n
+
+    def test_gilboa_transcript_value_independent(self):
+        def run(vals_a, vals_b):
+            eng = mk_engine(Mode.SIMULATED)
+            x = eng.share(ALICE, vals_a)
+            y = eng.share(BOB, vals_b)
+            eng.mul_shared(x, y)
+            return eng.ctx.transcript.fingerprint()
+
+        assert run([0, 0, 0], [1, 2, 3]) == run(
+            [2**31, 5, 17], [0, 0, 0]
+        )
+
+
+class TestOrChainParity:
+    def test_or_chain_bytes_match_across_modes(self):
+        def run(mode, n):
+            eng = Engine(Context(mode, seed=6), 2048)
+            v = eng.share(BOB, [i % 2 for i in range(n)])
+            eng.merge_aggregate_or([i % 3 == 0 for i in range(n - 1)], v)
+            return eng.ctx.transcript.total_bytes
+
+        for n in (2, 5, 9):
+            assert run(Mode.REAL, n) == run(Mode.SIMULATED, n), n

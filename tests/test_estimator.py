@@ -1,0 +1,88 @@
+"""The analytic cost estimator against the metered execution."""
+
+import numpy as np
+import pytest
+
+from repro.bench.estimator import estimate_plan_cost
+from repro.core import SecureRelation, secure_yannakakis
+from repro.mpc import ALICE, BOB, Context, Engine, Mode
+from repro.relalg import (
+    AnnotatedRelation,
+    Hypergraph,
+    IntegerRing,
+    find_free_connex_tree,
+)
+from repro.yannakakis import build_plan
+
+from .conftest import TEST_GROUP_BITS
+
+RING = IntegerRing(32)
+
+
+def run_and_estimate(owners, n1, n2, output=("b",), seed=0):
+    rng = np.random.default_rng(seed)
+    r1 = AnnotatedRelation(
+        ("a", "b"),
+        [(int(x), int(y)) for x, y in rng.integers(0, 50, (n1, 2))],
+        rng.integers(1, 9, n1),
+        RING,
+    )
+    r2 = AnnotatedRelation(
+        ("b", "c"),
+        [(int(x), int(y)) for x, y in rng.integers(0, 50, (n2, 2))],
+        rng.integers(1, 9, n2),
+        RING,
+    )
+    rels = {"R1": r1, "R2": r2}
+    h = Hypergraph({n: r.attributes for n, r in rels.items()})
+    plan = build_plan(find_free_connex_tree(h, set(output)), output)
+    engine = Engine(Context(Mode.SIMULATED, seed=1), TEST_GROUP_BITS)
+    sec = {
+        n: SecureRelation.from_annotated(owners[n], rels[n]) for n in rels
+    }
+    result, stats = secure_yannakakis(engine, sec, plan)
+    est = estimate_plan_cost(
+        plan, {"R1": n1, "R2": n2}, owners, out_size=len(result)
+    )
+    return stats.total_bytes, est
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("n1,n2", [(10, 10), (40, 25), (7, 60)])
+    def test_cross_party_exact(self, n1, n2):
+        actual, est = run_and_estimate(
+            {"R1": ALICE, "R2": BOB}, n1, n2, seed=n1
+        )
+        assert est.total == actual
+
+    def test_reverse_ownership_exact(self):
+        actual, est = run_and_estimate({"R1": BOB, "R2": ALICE}, 30, 20)
+        assert est.total == actual
+
+    def test_same_party_within_one_percent(self):
+        actual, est = run_and_estimate({"R1": ALICE, "R2": ALICE}, 40, 25)
+        assert abs(est.total - actual) <= 0.01 * actual
+
+    def test_semijoin_phase_estimated(self):
+        # Output on both ends forces the semijoin/full-join phases.
+        actual, est = run_and_estimate(
+            {"R1": ALICE, "R2": BOB}, 20, 20, output=("a", "b", "c")
+        )
+        assert abs(est.total - actual) <= 0.02 * actual
+
+
+class TestBreakdown:
+    def test_parts_sum_to_total(self):
+        _, est = run_and_estimate({"R1": ALICE, "R2": BOB}, 15, 15)
+        assert sum(est.by_part.values()) == est.total
+
+    def test_gc_tables_present_for_cross_party(self):
+        _, est = run_and_estimate({"R1": ALICE, "R2": BOB}, 15, 15)
+        assert est.by_part.get("gc_tables", 0) > 0
+        assert est.by_part.get("oprf", 0) > 0
+
+    def test_estimate_scales_linearly(self):
+        _, small = run_and_estimate({"R1": ALICE, "R2": BOB}, 20, 20)
+        _, big = run_and_estimate({"R1": ALICE, "R2": BOB}, 80, 80)
+        ratio = big.total / small.total
+        assert 2.5 < ratio < 6  # ~4x data, ~linear cost

@@ -1,0 +1,125 @@
+"""Garbled circuits: garbled evaluation must match plaintext evaluation,
+and the scheme's structural security properties must hold."""
+
+import secrets
+
+import numpy as np
+import pytest
+
+from repro.mpc.circuits import CircuitBuilder, evaluate_garbled, garble
+from repro.mpc.gadgets import bits_of, int_of
+
+
+def random_circuit(rng, n_alice=6, n_bob=6, n_gates=40):
+    b = CircuitBuilder()
+    wires = b.alice_input_bits(n_alice) + b.bob_input_bits(n_bob)
+    wires.append(b.constant(0))
+    wires.append(b.constant(1))
+    for _ in range(n_gates):
+        op = rng.integers(0, 3)
+        a = wires[rng.integers(0, len(wires))]
+        c = wires[rng.integers(0, len(wires))]
+        if op == 0:
+            wires.append(b.xor(a, c))
+        elif op == 1:
+            wires.append(b.and_(a, c))
+        else:
+            wires.append(b.not_(a))
+    outputs = [wires[i] for i in rng.integers(0, len(wires), size=8)]
+    return b.build(outputs)
+
+
+def garbled_eval(circuit, alice_bits, bob_bits):
+    g = garble(circuit, secrets.token_bytes)
+    labels = {}
+    for w, bit in zip(circuit.alice_inputs, alice_bits):
+        labels[w] = g.label(w, bit)
+    for w, bit in zip(circuit.bob_inputs, bob_bits):
+        labels[w] = g.label(w, bit)
+    for w, bit in circuit.const_wires:
+        labels[w] = g.label(w, bit)
+    active = evaluate_garbled(circuit, g.tables, labels)
+    permute = g.output_permute_bits()
+    return [
+        (active[w] & 1) ^ p for w, p in zip(circuit.outputs, permute)
+    ]
+
+
+class TestCorrectness:
+    def test_random_circuits(self):
+        rng = np.random.default_rng(13)
+        for _ in range(25):
+            c = random_circuit(rng)
+            alice = list(rng.integers(0, 2, len(c.alice_inputs)))
+            bob = list(rng.integers(0, 2, len(c.bob_inputs)))
+            assert garbled_eval(c, alice, bob) == c.evaluate(alice, bob)
+
+    def test_arithmetic_circuit(self):
+        ell = 8
+        b = CircuitBuilder()
+        xs, ys = b.alice_input_bits(ell), b.bob_input_bits(ell)
+        c = b.build(b.mul(xs, ys))
+        out = garbled_eval(c, bits_of(13, ell), bits_of(19, ell))
+        assert int_of(out) == (13 * 19) % 256
+
+    def test_all_gate_types(self):
+        b = CircuitBuilder()
+        (x,) = b.alice_input_bits(1)
+        (y,) = b.bob_input_bits(1)
+        outs = [b.xor(x, y), b.and_(x, y), b.not_(x), b.or_(x, y)]
+        c = b.build(outs)
+        for xv in (0, 1):
+            for yv in (0, 1):
+                assert garbled_eval(c, [xv], [yv]) == c.evaluate([xv], [yv])
+
+
+class TestSchemeStructure:
+    def test_free_xor_produces_no_tables(self):
+        b = CircuitBuilder()
+        (x,) = b.alice_input_bits(1)
+        (y,) = b.bob_input_bits(1)
+        b.xor(x, y)
+        c = b.build([])
+        g = garble(c, secrets.token_bytes)
+        assert g.tables.n_bytes == 0
+
+    def test_table_bytes_two_rows_per_and(self):
+        # Half-gates: exactly two 16-byte ciphertexts per AND gate.
+        b = CircuitBuilder()
+        xs, ys = b.alice_input_bits(8), b.bob_input_bits(8)
+        b.add(xs, ys)
+        c = b.build([])
+        g = garble(c, secrets.token_bytes)
+        assert g.tables.n_bytes == c.and_count * 2 * 16
+
+    def test_labels_differ_by_global_delta(self):
+        b = CircuitBuilder()
+        xs = b.alice_input_bits(4)
+        c = b.build(xs)
+        g = garble(c, secrets.token_bytes)
+        for w in c.alice_inputs:
+            assert g.label(w, 0) ^ g.label(w, 1) == g.delta
+
+    def test_delta_has_lsb_one(self):
+        b = CircuitBuilder()
+        b.alice_input_bits(1)
+        g = garble(b.build([]), secrets.token_bytes)
+        assert g.delta & 1 == 1
+
+    def test_select_bits_of_pair_differ(self):
+        # Point-and-permute needs the two labels of a wire to carry
+        # opposite select bits.
+        b = CircuitBuilder()
+        xs = b.alice_input_bits(4)
+        c = b.build(xs)
+        g = garble(c, secrets.token_bytes)
+        for w in c.alice_inputs:
+            assert (g.label(w, 0) & 1) != (g.label(w, 1) & 1)
+
+    def test_fresh_garblings_use_fresh_labels(self):
+        b = CircuitBuilder()
+        xs = b.alice_input_bits(2)
+        c = b.build(xs)
+        g1 = garble(c, secrets.token_bytes)
+        g2 = garble(c, secrets.token_bytes)
+        assert g1.zero_labels != g2.zero_labels

@@ -1,0 +1,107 @@
+"""Hypergraphs, GYO acyclicity, and join-tree construction."""
+
+import pytest
+
+from repro.relalg import Hypergraph
+
+
+class TestAcyclicity:
+    def test_single_edge(self):
+        assert Hypergraph({"R": ("A", "B")}).is_acyclic()
+
+    def test_path_query(self):
+        h = Hypergraph({"R1": ("A", "B"), "R2": ("B", "C"), "R3": ("C", "D")})
+        assert h.is_acyclic()
+
+    def test_triangle_is_cyclic(self):
+        h = Hypergraph({"R1": ("A", "B"), "R2": ("B", "C"), "R3": ("A", "C")})
+        assert not h.is_acyclic()
+
+    def test_triangle_with_covering_edge_is_acyclic(self):
+        # alpha-acyclicity: adding the covering hyperedge breaks the cycle
+        h = Hypergraph(
+            {
+                "R1": ("A", "B"),
+                "R2": ("B", "C"),
+                "R3": ("A", "C"),
+                "R4": ("A", "B", "C"),
+            }
+        )
+        assert h.is_acyclic()
+
+    def test_star_query(self):
+        h = Hypergraph(
+            {
+                "F": ("A", "B", "C"),
+                "D1": ("A", "X"),
+                "D2": ("B", "Y"),
+                "D3": ("C", "Z"),
+            }
+        )
+        assert h.is_acyclic()
+
+    def test_cycle_of_four(self):
+        h = Hypergraph(
+            {
+                "R1": ("A", "B"),
+                "R2": ("B", "C"),
+                "R3": ("C", "D"),
+                "R4": ("D", "A"),
+            }
+        )
+        assert not h.is_acyclic()
+
+    def test_duplicate_edges_ok(self):
+        h = Hypergraph({"R1": ("A", "B"), "R2": ("A", "B")})
+        assert h.is_acyclic()
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            Hypergraph({})
+
+    def test_tpch_q9_shape_is_acyclic(self):
+        h = Hypergraph(
+            {
+                "part": ("pk",),
+                "supplier": ("sk", "nk"),
+                "lineitem": ("ok", "pk", "sk"),
+                "partsupp": ("pk", "sk"),
+                "orders": ("ok", "od"),
+            }
+        )
+        assert h.is_acyclic()
+
+
+class TestJoinTrees:
+    def test_join_tree_of_path(self):
+        h = Hypergraph({"R1": ("A", "B"), "R2": ("B", "C"), "R3": ("C", "D")})
+        edges = h.join_tree_edges()
+        assert edges is not None and len(edges) == 2
+
+    def test_join_tree_of_cyclic_is_none(self):
+        h = Hypergraph({"R1": ("A", "B"), "R2": ("B", "C"), "R3": ("A", "C")})
+        assert h.join_tree_edges() is None
+
+    def test_disconnected_components_linked(self):
+        h = Hypergraph({"R1": ("A",), "R2": ("B",)})
+        edges = h.join_tree_edges()
+        assert edges is not None and len(edges) == 1
+
+    def test_single_relation_tree(self):
+        assert Hypergraph({"R": ("A",)}).join_tree_edges() == []
+
+    def test_all_join_trees_are_valid(self):
+        h = Hypergraph(
+            {"R1": ("A", "B"), "R2": ("B", "C"), "R3": ("B", "D")}
+        )
+        trees = h.all_join_trees()
+        assert trees  # at least one
+        for edges in trees:
+            assert len(edges) == 2
+
+    def test_with_edge(self):
+        h = Hypergraph({"R": ("A", "B")})
+        h2 = h.with_edge("O", ("A",))
+        assert "O" in h2.edges and "O" not in h.edges
+        with pytest.raises(ValueError):
+            h.with_edge("R", ("A",))

@@ -1,0 +1,172 @@
+"""Plaintext annotated relational algebra: unit and property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relalg import (
+    AnnotatedRelation,
+    IntegerRing,
+    aggregate,
+    join,
+    map_annotations,
+    select,
+    select_with_dummies,
+    semijoin,
+    support_projection,
+)
+
+RING = IntegerRing(16)
+
+
+def rel(attrs, tuples, annots=None):
+    return AnnotatedRelation(attrs, tuples, annots, RING)
+
+
+class TestAggregate:
+    def test_groups_and_sums(self):
+        r = rel(("a", "b"), [(1, 10), (1, 20), (2, 30)], [5, 7, 9])
+        out = aggregate(r, ("a",))
+        assert out.to_dict() == {(1,): 12, (2,): 9}
+
+    def test_empty_group_by_gives_scalar(self):
+        r = rel(("a",), [(1,), (2,)], [5, 7])
+        out = aggregate(r, ())
+        assert out.to_dict() == {(): 12}
+
+    def test_scalar_aggregate_of_empty_relation(self):
+        out = aggregate(rel(("a",), []), ())
+        assert out.tuples == [()]
+        assert list(out.annotations) == [0]
+
+    def test_wraparound_cancellation(self):
+        r = rel(("a",), [(1,), (1,)], [5, RING.modulus - 5])
+        out = aggregate(r, ("a",))
+        assert out.to_dict() == {}  # zero group dropped by to_dict
+
+    def test_identity_projection_merges_duplicates(self):
+        r = rel(("a",), [(1,), (1,)], [2, 3])
+        out = aggregate(r, ("a",))
+        assert len(out) == 1 and out.to_dict() == {(1,): 5}
+
+
+class TestSupportProjection:
+    def test_drops_zero_annotated(self):
+        r = rel(("a", "b"), [(1, 1), (2, 2), (1, 3)], [0, 4, 6])
+        out = support_projection(r, ("a",))
+        assert out.to_dict() == {(2,): 1, (1,): 1}
+
+    def test_annotations_reset_to_one(self):
+        r = rel(("a",), [(1,)], [99])
+        assert list(support_projection(r, ("a",)).annotations) == [1]
+
+
+class TestJoin:
+    def test_natural_join_products(self):
+        r1 = rel(("a", "b"), [(1, 2), (3, 4)], [2, 3])
+        r2 = rel(("b", "c"), [(2, 5), (2, 6), (4, 7)], [10, 20, 30])
+        out = join(r1, r2)
+        assert out.to_dict() == {(1, 2, 5): 20, (1, 2, 6): 40, (3, 4, 7): 90}
+        assert out.attributes == ("a", "b", "c")
+
+    def test_cartesian_when_no_shared_attrs(self):
+        r1 = rel(("a",), [(1,), (2,)])
+        r2 = rel(("b",), [(3,)])
+        assert len(join(r1, r2)) == 2
+
+    def test_join_rejects_semiring_mismatch(self):
+        r1 = rel(("a",), [(1,)])
+        r2 = AnnotatedRelation(("a",), [(1,)], None, IntegerRing(8))
+        with pytest.raises(ValueError):
+            join(r1, r2)
+
+    def test_join_with_empty(self):
+        r1 = rel(("a",), [(1,)])
+        assert len(join(r1, rel(("a",), []))) == 0
+
+
+class TestSemijoin:
+    def test_keeps_matching_preserving_annotations(self):
+        r1 = rel(("a", "b"), [(1, 2), (3, 4)], [7, 8])
+        r2 = rel(("b", "c"), [(2, 9)], [1])
+        out = semijoin(r1, r2)
+        assert out.to_dict() == {(1, 2): 7}
+
+    def test_zero_annotated_filter_tuples_do_not_count(self):
+        r1 = rel(("a",), [(1,), (2,)], [5, 5])
+        r2 = rel(("a",), [(1,), (2,)], [0, 3])
+        assert semijoin(r1, r2).to_dict() == {(2,): 5}
+
+    def test_duplicate_filter_values_no_duplication(self):
+        r1 = rel(("a",), [(1,)], [5])
+        r2 = rel(("a", "b"), [(1, 1), (1, 2)], [1, 1])
+        out = semijoin(r1, r2)
+        assert len(out) == 1 and out.to_dict() == {(1,): 5}
+
+
+class TestSelection:
+    def test_select_shrinks(self):
+        r = rel(("a",), [(1,), (2,), (3,)], [1, 2, 3])
+        out = select(r, lambda row: row["a"] >= 2)
+        assert len(out) == 2
+
+    def test_select_with_dummies_keeps_size(self):
+        r = rel(("a",), [(1,), (2,), (3,)], [1, 2, 3])
+        out = select_with_dummies(r, lambda row: row["a"] >= 2)
+        assert len(out) == 3
+        assert out.to_dict() == {(2,): 2, (3,): 3}
+
+    def test_map_annotations(self):
+        r = rel(("a",), [(2,), (3,)])
+        out = map_annotations(r, lambda row, v: row["a"] * 10)
+        assert list(out.annotations) == [20, 30]
+
+
+@st.composite
+def small_relation(draw, attrs):
+    n = draw(st.integers(0, 8))
+    tuples = [
+        tuple(draw(st.integers(0, 3)) for _ in attrs) for _ in range(n)
+    ]
+    annots = [draw(st.integers(0, 30)) for _ in range(n)]
+    return AnnotatedRelation(attrs, tuples, annots, RING)
+
+
+class TestAlgebraicProperties:
+    @given(r1=small_relation(("a", "b")), r2=small_relation(("b", "c")))
+    @settings(max_examples=60, deadline=None)
+    def test_join_commutes_semantically(self, r1, r2):
+        assert join(r1, r2).semantically_equal(join(r2, r1))
+
+    @given(r=small_relation(("a", "b")))
+    @settings(max_examples=60, deadline=None)
+    def test_aggregate_preserves_total(self, r):
+        total = aggregate(r, ())
+        regrouped = aggregate(aggregate(r, ("a",)), ())
+        assert total.semantically_equal(regrouped)
+
+    @given(r1=small_relation(("a", "b")), r2=small_relation(("b",)))
+    @settings(max_examples=60, deadline=None)
+    def test_semijoin_is_join_with_support(self, r1, r2):
+        direct = semijoin(r1, r2)
+        via_def = join(r1, support_projection(r2, ("b",)))
+        assert direct.semantically_equal(via_def)
+
+    @given(
+        r1=small_relation(("a",)),
+        r2=small_relation(("a", "b")),
+        r3=small_relation(("b",)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_join_associative(self, r1, r2, r3):
+        left = join(join(r1, r2), r3)
+        right = join(r1, join(r2, r3))
+        assert left.semantically_equal(right)
+
+    @given(r=small_relation(("a", "b")))
+    @settings(max_examples=60, deadline=None)
+    def test_aggregation_distributes_over_projection_chain(self, r):
+        one_step = aggregate(r, ("a",))
+        # Aggregating an aggregate over the same attrs is idempotent.
+        assert one_step.semantically_equal(aggregate(one_step, ("a",)))

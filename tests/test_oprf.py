@@ -1,0 +1,93 @@
+"""The batched OPRF and the polynomial OPPRF hints."""
+
+import numpy as np
+import pytest
+
+from repro.mpc import Context, Mode
+from repro.mpc.oprf import (
+    OPPRF_PRIME,
+    BatchedOprf,
+    poly_eval,
+    poly_interpolate,
+)
+
+GROUP_BITS = 1536
+
+
+class TestPolynomials:
+    def test_interpolation_hits_points(self):
+        pts = [(3, 10), (7, 20), (11, 5)]
+        coeffs = poly_interpolate(pts)
+        for x, y in pts:
+            assert poly_eval(coeffs, x) == y
+
+    def test_degree_matches_point_count(self):
+        pts = [(1, 1), (2, 4), (3, 9), (4, 16)]
+        assert len(poly_interpolate(pts)) == 4
+
+    def test_rejects_duplicate_x(self):
+        with pytest.raises(ValueError):
+            poly_interpolate([(1, 2), (1, 3)])
+
+    def test_random_roundtrip(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            k = int(rng.integers(1, 12))
+            xs = list(
+                {int(x) for x in rng.integers(0, OPPRF_PRIME, 3 * k)}
+            )[:k]
+            ys = [int(y) for y in rng.integers(0, OPPRF_PRIME, len(xs))]
+            coeffs = poly_interpolate(list(zip(xs, ys)))
+            for x, y in zip(xs, ys):
+                assert poly_eval(coeffs, x) == y
+
+    def test_constant_polynomial(self):
+        coeffs = poly_interpolate([(5, 42)])
+        assert poly_eval(coeffs, 999) == 42
+
+
+class TestBatchedOprf:
+    def test_real_alice_values_match_bob_evaluation(self):
+        ctx = Context(Mode.REAL, seed=1)
+        fps = [int(f) for f in np.random.default_rng(1).integers(
+            0, 1 << 62, 12
+        )]
+        oprf = BatchedOprf(ctx, fps, GROUP_BITS)
+        # Consistency: Bob evaluating on Alice's input recovers F_j(x_j).
+        for j, fp in enumerate(fps):
+            assert oprf.bob_eval(j, fp) == oprf.alice_values[j]
+
+    def test_real_outputs_differ_across_rows(self):
+        ctx = Context(Mode.REAL, seed=2)
+        oprf = BatchedOprf(ctx, [7, 7, 7], GROUP_BITS)
+        # The same input in different rows gets independent PRF values.
+        assert len(set(oprf.alice_values)) == 3
+
+    def test_real_other_inputs_look_unrelated(self):
+        ctx = Context(Mode.REAL, seed=3)
+        oprf = BatchedOprf(ctx, [1, 2], GROUP_BITS)
+        assert oprf.bob_eval(0, 99) != oprf.alice_values[0]
+
+    def test_simulated_consistency(self):
+        ctx = Context(Mode.SIMULATED, seed=4)
+        fps = [10, 20, 30]
+        oprf = BatchedOprf(ctx, fps)
+        for j, fp in enumerate(fps):
+            assert oprf.bob_eval(j, fp) == oprf.alice_values[j]
+        assert oprf.bob_eval(0, 999) != oprf.alice_values[0]
+
+    def test_simulated_charges_real_shape(self):
+        sim = Context(Mode.SIMULATED, seed=5)
+        BatchedOprf(sim, list(range(40)))
+        assert sim.transcript.total_bytes > 0
+        # The u-matrix charge scales with the row count.
+        sim2 = Context(Mode.SIMULATED, seed=5)
+        BatchedOprf(sim2, list(range(4000)))
+        assert (
+            sim2.transcript.total_bytes > sim.transcript.total_bytes
+        )
+
+    def test_empty_input(self):
+        ctx = Context(Mode.REAL, seed=6)
+        oprf = BatchedOprf(ctx, [], GROUP_BITS)
+        assert oprf.alice_values == []

@@ -1,0 +1,89 @@
+"""The role-orienting engine facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.oriented import OrientedEngine
+from repro.mpc import ALICE, BOB, Context, Engine, Mode
+
+from .conftest import TEST_GROUP_BITS
+
+
+def mk_engine(seed=8):
+    return Engine(Context(Mode.SIMULATED, seed=seed), TEST_GROUP_BITS)
+
+
+class TestOrientation:
+    def test_rejects_unknown_party(self):
+        with pytest.raises(ValueError):
+            OrientedEngine(mk_engine(), "carol")
+
+    def test_flipped(self):
+        eng = mk_engine()
+        oe = OrientedEngine(eng, BOB)
+        assert oe.flipped().owner == ALICE
+        assert oe.flipped().flipped().owner == BOB
+
+    @pytest.mark.parametrize("owner", [ALICE, BOB])
+    def test_mul_semantics_owner_independent(self, owner):
+        eng = mk_engine()
+        oe = OrientedEngine(eng, owner)
+        x = eng.share(ALICE, [3, 4])
+        y = eng.share(BOB, [5, 6])
+        z = oe.mul_shared(x, y)
+        assert list(z.reconstruct()) == [15, 24]
+
+    @pytest.mark.parametrize("owner", [ALICE, BOB])
+    def test_owner_plain_mul(self, owner):
+        eng = mk_engine()
+        oe = OrientedEngine(eng, owner)
+        y = eng.share(ALICE, [10, 20])
+        z = oe.mul_owner_plain(np.asarray([2, 3]), y)
+        assert list(z.reconstruct()) == [20, 60]
+
+    @pytest.mark.parametrize("owner", [ALICE, BOB])
+    def test_oep_owner_independent(self, owner):
+        eng = mk_engine()
+        oe = OrientedEngine(eng, owner)
+        v = eng.share(BOB, [10, 20, 30])
+        out = oe.oep([2, 2, 0, 1], v, 4)
+        assert list(out.reconstruct()) == [30, 30, 10, 20]
+
+    @pytest.mark.parametrize("owner", [ALICE, BOB])
+    def test_merge_chain_owner_independent(self, owner):
+        eng = mk_engine()
+        oe = OrientedEngine(eng, owner)
+        v = eng.share(ALICE, [1, 2, 3])
+        out = oe.merge_aggregate_sum([True, False], v)
+        assert list(out.reconstruct()) == [0, 3, 3]
+
+    def test_sender_labels_mirrored(self):
+        """The same protocol run by the opposite owner produces the
+        mirror-image transcript (senders swapped, sizes identical)."""
+
+        def run(owner):
+            eng = mk_engine(seed=5)
+            oe = OrientedEngine(eng, owner)
+            x = eng.share(ALICE, [3] * 4, label="in")
+            y = eng.share(BOB, [5] * 4, label="in")
+            start = len(eng.ctx.transcript.messages)
+            oe.mul_shared(x, y)
+            return eng.ctx.transcript.messages[start:]
+
+        m_alice = run(ALICE)
+        m_bob = run(BOB)
+        assert [m.n_bytes for m in m_alice] == [m.n_bytes for m in m_bob]
+        assert [m.sender for m in m_alice] == [
+            {"alice": "bob", "bob": "alice"}[m.sender] for m in m_bob
+        ]
+
+    @pytest.mark.parametrize("owner", [ALICE, BOB])
+    def test_psi_oriented(self, owner):
+        eng = mk_engine()
+        oe = OrientedEngine(eng, owner)
+        res = oe.psi([1, 2, 3], [2, 9], [70, 80])
+        ind = res.ind.reconstruct()
+        pay = res.payload.reconstruct()
+        bins = res.bin_of_item_index()
+        assert ind[bins[1]] == 1 and pay[bins[1]] == 70
+        assert ind[bins[0]] == 0 and ind[bins[2]] == 0

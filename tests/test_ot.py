@@ -1,0 +1,117 @@
+"""Oblivious transfer: base OT, IKNP extension, simulated OT."""
+
+import numpy as np
+import pytest
+
+from repro.mpc import Context, Mode
+from repro.mpc.modp import modp_group
+from repro.mpc.ot import ChouOrlandiOT, IknpExtension, SimulatedOT, make_ot
+
+GROUP_BITS = 1536
+
+
+def pairs_and_choices(rng, n):
+    pairs = [(rng.bytes(16), rng.bytes(16)) for _ in range(n)]
+    choices = [int(c) for c in rng.integers(0, 2, n)]
+    expected = [p[1] if c else p[0] for p, c in zip(pairs, choices)]
+    return pairs, choices, expected
+
+
+class TestModpGroup:
+    def test_rfc3526_2048_prefix(self):
+        g = modp_group(2048)
+        # RFC 3526 group 14 starts FFFFFFFF FFFFFFFF C90FDAA2...
+        assert hex(g.p).startswith("0xffffffffffffffffc90fdaa2")
+
+    def test_safe_prime_structure(self):
+        g = modp_group(1536)
+        assert (g.p - 1) % 2 == 0
+        assert g.element_bytes == 1536 // 8
+
+    def test_unknown_size_rejected(self):
+        with pytest.raises(ValueError):
+            modp_group(1024)
+
+    def test_inverse(self):
+        g = modp_group(1536)
+        x = 123456789
+        assert (x * g.inv(x)) % g.p == 1
+
+
+class TestChouOrlandi:
+    def test_transfers_chosen_messages(self):
+        ctx = Context(Mode.REAL, seed=1)
+        ot = ChouOrlandiOT(ctx, GROUP_BITS)
+        rng = np.random.default_rng(1)
+        pairs, choices, expected = pairs_and_choices(rng, 6)
+        assert ot.transfer(pairs, choices) == expected
+
+    def test_length_mismatch_rejected(self):
+        ctx = Context(Mode.REAL, seed=1)
+        ot = ChouOrlandiOT(ctx, GROUP_BITS)
+        with pytest.raises(ValueError):
+            ot.transfer([(b"a" * 16, b"b" * 16)], [0, 1])
+
+    def test_unequal_pair_lengths_rejected(self):
+        ctx = Context(Mode.REAL, seed=1)
+        ot = ChouOrlandiOT(ctx, GROUP_BITS)
+        with pytest.raises(ValueError):
+            ot.transfer([(b"a", b"bb")], [0])
+
+
+class TestIknpExtension:
+    def test_large_batch(self):
+        ctx = Context(Mode.REAL, seed=2)
+        ext = IknpExtension(ctx, GROUP_BITS)
+        rng = np.random.default_rng(2)
+        pairs, choices, expected = pairs_and_choices(rng, 300)
+        assert ext.transfer(pairs, choices) == expected
+
+    def test_multiple_batches_reuse_base(self):
+        ctx = Context(Mode.REAL, seed=3)
+        ext = IknpExtension(ctx, GROUP_BITS)
+        rng = np.random.default_rng(3)
+        p1, c1, e1 = pairs_and_choices(rng, 10)
+        assert ext.transfer(p1, c1) == e1
+        base_bytes = ctx.transcript.total_bytes
+        p2, c2, e2 = pairs_and_choices(rng, 10)
+        assert ext.transfer(p2, c2) == e2
+        # Second batch must not re-run the (expensive) base phase.
+        second = ctx.transcript.total_bytes - base_bytes
+        assert second < base_bytes / 4
+
+    def test_variable_message_lengths(self):
+        ctx = Context(Mode.REAL, seed=4)
+        ext = IknpExtension(ctx, GROUP_BITS)
+        pairs = [(b"xx", b"yy"), (b"a" * 40, b"b" * 40)]
+        assert ext.transfer(pairs, [1, 0]) == [b"yy", b"a" * 40]
+
+    def test_empty_batch(self):
+        ctx = Context(Mode.REAL, seed=5)
+        assert IknpExtension(ctx, GROUP_BITS).transfer([], []) == []
+
+
+class TestSimulatedOT:
+    def test_delivers_and_charges(self):
+        ctx = Context(Mode.SIMULATED, seed=6)
+        ot = SimulatedOT(ctx)
+        rng = np.random.default_rng(6)
+        pairs, choices, expected = pairs_and_choices(rng, 64)
+        assert ot.transfer(pairs, choices) == expected
+        assert ctx.transcript.total_bytes > 0
+
+    def test_charge_matches_real_extension_shape(self):
+        """For the same batch, the simulated charge equals the real
+        IKNP bytes (with the production 2048-bit base group)."""
+        rng = np.random.default_rng(7)
+        pairs, choices, _ = pairs_and_choices(rng, 128)
+
+        real = Context(Mode.REAL, seed=8)
+        IknpExtension(real, 2048).transfer(pairs, choices)
+        sim = Context(Mode.SIMULATED, seed=8)
+        SimulatedOT(sim).transfer(pairs, choices)
+        assert real.transcript.total_bytes == sim.transcript.total_bytes
+
+    def test_make_ot_dispatch(self):
+        assert isinstance(make_ot(Context(Mode.SIMULATED)), SimulatedOT)
+        assert isinstance(make_ot(Context(Mode.REAL)), IknpExtension)

@@ -1,0 +1,124 @@
+"""The 3-phase plan compiler: step structure on known trees."""
+
+import pytest
+
+from repro.relalg import Hypergraph, JoinTree
+from repro.yannakakis.plan import (
+    JoinStep,
+    ReduceAggregate,
+    ReduceFold,
+    SemijoinStep,
+    build_plan,
+)
+
+
+def chain_tree(root="R3"):
+    h = Hypergraph(
+        {"R1": ("a", "b"), "R2": ("b", "c"), "R3": ("c", "d")}
+    )
+    return JoinTree(h, [("R1", "R2"), ("R2", "R3")], root)
+
+
+class TestReducePhase:
+    def test_full_collapse_when_output_at_root(self):
+        plan = build_plan(chain_tree(), ("d",))
+        folds = [s for s in plan.reduce_steps if isinstance(s, ReduceFold)]
+        assert [(f.child, f.parent) for f in folds] == [
+            ("R1", "R2"), ("R2", "R3"),
+        ]
+        assert plan.reduced_nodes == ["R3"]
+        assert plan.semijoin_steps == []
+        assert plan.join_steps == []
+
+    def test_fold_aggregates_to_join_attrs(self):
+        plan = build_plan(chain_tree(), ("d",))
+        first = plan.reduce_steps[0]
+        assert isinstance(first, ReduceFold)
+        assert first.agg_attrs == ("b",)  # only the join attribute
+
+    def test_stop_keeps_output_attrs(self):
+        # Output spread over both ends: R1 must stop, not fold.
+        h = Hypergraph({"R1": ("a", "b"), "R2": ("b", "c")})
+        tree = JoinTree(h, [("R1", "R2")], "R2")
+        plan = build_plan(tree, ("a", "b", "c"))
+        assert not any(
+            isinstance(s, ReduceFold) for s in plan.reduce_steps
+        )
+        assert set(plan.reduced_nodes) == {"R1", "R2"}
+
+    def test_root_aggregated_to_output(self):
+        plan = build_plan(chain_tree(), ())
+        # everything folds into the root, which then aggregates to ()
+        last = plan.reduce_steps[-1]
+        assert isinstance(last, ReduceAggregate)
+        assert last.node == "R3" and last.attrs == ()
+
+    def test_invalid_tree_raises(self):
+        # Grouping by a and c on a chain cannot compile on any root.
+        h = Hypergraph({"R1": ("a", "b"), "R2": ("b", "c")})
+        for root in ("R1", "R2"):
+            tree = JoinTree(h, [("R1", "R2")], root)
+            with pytest.raises(ValueError):
+                build_plan(tree, ("a", "c"))
+
+    def test_reduced_attrs_are_output_only(self):
+        h = Hypergraph({"R1": ("a", "b"), "R2": ("b", "c")})
+        tree = JoinTree(h, [("R1", "R2")], "R2")
+        plan = build_plan(tree, ("a", "b", "c"))
+        for node, attrs in plan.reduced_attrs.items():
+            assert set(attrs) <= {"a", "b", "c"}
+
+
+class TestSemijoinPhase:
+    def test_two_passes_bottom_up_then_top_down(self):
+        h = Hypergraph({"R1": ("a", "b"), "R2": ("b", "c")})
+        tree = JoinTree(h, [("R1", "R2")], "R2")
+        plan = build_plan(tree, ("a", "b", "c"))
+        assert plan.semijoin_steps == [
+            SemijoinStep(target="R2", filter="R1"),
+            SemijoinStep(target="R1", filter="R2"),
+        ]
+
+    def test_join_steps_bottom_up(self):
+        h = Hypergraph({"R1": ("a", "b"), "R2": ("b", "c")})
+        tree = JoinTree(h, [("R1", "R2")], "R2")
+        plan = build_plan(tree, ("a", "b", "c"))
+        assert plan.join_steps == [JoinStep(child="R1", parent="R2")]
+
+    def test_star_semijoin_count(self):
+        h = Hypergraph(
+            {"F": ("a", "b"), "D1": ("a", "x"), "D2": ("b", "y")}
+        )
+        tree = JoinTree(h, [("F", "D1"), ("F", "D2")], "F")
+        plan = build_plan(tree, ("a", "b", "x", "y"))
+        # D1, D2 stop (they carry output attrs outside F):
+        # 2 bottom-up + 2 top-down semijoins
+        assert len(plan.semijoin_steps) == 4
+
+    def test_dimensions_contained_in_parent_fold(self):
+        # A child whose attributes all lie inside the parent folds even
+        # when they are output attributes (F' subset of Fp).
+        h = Hypergraph(
+            {"F": ("a", "b"), "D1": ("a",), "D2": ("b",)}
+        )
+        tree = JoinTree(h, [("F", "D1"), ("F", "D2")], "F")
+        plan = build_plan(tree, ("a", "b"))
+        assert plan.reduced_nodes == ["F"]
+        assert len(plan.semijoin_steps) == 0
+
+
+class TestPlanMetadata:
+    def test_root_detected(self):
+        plan = build_plan(chain_tree(), ("d",))
+        assert plan.root == "R3"
+
+    def test_reduced_parent_consistency(self):
+        h = Hypergraph({"R1": ("a", "b"), "R2": ("b", "c")})
+        tree = JoinTree(h, [("R1", "R2")], "R2")
+        plan = build_plan(tree, ("a", "b", "c"))
+        assert plan.reduced_parent == {"R2": None, "R1": "R2"}
+
+    def test_describe_round_trips_step_names(self):
+        plan = build_plan(chain_tree(), ("d",))
+        text = plan.describe()
+        assert "R1" in text and "SEMIJOIN" not in text  # fully collapsed

@@ -1,0 +1,144 @@
+"""Circuit-based PSI with payloads — both modes, plus obliviousness."""
+
+import numpy as np
+import pytest
+
+from repro.mpc import Context, Mode
+from repro.mpc.ot import make_ot
+from repro.mpc.psi import psi_with_payloads
+from repro.mpc.sharing import SharedVector
+
+from .conftest import TEST_GROUP_BITS
+
+
+def run_psi(mode, alice_items, bob_items, payloads, seed=7, **kwargs):
+    ctx = Context(mode, seed=seed)
+    ot = make_ot(ctx, TEST_GROUP_BITS)
+    res = psi_with_payloads(
+        ctx, ot, alice_items, bob_items, payloads, **kwargs
+    )
+    return ctx, res
+
+
+@pytest.mark.parametrize("mode", [Mode.SIMULATED, Mode.REAL])
+class TestCorrectness:
+    def test_intersection_and_payloads(self, mode):
+        alice = [("k", i) for i in range(18)]
+        bob = [("k", i) for i in range(9, 30)]
+        payloads = [1000 + i for i in range(9, 30)]
+        ctx, res = run_psi(mode, alice, bob, payloads)
+        ind = res.ind.reconstruct()
+        pay = res.payload.reconstruct()
+        bins = res.bin_of_item_index()
+        for j, item in enumerate(alice):
+            b = bins[j]
+            if item in set(bob):
+                assert ind[b] == 1 and pay[b] == 1000 + item[1]
+            else:
+                assert ind[b] == 0 and pay[b] == 0
+
+    def test_disjoint_sets(self, mode):
+        ctx, res = run_psi(
+            mode, [("a", i) for i in range(8)],
+            [("b", i) for i in range(8)], list(range(8)),
+        )
+        assert not res.ind.reconstruct().any()
+
+    def test_fallback_payloads(self, mode):
+        alice = [("x", i) for i in range(6)]
+        bob = [("x", 0)]
+        fallbacks = list(range(100, 100 + res_bins(6)))
+        ctx, res = run_psi(
+            mode, alice, bob, [55],
+            bob_fallbacks=fallbacks, reveal_payload=True,
+        )
+        pay = np.asarray(res.payload)
+        bins = res.bin_of_item_index()
+        assert pay[bins[0]] == 55
+        for b in range(res.n_bins):
+            if b != bins[0]:
+                assert pay[b] == fallbacks[b]
+
+    def test_mixed_item_types(self, mode):
+        alice = [1, "1", (1,), ("a", 2)]
+        bob = ["1", (1,)]
+        ctx, res = run_psi(mode, alice, bob, [7, 8])
+        ind = res.ind.reconstruct()
+        bins = res.bin_of_item_index()
+        assert ind[bins[0]] == 0  # int 1 != str "1"
+        assert ind[bins[1]] == 1
+        assert ind[bins[2]] == 1
+        assert ind[bins[3]] == 0
+
+
+def res_bins(m):
+    from repro.mpc.cuckoo import num_bins
+
+    return num_bins(m)
+
+
+class TestValidation:
+    def test_payload_count_mismatch(self):
+        with pytest.raises(ValueError):
+            run_psi(Mode.SIMULATED, [1], [2, 3], [5])
+
+    def test_duplicate_bob_items(self):
+        with pytest.raises(ValueError):
+            run_psi(Mode.SIMULATED, [1], [2, 2], [5, 6])
+
+    def test_wrong_fallback_length(self):
+        with pytest.raises(ValueError):
+            run_psi(
+                Mode.SIMULATED, [1, 2], [3], [5], bob_fallbacks=[1, 2]
+            )
+
+
+class TestObliviousness:
+    def test_transcript_independent_of_values(self):
+        """Two runs with identical public shape (set sizes) but totally
+        different private contents must produce identical traffic."""
+
+        def fingerprint(alice, bob, payloads):
+            ctx = Context(Mode.SIMULATED, seed=3)
+            ot = make_ot(ctx, TEST_GROUP_BITS)
+            psi_with_payloads(ctx, ot, alice, bob, payloads)
+            return ctx.transcript.fingerprint()
+
+        f1 = fingerprint(
+            [("k", i) for i in range(20)],
+            [("k", i) for i in range(10, 40)],
+            list(range(30)),
+        )
+        f2 = fingerprint(
+            [("zz", i * 7) for i in range(20)],
+            [("qq", i) for i in range(30)],
+            [9] * 30,
+        )
+        assert f1 == f2
+
+    def test_modes_charge_identically(self):
+        alice = [("k", i) for i in range(15)]
+        bob = [("k", i) for i in range(10, 30)]
+        payloads = list(range(20))
+        real = Context(Mode.REAL, seed=9)
+        psi_with_payloads(
+            real, make_ot(real, 2048), alice, bob, payloads
+        )
+        sim = Context(Mode.SIMULATED, seed=9)
+        psi_with_payloads(
+            sim, make_ot(sim, 2048), alice, bob, payloads
+        )
+        assert (
+            real.transcript.total_bytes == sim.transcript.total_bytes
+        )
+
+    def test_shares_are_fresh_random(self):
+        ctx, res = run_psi(
+            Mode.SIMULATED, [("k", 1)], [("k", 1)], [5], seed=1
+        )
+        ctx2, res2 = run_psi(
+            Mode.SIMULATED, [("k", 1)], [("k", 1)], [5], seed=2
+        )
+        assert not (res.ind.alice == res2.ind.alice).all() or not (
+            res.payload.alice == res2.payload.alice
+        ).all()

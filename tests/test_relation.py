@@ -1,0 +1,118 @@
+"""Unit tests for AnnotatedRelation."""
+
+import numpy as np
+import pytest
+
+from repro.relalg import AnnotatedRelation, IntegerRing
+
+
+RING = IntegerRing(16)
+
+
+def rel(tuples, annots=None, attrs=("a", "b")):
+    return AnnotatedRelation(attrs, tuples, annots, RING)
+
+
+class TestConstruction:
+    def test_default_annotations_are_one(self):
+        r = rel([(1, 2), (3, 4)])
+        assert list(r.annotations) == [1, 1]
+
+    def test_rejects_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            rel([(1, 2, 3)])
+
+    def test_rejects_duplicate_attributes(self):
+        with pytest.raises(ValueError):
+            AnnotatedRelation(("a", "a"), [], None, RING)
+
+    def test_rejects_annotation_length_mismatch(self):
+        with pytest.raises(ValueError):
+            rel([(1, 2)], [1, 2])
+
+    def test_rejects_float_annotations(self):
+        with pytest.raises(TypeError):
+            rel([(1, 2)], np.asarray([1.5]))
+
+    def test_annotations_normalised_into_ring(self):
+        r = rel([(1, 2)], [RING.modulus + 7])
+        assert list(r.annotations) == [7]
+
+    def test_from_rows(self):
+        r = AnnotatedRelation.from_rows(
+            ("x", "y"),
+            [{"x": 1, "y": 2, "z": 9}, {"x": 3, "y": 4, "z": 1}],
+            annotation_of=lambda row: row["z"],
+            semiring=RING,
+        )
+        assert r.tuples == [(1, 2), (3, 4)]
+        assert list(r.annotations) == [9, 1]
+
+    def test_empty(self):
+        r = AnnotatedRelation.empty(("a",), RING)
+        assert len(r) == 0
+
+
+class TestAccessors:
+    def test_keys_preserve_order_and_duplicates(self):
+        r = rel([(1, 2), (1, 3), (1, 2)])
+        assert r.keys(["a"]) == [(1,), (1,), (1,)]
+        assert r.keys(["b", "a"]) == [(2, 1), (3, 1), (2, 1)]
+
+    def test_index_of_missing_attribute(self):
+        with pytest.raises(KeyError):
+            rel([]).index_of(["nope"])
+
+    def test_column(self):
+        r = rel([(1, 2), (3, 4)])
+        assert r.column("b") == [2, 4]
+
+    def test_annotation_of_sums_duplicates(self):
+        r = rel([(1, 2), (1, 2), (9, 9)], [5, 7, 1])
+        assert r.annotation_of((1, 2)) == 12
+        assert r.annotation_of((0, 0)) == 0
+
+    def test_to_dict_drops_zero(self):
+        r = rel([(1, 2), (3, 4)], [0, 9])
+        assert r.to_dict() == {(3, 4): 9}
+
+    def test_to_dict_merges_cancelling_duplicates(self):
+        r = rel([(1, 2), (1, 2)], [5, RING.modulus - 5])
+        assert r.to_dict() == {}
+
+    def test_nonzero(self):
+        r = rel([(1, 2), (3, 4), (5, 6)], [0, 2, 0])
+        nz = r.nonzero()
+        assert nz.tuples == [(3, 4)]
+        assert list(nz.annotations) == [2]
+
+
+class TestSemanticEquality:
+    def test_ignores_dummy_zero_tuples(self):
+        r1 = rel([(1, 2)], [5])
+        r2 = rel([(1, 2), (9, 9)], [5, 0])
+        assert r1.semantically_equal(r2)
+        assert r2.semantically_equal(r1)
+
+    def test_attribute_order_insensitive(self):
+        r1 = rel([(1, 2)], [5], attrs=("a", "b"))
+        r2 = rel([(2, 1)], [5], attrs=("b", "a"))
+        assert r1.semantically_equal(r2)
+
+    def test_detects_value_difference(self):
+        assert not rel([(1, 2)], [5]).semantically_equal(rel([(1, 2)], [6]))
+
+    def test_detects_attr_set_difference(self):
+        assert not rel([(1, 2)]).semantically_equal(
+            AnnotatedRelation(("a", "c"), [(1, 2)], None, RING)
+        )
+
+    def test_semiring_mismatch(self):
+        other = AnnotatedRelation(("a", "b"), [(1, 2)], None, IntegerRing(8))
+        assert not rel([(1, 2)]).semantically_equal(other)
+
+    def test_replace(self):
+        r = rel([(1, 2)], [5])
+        r2 = r.replace(annotations=[7])
+        assert list(r2.annotations) == [7]
+        assert r2.tuples == r.tuples

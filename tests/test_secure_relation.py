@@ -1,0 +1,97 @@
+"""SecureRelation / SecureAnnotations and dummy-tuple mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.core import SecureAnnotations, SecureRelation
+from repro.core.relation import dummy_tuple, is_dummy_tuple, sort_key
+from repro.mpc import ALICE, BOB, Context, Engine, Mode
+from repro.relalg import AnnotatedRelation, IntegerRing
+
+RING = IntegerRing(32)
+
+
+@pytest.fixture
+def engine():
+    return Engine(Context(Mode.SIMULATED, seed=9))
+
+
+class TestDummies:
+    def test_distinct(self):
+        assert dummy_tuple(2) != dummy_tuple(2)
+
+    def test_projection_preserves_dummy_identity(self):
+        d = dummy_tuple(3)
+        assert d[0] == d[1] == d[2]
+        assert is_dummy_tuple((d[0],))
+
+    def test_detection(self):
+        assert is_dummy_tuple(dummy_tuple(1))
+        assert not is_dummy_tuple((1, "a"))
+        # a tuple with one dummy slot is still dummy-ish
+        assert is_dummy_tuple((1, dummy_tuple(1)[0]))
+
+    def test_zero_arity(self):
+        assert dummy_tuple(0) == ()
+
+
+class TestSortKey:
+    def test_total_order_over_mixed_types(self):
+        values = [(1,), ("a",), (dummy_tuple(1)[0],), (2, 3)]
+        keys = [sort_key(v) for v in values]
+        assert sorted(keys) is not None  # comparable
+        assert len(set(keys)) == len(keys)
+
+    def test_equal_tuples_equal_keys(self):
+        assert sort_key((1, "x")) == sort_key((1, "x"))
+
+
+class TestSecureAnnotations:
+    def test_plain_roundtrip(self):
+        a = SecureAnnotations.plain(ALICE, [1, 2, 3])
+        assert a.kind == "plain" and len(a) == 3
+        assert list(a.reconstruct()) == [1, 2, 3]
+
+    def test_to_shared_charges_once(self, engine):
+        a = SecureAnnotations.plain(BOB, [5, 6])
+        before = engine.ctx.transcript.total_bytes
+        sv = a.to_shared(engine)
+        assert engine.ctx.transcript.total_bytes > before
+        assert list(sv.reconstruct()) == [5, 6]
+
+    def test_shared_passthrough(self, engine):
+        sv = engine.share(ALICE, [7])
+        a = SecureAnnotations.shared(sv)
+        assert a.to_shared(engine) is sv
+        assert list(a.reconstruct()) == [7]
+
+
+class TestSecureRelation:
+    def test_from_annotated(self):
+        rel = AnnotatedRelation(("a",), [(1,), (2,)], [3, 4], RING)
+        sec = SecureRelation.from_annotated(BOB, rel)
+        assert sec.owner == BOB
+        assert sec.annotations.kind == "plain"
+        assert sec.project_tuples(["a"]) == [(1,), (2,)]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SecureRelation(
+                ALICE, ("a",), [(1,)],
+                SecureAnnotations.plain(ALICE, [1, 2]),
+            )
+
+    def test_index_of_unknown(self):
+        rel = AnnotatedRelation(("a",), [(1,)], None, RING)
+        sec = SecureRelation.from_annotated(ALICE, rel)
+        with pytest.raises(KeyError):
+            sec.index_of(["zz"])
+
+    def test_to_annotated_roundtrip(self, engine):
+        rel = AnnotatedRelation(("a", "b"), [(1, 2)], [9], RING)
+        sec = SecureRelation.from_annotated(ALICE, rel)
+        sec.annotations = SecureAnnotations.shared(
+            engine.share(ALICE, rel.annotations)
+        )
+        back = sec.to_annotated(engine.ctx)
+        assert back.semantically_equal(rel)

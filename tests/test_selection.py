@@ -1,0 +1,84 @@
+"""Selection policies (Section 7)."""
+
+import pytest
+
+from repro.core import SelectionPolicy, apply_selection, is_dummy_tuple
+from repro.mpc import ALICE, BOB, Context, Engine, Mode
+from repro.query import JoinAggregateQuery
+from repro.relalg import AnnotatedRelation, IntegerRing
+
+RING = IntegerRing(32)
+
+
+@pytest.fixture
+def rel():
+    return AnnotatedRelation(
+        ("k", "state"),
+        [(1, "NY"), (2, "CA"), (3, "NY"), (4, "TX")],
+        [10, 20, 30, 40],
+        RING,
+    )
+
+
+def ny(row):
+    return row["state"] == "NY"
+
+
+class TestPolicies:
+    def test_public_shrinks(self, rel):
+        out = apply_selection(rel, ny, SelectionPolicy.PUBLIC)
+        assert len(out) == 2
+        assert out.to_dict() == {(1, "NY"): 10, (3, "NY"): 30}
+
+    def test_private_keeps_size(self, rel):
+        out = apply_selection(rel, ny, SelectionPolicy.PRIVATE)
+        assert len(out) == 4
+        assert out.to_dict() == {(1, "NY"): 10, (3, "NY"): 30}
+
+    def test_bounded_pads_to_bound(self, rel):
+        out = apply_selection(rel, ny, SelectionPolicy.BOUNDED, bound=3)
+        assert len(out) == 3
+        assert out.to_dict() == {(1, "NY"): 10, (3, "NY"): 30}
+        assert sum(1 for t in out.tuples if is_dummy_tuple(t)) == 1
+
+    def test_bound_must_cover_selection(self, rel):
+        with pytest.raises(ValueError):
+            apply_selection(rel, ny, SelectionPolicy.BOUNDED, bound=1)
+
+    def test_bound_required(self, rel):
+        with pytest.raises(ValueError):
+            apply_selection(rel, ny, SelectionPolicy.BOUNDED)
+
+    def test_all_policies_same_semantics(self, rel):
+        outs = [
+            apply_selection(rel, ny, SelectionPolicy.PUBLIC),
+            apply_selection(rel, ny, SelectionPolicy.PRIVATE),
+            apply_selection(rel, ny, SelectionPolicy.BOUNDED, bound=4),
+        ]
+        for a in outs:
+            for b in outs:
+                assert a.semantically_equal(b)
+
+
+class TestCostOrdering:
+    def test_protocol_cost_follows_disclosed_size(self, rel):
+        other = AnnotatedRelation(
+            ("k",), [(1,), (3,), (4,)], [5, 6, 7], RING
+        )
+
+        def run(policy, bound=None):
+            filtered = apply_selection(rel, ny, policy, bound)
+            q = (
+                JoinAggregateQuery(output=[])
+                .add_relation("R", filtered, owner=ALICE)
+                .add_relation("S", other, owner=BOB)
+            )
+            eng = Engine(Context(Mode.SIMULATED, seed=2))
+            result, stats = q.run_secure(eng)
+            return result.to_dict(), stats.total_bytes
+
+        pub, pub_b = run(SelectionPolicy.PUBLIC)
+        bnd, bnd_b = run(SelectionPolicy.BOUNDED, 3)
+        prv, prv_b = run(SelectionPolicy.PRIVATE)
+        assert pub == bnd == prv
+        assert pub_b <= bnd_b <= prv_b

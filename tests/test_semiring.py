@@ -1,0 +1,79 @@
+"""Unit tests for the annotation semirings."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.relalg.semiring import BooleanSemiring, IntegerRing
+
+
+class TestIntegerRing:
+    def test_identities(self):
+        r = IntegerRing(32)
+        assert r.add(0, 5) == 5
+        assert r.mul(1, 5) == 5
+        assert r.zero == 0 and r.one == 1
+
+    def test_wraparound(self):
+        r = IntegerRing(8)
+        assert r.add(200, 100) == (300) % 256
+        assert r.mul(16, 16) == 0
+        assert r.neg(1) == 255
+
+    def test_modulus_and_bits(self):
+        assert IntegerRing(32).modulus == 2**32
+        assert IntegerRing(32).bit_length == 32
+
+    @pytest.mark.parametrize("ell", [0, 64, 100, -3])
+    def test_rejects_bad_bit_length(self, ell):
+        with pytest.raises(ValueError):
+            IntegerRing(ell)
+
+    @given(
+        a=st.integers(0, 2**16 - 1),
+        b=st.integers(0, 2**16 - 1),
+        c=st.integers(0, 2**16 - 1),
+    )
+    def test_ring_axioms(self, a, b, c):
+        r = IntegerRing(16)
+        assert r.add(a, b) == r.add(b, a)
+        assert r.mul(a, b) == r.mul(b, a)
+        assert r.mul(a, r.add(b, c)) == r.add(r.mul(a, b), r.mul(a, c))
+        assert r.add(a, r.neg(a)) == 0
+
+    def test_vectorised_matches_scalar(self):
+        r = IntegerRing(16)
+        a = np.asarray([1, 70000, 65535], dtype=np.uint64) % r.modulus
+        b = np.asarray([5, 9, 1], dtype=np.uint64)
+        assert list(r.add_vec(a, b)) == [r.add(int(x), int(y)) for x, y in zip(a, b)]
+        assert list(r.mul_vec(a, b)) == [r.mul(int(x), int(y)) for x, y in zip(a, b)]
+
+    def test_sum_and_product(self):
+        r = IntegerRing(8)
+        assert r.sum([100, 100, 100]) == 44
+        assert r.product([3, 5, 7]) == 105
+
+    def test_equality_and_hash(self):
+        assert IntegerRing(32) == IntegerRing(32)
+        assert IntegerRing(32) != IntegerRing(16)
+        assert hash(IntegerRing(8)) == hash(IntegerRing(8))
+        assert IntegerRing(1) != BooleanSemiring()
+
+
+class TestBooleanSemiring:
+    def test_truth_table(self):
+        b = BooleanSemiring()
+        assert b.add(0, 0) == 0 and b.add(0, 1) == 1 and b.add(1, 1) == 1
+        assert b.mul(1, 1) == 1 and b.mul(1, 0) == 0 and b.mul(0, 0) == 0
+
+    def test_normalize(self):
+        assert BooleanSemiring().normalize(17) == 1
+        assert BooleanSemiring().normalize(0) == 0
+
+    def test_vectorised(self):
+        b = BooleanSemiring()
+        x = np.asarray([0, 2, 0, 1], dtype=np.uint64)
+        y = np.asarray([1, 0, 0, 1], dtype=np.uint64)
+        assert list(b.add_vec(x, y)) == [1, 1, 0, 1]
+        assert list(b.mul_vec(x, y)) == [0, 0, 0, 1]

@@ -1,0 +1,97 @@
+"""Arithmetic secret sharing over Z_{2^ell}."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpc import ALICE, BOB, Context, Mode, SharedVector
+from repro.mpc.sharing import reveal_vector, share_vector
+
+
+@pytest.fixture
+def ctx():
+    return Context(Mode.SIMULATED, seed=5)
+
+
+class TestShareReveal:
+    def test_roundtrip(self, ctx):
+        vals = np.asarray([0, 1, 2**31, 2**32 - 1], dtype=np.uint64)
+        sv = share_vector(ctx, ALICE, vals)
+        assert (sv.reconstruct() == vals).all()
+
+    def test_sharing_charges_bytes(self, ctx):
+        share_vector(ctx, BOB, [1, 2, 3])
+        assert ctx.transcript.total_bytes == 3 * 4  # ell = 32
+
+    def test_reveal_charges_other_party(self, ctx):
+        sv = share_vector(ctx, ALICE, [7])
+        before = ctx.transcript.bytes_from(BOB)
+        out = reveal_vector(ctx, sv, ALICE)
+        assert out[0] == 7
+        assert ctx.transcript.bytes_from(BOB) == before + 4
+
+    def test_shares_are_not_plaintext(self, ctx):
+        vals = np.zeros(64, dtype=np.uint64)
+        sv = share_vector(ctx, ALICE, vals)
+        # With overwhelming probability a 64-element share vector of
+        # zeros is not itself all zeros.
+        assert sv.alice.any() or sv.bob.any()
+
+    def test_negative_values_wrap(self, ctx):
+        sv = share_vector(ctx, ALICE, np.asarray([-1], dtype=np.int64))
+        assert sv.reconstruct()[0] == ctx.modulus - 1
+
+    def test_float_input_rejected(self, ctx):
+        with pytest.raises(TypeError):
+            share_vector(ctx, ALICE, np.asarray([1.5]))
+
+
+class TestLocalOps:
+    @given(
+        xs=st.lists(st.integers(0, 2**32 - 1), min_size=1, max_size=8),
+        ys=st.lists(st.integers(0, 2**32 - 1), min_size=1, max_size=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_add_sub_neg(self, xs, ys):
+        n = min(len(xs), len(ys))
+        xs, ys = xs[:n], ys[:n]
+        ctx = Context(Mode.SIMULATED, seed=6)
+        a = share_vector(ctx, ALICE, xs)
+        b = share_vector(ctx, BOB, ys)
+        mod = ctx.modulus
+        assert list((a + b).reconstruct()) == [(x + y) % mod for x, y in zip(xs, ys)]
+        assert list((a - b).reconstruct()) == [(x - y) % mod for x, y in zip(xs, ys)]
+        assert list((-a).reconstruct()) == [(-x) % mod for x in xs]
+
+    def test_mul_public_and_add_public(self, ctx):
+        sv = share_vector(ctx, ALICE, [3, 4])
+        assert list(sv.mul_public([10, 100]).reconstruct()) == [30, 400]
+        assert list(sv.add_public([1, 2]).reconstruct()) == [4, 6]
+        assert list(sv.add_public([1, 2], holder=BOB).reconstruct()) == [4, 6]
+
+    def test_sum(self, ctx):
+        sv = share_vector(ctx, BOB, [1, 2, 3, 4])
+        assert sv.sum().reconstruct()[0] == 10
+
+    def test_take_concat_zeros(self, ctx):
+        sv = share_vector(ctx, ALICE, [10, 20, 30])
+        taken = sv.take([2, 0])
+        assert list(taken.reconstruct()) == [30, 10]
+        z = SharedVector.zeros(2, ctx.modulus)
+        assert list(sv.concat(z).reconstruct()) == [10, 20, 30, 0, 0]
+
+    def test_swapped_reconstructs_identically(self, ctx):
+        sv = share_vector(ctx, ALICE, [5, 6])
+        assert list(sv.swapped().reconstruct()) == [5, 6]
+        assert (sv.swapped().alice == sv.bob).all()
+
+    def test_shape_mismatch_rejected(self, ctx):
+        with pytest.raises(ValueError):
+            SharedVector(np.zeros(2, dtype=np.uint64), np.zeros(3, dtype=np.uint64), ctx.modulus)
+
+    def test_ring_mismatch_rejected(self, ctx):
+        a = SharedVector.zeros(1, 2**32)
+        b = SharedVector.zeros(1, 2**16)
+        with pytest.raises(ValueError):
+            a + b

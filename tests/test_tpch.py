@@ -1,0 +1,189 @@
+"""TPC-H substrate: the generator's invariants and all five queries."""
+
+import numpy as np
+import pytest
+
+from repro.mpc import Engine, Mode
+from repro.tpch import (
+    PREPARED,
+    date_ordinal,
+    generate,
+    prepare_q10,
+    prepare_q18,
+    prepare_q3,
+    prepare_q8,
+    prepare_q9,
+    to_signed,
+    year_of_ordinals,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate(1)
+
+
+class TestDatagen:
+    def test_row_count_ratios(self, dataset):
+        assert dataset["customer"].n_rows == 150
+        assert dataset["orders"].n_rows == 1500
+        assert dataset["part"].n_rows == 200
+        assert dataset["supplier"].n_rows == 10
+        assert dataset["partsupp"].n_rows == 800
+        assert dataset["nation"].n_rows == 25
+        assert dataset["region"].n_rows == 5
+        # ~4 lineitems per order
+        assert 1500 * 2 < dataset["lineitem"].n_rows < 1500 * 7
+
+    def test_deterministic(self):
+        d1, d2 = generate(1, seed=3), generate(1, seed=3)
+        assert (
+            d1["orders"].column("o_orderdate")
+            == d2["orders"].column("o_orderdate")
+        ).all()
+        d3 = generate(1, seed=4)
+        assert not (
+            d1["orders"].column("o_orderdate")
+            == d3["orders"].column("o_orderdate")
+        ).all()
+
+    def test_referential_integrity(self, dataset):
+        custkeys = set(
+            int(k) for k in dataset["customer"].column("c_custkey")
+        )
+        assert all(
+            int(k) in custkeys
+            for k in dataset["orders"].column("o_custkey")
+        )
+        orderkeys = set(
+            int(k) for k in dataset["orders"].column("o_orderkey")
+        )
+        assert all(
+            int(k) in orderkeys
+            for k in dataset["lineitem"].column("l_orderkey")
+        )
+
+    def test_lineitem_partsupp_consistency(self, dataset):
+        """Every lineitem's (partkey, suppkey) exists in partsupp — the
+        invariant Q9's join relies on."""
+        ps = set(
+            zip(
+                (int(k) for k in dataset["partsupp"].column("ps_partkey")),
+                (int(k) for k in dataset["partsupp"].column("ps_suppkey")),
+            )
+        )
+        li = set(
+            zip(
+                (int(k) for k in dataset["lineitem"].column("l_partkey")),
+                (int(k) for k in dataset["lineitem"].column("l_suppkey")),
+            )
+        )
+        assert li <= ps
+
+    def test_dates_in_tpch_range(self, dataset):
+        lo, hi = date_ordinal("1992-01-01"), date_ordinal("1998-08-02")
+        od = np.asarray(dataset["orders"].column("o_orderdate"))
+        assert (od >= lo).all() and (od <= hi).all()
+        sd = np.asarray(dataset["lineitem"].column("l_shipdate"))
+        assert (sd > lo).all()
+
+    def test_o_year_column_consistent(self, dataset):
+        od = np.asarray(dataset["orders"].column("o_orderdate"))
+        assert (
+            np.asarray(dataset["orders"].column("o_year"))
+            == year_of_ordinals(od)
+        ).all()
+
+    def test_scaling(self):
+        d3 = generate(3)
+        assert d3["customer"].n_rows == 450
+        assert d3["orders"].n_rows == 4500
+
+
+class TestHelpers:
+    def test_to_signed(self):
+        assert to_signed(5, 32) == 5
+        assert to_signed(2**32 - 1, 32) == -1
+        assert to_signed(2**31, 32) == -(2**31)
+
+    def test_date_ordinal_comparisons(self):
+        assert date_ordinal("1995-03-13") > date_ordinal("1995-03-12")
+
+
+@pytest.mark.parametrize("name", sorted(PREPARED))
+def test_queries_secure_equals_plain(name, dataset):
+    if name == "Q9":
+        query = PREPARED[name](dataset, nations=[8, 14])
+    else:
+        query = PREPARED[name](dataset)
+    plain, _ = query.run_plain()
+    ctx = query.make_context(Mode.SIMULATED, seed=5)
+    result, stats = query.run_secure(Engine(ctx))
+    assert result.semantically_equal(plain), name
+    assert stats.total_bytes > 0
+
+
+class TestQueryDetails:
+    def test_q3_group_keys_are_order_attributes(self, dataset):
+        q = prepare_q3(dataset)
+        plain, _ = q.run_plain()
+        assert set(plain.attributes) == {
+            "orderkey", "o_orderdate", "o_shippriority",
+        }
+
+    def test_q3_revenue_positive(self, dataset):
+        plain, _ = prepare_q3(dataset).run_plain()
+        assert all(v > 0 for _, v in plain)
+
+    def test_q10_matches_manual_computation(self, dataset):
+        q = prepare_q10(dataset)
+        plain, _ = q.run_plain()
+        lo, hi = date_ordinal("1993-08-01"), date_ordinal("1993-11-01")
+        orders = dataset["orders"]
+        lineitem = dataset["lineitem"]
+        cust_of_order = {}
+        for ok, ck, od in zip(
+            orders.column("o_orderkey"),
+            orders.column("o_custkey"),
+            orders.column("o_orderdate"),
+        ):
+            if lo <= od < hi:
+                cust_of_order[int(ok)] = int(ck)
+        revenue = {}
+        for ok, ep, disc, rf in zip(
+            lineitem.column("l_orderkey"),
+            lineitem.column("l_extendedprice"),
+            lineitem.column("l_discount"),
+            lineitem.column("l_returnflag"),
+        ):
+            if rf == "R" and int(ok) in cust_of_order:
+                ck = cust_of_order[int(ok)]
+                revenue[ck] = revenue.get(ck, 0) + int(ep) * (
+                    100 - int(disc)
+                )
+        got = {t[0]: v for t, v in plain}
+        assert got == {k: v for k, v in revenue.items() if v}
+
+    def test_q18_having_threshold(self, dataset):
+        plain, _ = prepare_q18(dataset).run_plain()
+        for row, qty in plain:
+            assert qty > 300
+
+    def test_q9_amount_sign_handling(self, dataset):
+        q = prepare_q9(dataset, nations=[8])
+        plain, _ = q.run_plain()
+        # cost can exceed revenue: signed interpretation must be sane
+        for _, v in plain:
+            signed = to_signed(v, q.ell)
+            assert abs(signed) < 2 ** (q.ell - 1)
+
+    def test_effective_bytes_positive_and_monotone(self):
+        small = prepare_q3(generate(1))
+        large = prepare_q3(generate(3))
+        assert 0 < small.effective_bytes < large.effective_bytes
+
+    def test_ell_mismatch_rejected(self, dataset):
+        q8 = prepare_q8(dataset)
+        wrong = prepare_q3(dataset).make_context(Mode.SIMULATED)
+        with pytest.raises(ValueError):
+            q8.run_secure(Engine(wrong))

@@ -1,0 +1,81 @@
+"""The columnar Table abstraction and its relation views."""
+
+import numpy as np
+import pytest
+
+from repro.core import is_dummy_tuple
+from repro.relalg import IntegerRing
+from repro.tpch.schema import Table, date_ordinal, year_of_ordinals
+
+
+@pytest.fixture
+def table():
+    return Table(
+        "t",
+        {
+            "k": np.asarray([1, 2, 3], dtype=np.int64),
+            "price": np.asarray([100, 200, 300], dtype=np.int64),
+            "name": ["aa", "bbb", "c"],
+        },
+    )
+
+
+class TestTable:
+    def test_rejects_ragged_columns(self):
+        with pytest.raises(ValueError):
+            Table("t", {"a": [1, 2], "b": [1]})
+
+    def test_n_rows(self, table):
+        assert table.n_rows == 3
+
+    def test_column_bytes_numeric_and_text(self, table):
+        assert table.column_bytes(["k"]) == 12  # 3 x 4 bytes
+        assert table.column_bytes(["name"]) == len("aa") + len("bbb") + 1
+
+    def test_to_relation_defaults_to_ones(self, table):
+        rel = table.to_relation(["k"])
+        assert list(rel.annotations) == [1, 1, 1]
+        assert rel.tuples == [(1,), (2,), (3,)]
+
+    def test_to_relation_values_are_python_ints(self, table):
+        rel = table.to_relation(["k", "name"])
+        assert all(isinstance(t[0], int) for t in rel.tuples)
+
+    def test_annotation_callable(self, table):
+        rel = table.to_relation(
+            ["k"], annotation=lambda cols: np.asarray(cols["price"]) * 2
+        )
+        assert list(rel.annotations) == [200, 400, 600]
+
+    def test_annotation_shape_validated(self, table):
+        with pytest.raises(ValueError):
+            table.to_relation(
+                ["k"], annotation=lambda cols: np.asarray([1])
+            )
+
+    def test_mask_makes_dummies(self, table):
+        rel = table.to_relation(
+            ["k"], mask=np.asarray([True, False, True])
+        )
+        assert len(rel) == 3
+        assert is_dummy_tuple(rel.tuples[1])
+        assert list(rel.annotations) == [1, 0, 1]
+
+    def test_custom_semiring(self, table):
+        rel = table.to_relation(["k"], semiring=IntegerRing(8))
+        assert rel.semiring == IntegerRing(8)
+
+
+class TestDates:
+    def test_ordinal_order(self):
+        assert date_ordinal("1995-03-13") - date_ordinal("1995-03-12") == 1
+
+    def test_year_extraction(self):
+        ords = np.asarray(
+            [date_ordinal("1995-06-01"), date_ordinal("1998-01-01")]
+        )
+        assert list(year_of_ordinals(ords)) == [1995, 1998]
+
+    def test_year_extraction_caches(self):
+        ords = np.asarray([date_ordinal("1995-06-01")] * 1000)
+        assert (year_of_ordinals(ords) == 1995).all()

@@ -1,0 +1,68 @@
+"""The rename and K-relation union operators, and transcript JSON."""
+
+import json
+
+import pytest
+
+from repro.mpc import ALICE, BOB, Transcript
+from repro.relalg import AnnotatedRelation, IntegerRing, rename, union
+
+RING = IntegerRing(16)
+
+
+def rel(attrs, tuples, annots=None):
+    return AnnotatedRelation(attrs, tuples, annots, RING)
+
+
+class TestRename:
+    def test_renames(self):
+        r = rename(rel(("a", "b"), [(1, 2)]), {"a": "x"})
+        assert r.attributes == ("x", "b")
+
+    def test_unknown_attribute(self):
+        with pytest.raises(KeyError):
+            rename(rel(("a",), []), {"z": "x"})
+
+
+class TestUnion:
+    def test_bag_union_adds_annotations(self):
+        r1 = rel(("a",), [(1,), (2,)], [3, 4])
+        r2 = rel(("a",), [(2,), (3,)], [10, 20])
+        out = union(r1, r2)
+        assert out.to_dict() == {(1,): 3, (2,): 14, (3,): 20}
+
+    def test_column_order_reconciled(self):
+        r1 = rel(("a", "b"), [(1, 2)], [1])
+        r2 = rel(("b", "a"), [(2, 1)], [5])
+        assert union(r1, r2).to_dict() == {(1, 2): 6}
+
+    def test_attribute_set_mismatch(self):
+        with pytest.raises(ValueError):
+            union(rel(("a",), []), rel(("b",), []))
+
+    def test_semiring_mismatch(self):
+        other = AnnotatedRelation(("a",), [], None, IntegerRing(8))
+        with pytest.raises(ValueError):
+            union(rel(("a",), []), other)
+
+    def test_union_with_empty(self):
+        r = rel(("a",), [(1,)], [7])
+        assert union(r, rel(("a",), [])).to_dict() == {(1,): 7}
+
+    def test_cancellation(self):
+        r1 = rel(("a",), [(1,)], [5])
+        r2 = rel(("a",), [(1,)], [RING.modulus - 5])
+        assert union(r1, r2).to_dict() == {}
+
+
+class TestTranscriptJson:
+    def test_roundtrips_through_json(self):
+        t = Transcript()
+        with t.section("psi"):
+            t.send(ALICE, 10, "seeds")
+            t.send(BOB, 20, "hints")
+        blob = json.dumps(t.to_json())
+        data = json.loads(blob)
+        assert data["total_bytes"] == 30
+        assert data["bytes_from"]["alice"] == 10
+        assert data["by_section"] == {"psi": 30}

@@ -1,0 +1,81 @@
+"""Benes switching networks: routing correctness and size formulas."""
+
+from itertools import permutations
+
+import numpy as np
+import pytest
+
+from repro.mpc.waksman import (
+    apply_network,
+    benes_network,
+    pad_permutation,
+    switch_count,
+)
+
+
+class TestRouting:
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_exhaustive_small(self, n):
+        for perm in permutations(range(n)):
+            layers = benes_network(list(perm))
+            routed = apply_network(layers, list(range(n)))
+            # value entering wire i leaves on wire perm[i]
+            assert all(routed[perm[i]] == i for i in range(n))
+
+    def test_random_large(self):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            n = int(rng.integers(1, 260))
+            perm = list(rng.permutation(n))
+            padded = pad_permutation(perm)
+            layers = benes_network(padded)
+            routed = apply_network(layers, list(range(len(padded))))
+            assert all(routed[padded[i]] == i for i in range(len(padded)))
+
+    def test_identity_needs_no_swaps(self):
+        layers = benes_network(list(range(8)))
+        routed = apply_network(layers, list("abcdefgh"))
+        assert routed == list("abcdefgh")
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            benes_network([0, 1, 2])
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            benes_network([0, 0, 1, 1])
+
+
+class TestStructure:
+    def test_layers_have_disjoint_wires(self):
+        rng = np.random.default_rng(2)
+        perm = list(rng.permutation(16))
+        for layer in benes_network(perm):
+            touched = [w for a, b, _ in layer for w in (a, b)]
+            assert len(touched) == len(set(touched))
+
+    def test_depth_is_2logn_minus_1(self):
+        for k in (2, 3, 4, 5):
+            n = 2**k
+            layers = benes_network(list(range(n)))
+            assert len(layers) == 2 * k - 1
+
+    def test_switch_count_formula(self):
+        # count(n) = n + 2*count(n/2), count(2) = 1
+        assert switch_count(2) == 1
+        assert switch_count(4) == 6
+        assert switch_count(8) == 20
+        assert switch_count(16) == 56
+
+    def test_switch_count_matches_network(self):
+        for n in (2, 4, 8, 16, 32):
+            layers = benes_network(list(range(n)))
+            assert sum(len(l) for l in layers) == switch_count(n)
+
+    def test_switch_count_pads_to_power_of_two(self):
+        assert switch_count(5) == switch_count(8)
+        assert switch_count(1) == 0
+
+    def test_pad_permutation_identity_tail(self):
+        padded = pad_permutation([2, 0, 1])
+        assert padded == [2, 0, 1, 3]

@@ -1,0 +1,169 @@
+"""The plaintext 3-phase Yannakakis algorithm against the naive oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relalg import (
+    AnnotatedRelation,
+    Hypergraph,
+    IntegerRing,
+    find_free_connex_tree,
+)
+from repro.yannakakis import (
+    build_plan,
+    execute_plan,
+    naive_join_aggregate,
+    yannakakis,
+)
+
+RING = IntegerRing(32)
+
+
+def make_rel(attrs, tuples, annots=None):
+    return AnnotatedRelation(attrs, tuples, annots, RING)
+
+
+class TestPaperExamples:
+    def test_example_1_1(self):
+        r1 = make_rel(
+            ("person", "coins", "state"),
+            [("p1", 20, "NY"), ("p2", 50, "CA")],
+            [80, 50],
+        )
+        r2 = make_rel(
+            ("person", "disease", "cost"),
+            [
+                ("p1", "flu", 100),
+                ("p1", "cold", 30),
+                ("p2", "flu", 200),
+                ("p3", "flu", 70),
+            ],
+            [100, 30, 200, 70],
+        )
+        r3 = make_rel(("disease", "cls"), [("flu", "resp"), ("cold", "resp")])
+        rels = {"R1": r1, "R2": r2, "R3": r3}
+        out = yannakakis(rels, ["cls"])
+        assert out.to_dict() == {("resp",): 20400}
+
+    def test_non_free_connex_raises(self):
+        rels = {
+            "R1": make_rel(("a", "b"), [(1, 2)]),
+            "R2": make_rel(("b", "c"), [(2, 3)]),
+            "R3": make_rel(("a", "c"), [(1, 3)]),
+        }
+        with pytest.raises(ValueError):
+            yannakakis(rels, ["a"])
+
+    def test_count_query(self):
+        # All-ones annotations compute the join-count (Section 6.5).
+        r1 = make_rel(("a", "b"), [(1, 1), (1, 2), (2, 1)])
+        r2 = make_rel(("b", "c"), [(1, 5), (1, 6), (2, 5)])
+        out = yannakakis({"R1": r1, "R2": r2}, [])
+        # b=1: 2 tuples in R1 x 2 in R2; b=2: 1 x 1.
+        assert out.to_dict() == {(): 5}
+
+    def test_output_column_order_matches_request(self):
+        r1 = make_rel(("a", "b"), [(1, 2)], [3])
+        out = yannakakis({"R1": r1}, ["b", "a"])
+        assert out.attributes == ("b", "a")
+        assert out.tuples == [(2, 1)]
+
+    def test_missing_relation_raises(self):
+        r1 = make_rel(("a", "b"), [(1, 2)])
+        h = Hypergraph({"R1": ("a", "b"), "R2": ("b", "c")})
+        tree = find_free_connex_tree(h, {"b"})
+        plan = build_plan(tree, ("b",))
+        with pytest.raises(KeyError):
+            execute_plan(plan, {"R1": r1})
+
+
+SHAPES = {
+    "chain3": (
+        {"R1": ("a", "b"), "R2": ("b", "c"), "R3": ("c", "d")},
+        [("a",), ("b", "c"), (), ("d",)],
+    ),
+    "star": (
+        {"F": ("a", "b", "c"), "D1": ("a", "x"), "D2": ("b", "y")},
+        [("a", "b"), ("x",), ()],
+    ),
+    "snowflake": (
+        {
+            "F": ("a", "b"),
+            "D1": ("a", "x"),
+            "D2": ("b", "y"),
+            "E1": ("x", "u"),
+        },
+        [("a",), ("y",), ()],
+    ),
+    "product": (
+        {"R1": ("a", "b"), "R2": ("c",)},
+        [("a", "c"), (), ("c",)],
+    ),
+}
+
+
+@pytest.mark.parametrize("shape", sorted(SHAPES))
+def test_random_queries_match_naive(shape):
+    schema, outputs = SHAPES[shape]
+    rng = np.random.default_rng(hash(shape) % 2**31)
+    for output in outputs:
+        for trial in range(4):
+            rels = {}
+            for name, attrs in schema.items():
+                n = int(rng.integers(0, 9))
+                tuples = [
+                    tuple(int(v) for v in rng.integers(0, 4, len(attrs)))
+                    for _ in range(n)
+                ]
+                rels[name] = make_rel(
+                    attrs, tuples, rng.integers(0, 20, n)
+                )
+            h = Hypergraph(schema)
+            tree = find_free_connex_tree(h, set(output))
+            if tree is None:
+                continue
+            got = yannakakis(rels, list(output), tree)
+            expect = naive_join_aggregate(rels, list(output))
+            assert got.semantically_equal(expect), (
+                shape,
+                output,
+                got.to_dict(),
+                expect.to_dict(),
+            )
+
+
+@given(data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_hypothesis_chain_queries(data):
+    """Chains R1(a,b)-R2(b,c) with arbitrary small data, every output set."""
+    def tuples_for(arity):
+        n = data.draw(st.integers(0, 7))
+        return [
+            tuple(data.draw(st.integers(0, 3)) for _ in range(arity))
+            for _ in range(n)
+        ]
+
+    r1_t, r2_t = tuples_for(2), tuples_for(2)
+    r1 = make_rel(("a", "b"), r1_t, [data.draw(st.integers(0, 9)) for _ in r1_t])
+    r2 = make_rel(("b", "c"), r2_t, [data.draw(st.integers(0, 9)) for _ in r2_t])
+    rels = {"R1": r1, "R2": r2}
+    # Note ("a", "c") is excluded: projecting out the middle attribute of
+    # a chain is the textbook non-free-connex query.
+    output = data.draw(
+        st.sampled_from([(), ("a",), ("b",), ("a", "b"), ("a", "b", "c")])
+    )
+    got = yannakakis(rels, list(output))
+    expect = naive_join_aggregate(rels, list(output))
+    assert got.semantically_equal(expect)
+
+
+def test_plan_describe_lists_phases():
+    h = Hypergraph({"R1": ("a", "b"), "R2": ("b", "c")})
+    tree = find_free_connex_tree(h, {"b"})
+    plan = build_plan(tree, ("b",))
+    text = plan.describe()
+    assert "-- reduce --" in text
+    assert "-- semijoin --" in text
+    assert "-- full join --" in text
