@@ -66,6 +66,47 @@ def test_ot_multiplication(benchmark, engine):
     ).all()
 
 
+def test_oep_real_topology_cache(benchmark):
+    """REAL-mode OEP with the run-wide Beneš topology cache warm — the
+    per-call cost drops to routing + OTs once the size-keyed wire
+    layout is built."""
+    n = 64
+    ctx = Context(Mode.REAL, seed=3)
+    engine = Engine(ctx, ot_group_bits=1536)
+    rng = np.random.default_rng(0)
+    values = engine.share("alice", rng.integers(0, 1000, n))
+    xi = list(rng.integers(0, n, n))
+    # Warm the size-keyed topology cache (first call builds it).
+    oblivious_extended_permutation(engine.ctx, engine.ot, xi, values, n)
+
+    def run():
+        return oblivious_extended_permutation(
+            engine.ctx, engine.ot, xi, values, n
+        )
+
+    out = benchmark(run)
+    assert len(out) == n
+    stats = ctx.cache.stats()
+    assert stats["topology_hits"] > 0
+
+
+def test_gadget_template_cache(benchmark):
+    """Same-shaped garbled-gadget templates are built once per run and
+    fetched from the context cache afterwards."""
+    from repro.mpc import gadgets
+
+    ctx = Context(Mode.SIMULATED, seed=1)
+    engine = Engine(ctx)
+    engine._gadget(gadgets.merge_sum_circuit, 32, 8)  # build once
+
+    def run():
+        return engine._gadget(gadgets.merge_sum_circuit, 32, 8)
+
+    template = benchmark(run)
+    assert template is engine._gadget(gadgets.merge_sum_circuit, 32, 8)
+    assert ctx.cache.stats()["circuit_hits"] > 0
+
+
 def test_garbling_throughput(benchmark):
     b = CircuitBuilder()
     xs, ys = b.alice_input_bits(32), b.bob_input_bits(32)

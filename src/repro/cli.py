@@ -4,14 +4,16 @@
 
     python -m repro figures --queries Q3 Q10 --scales 1 3
     python -m repro tpch Q3 --scale 1 [--real]
+    python -m repro trace Q3 --scale 1 [--policy stages] [-o trace.json]
     python -m repro estimate Q3 --scale 10
     python -m repro demo
 
 ``figures`` regenerates the paper's evaluation series; ``tpch`` runs a
 single benchmark query end to end and prints results + costs;
-``estimate`` prints the analytic cost prediction without running the
-protocol; ``demo`` runs the Example 1.1 quickstart with REAL
-cryptography.
+``trace`` runs one query through the execution scheduler and dumps the
+per-operator ExecutionTrace as JSON; ``estimate`` prints the analytic
+cost prediction without running the protocol; ``demo`` runs the
+Example 1.1 quickstart with REAL cryptography.
 """
 
 from __future__ import annotations
@@ -66,6 +68,43 @@ def _cmd_tpch(args) -> int:
     )
     print(f"  plaintext: {plain_seconds:.2f}s")
     return 0 if ok else 1
+
+
+def _cmd_trace(args) -> int:
+    import json
+
+    from .exec import ExecutionTrace
+    from .tpch import PREPARED, generate
+
+    dataset = generate(args.scale)
+    if args.query == "Q9":
+        query = PREPARED[args.query](
+            dataset, nations=list(range(args.q9_nations))
+        )
+    else:
+        query = PREPARED[args.query](dataset)
+    mode = Mode.REAL if args.real else Mode.SIMULATED
+    tracer = ExecutionTrace()
+    engine = Engine(
+        query.make_context(mode, seed=args.seed),
+        tracer=tracer,
+        exec_policy=args.policy,
+    )
+    query.run_secure(engine)
+    tracer.meta["query"] = query.name
+    tracer.meta["scale_mb"] = args.scale
+    tracer.meta["mode"] = mode.value
+    payload = json.dumps(tracer.to_json(), indent=2)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(payload + "\n")
+        print(
+            f"{query.name}: {len(tracer.nodes)} trace nodes, "
+            f"{tracer.total_bytes / 1e6:,.1f} MB -> {args.output}"
+        )
+    else:
+        print(payload)
+    return 0
 
 
 def _cmd_estimate(args) -> int:
@@ -130,6 +169,27 @@ def main(argv=None) -> int:
         help="REAL-mode cryptography (slow; use tiny scales)",
     )
     p.set_defaults(fn=_cmd_tpch)
+
+    p = sub.add_parser(
+        "trace", help="per-operator execution trace as JSON"
+    )
+    p.add_argument("query", choices=["Q3", "Q10", "Q18", "Q8", "Q9"])
+    p.add_argument("--scale", type=float, default=1)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--q9-nations", type=int, default=25)
+    p.add_argument(
+        "--policy", choices=["program", "stages"], default="program",
+        help="scheduler dispatch policy",
+    )
+    p.add_argument(
+        "-o", "--output", default=None,
+        help="write the JSON here instead of stdout",
+    )
+    p.add_argument(
+        "--real", action="store_true",
+        help="REAL-mode cryptography (slow; use tiny scales)",
+    )
+    p.set_defaults(fn=_cmd_trace)
 
     p = sub.add_parser("estimate", help="analytic cost prediction")
     p.add_argument("query", choices=["Q3", "Q10", "Q18", "Q8", "Q9"])

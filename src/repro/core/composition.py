@@ -24,6 +24,7 @@ import numpy as np
 from ..mpc.context import ALICE
 from ..mpc.engine import Engine
 from ..mpc.sharing import SharedVector, reveal_vector
+from ..exec.trace import traced
 from ..relalg.relation import AnnotatedRelation
 from ..relalg.semiring import IntegerRing
 from .join import ObliviousJoinResult
@@ -52,7 +53,8 @@ def align_shared(
     )
     xi = [pos.get(t, n) for t in base_tuples]
     oe = OrientedEngine(engine, ALICE)
-    return oe.oep(xi, extended, len(xi), label=label)
+    with traced(engine, "align", label, section="compose"):
+        return oe.oep(xi, extended, len(xi), label=label)
 
 
 def divide_compose(
@@ -76,7 +78,8 @@ def divide_compose(
         num = align_shared(engine, base, numerator, label="align_num")
         num = num.mul_public(np.full(len(base), scale, dtype=np.uint64))
         den = denominator.annotations
-        quotients = engine.divide_reveal(num, den, label="div")
+        with traced(engine, "divide", f"{label}/div", section="compose"):
+            quotients = engine.divide_reveal(num, den, label="div")
     ring = IntegerRing(ctx.params.ell)
     return AnnotatedRelation(
         denominator.attributes, base, quotients, ring
@@ -110,7 +113,8 @@ def subtract_compose(
         )
         lv = align_shared(engine, base, left, label="align_left")
         rv = align_shared(engine, base, right_aligned, label="align_right")
-        values = reveal_vector(ctx, lv - rv, ALICE, label="result")
+        with traced(engine, "subtract", f"{label}/result", section="compose"):
+            values = reveal_vector(ctx, lv - rv, ALICE, label="result")
     ring = IntegerRing(ctx.params.ell)
     return AnnotatedRelation(left.attributes, base, values, ring).nonzero()
 

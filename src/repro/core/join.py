@@ -18,6 +18,12 @@ be revealed to Alice.  Three steps:
 
 The annotation shares of ``J*`` are returned (the caller reveals them —
 they are the query results — or feeds them into a composition circuit).
+
+The three steps are exposed as composable pieces (``reveal_relation``,
+``local_star_join``, ``align_factor``, ``finish_join``) so that the
+:mod:`repro.exec` scheduler can run them as separate DAG nodes;
+:func:`oblivious_join` strings them together for monolithic callers.
+Both paths produce byte-identical transcripts.
 """
 
 from __future__ import annotations
@@ -36,7 +42,15 @@ from .codec import decode_tuple_bits, encode_tuple_bits, infer_specs
 from .oriented import OrientedEngine
 from .relation import SecureRelation, dummy_tuple
 
-__all__ = ["ObliviousJoinResult", "oblivious_join"]
+__all__ = [
+    "ObliviousJoinResult",
+    "oblivious_join",
+    "reveal_relation",
+    "local_star_join",
+    "empty_join_result",
+    "align_factor",
+    "finish_join",
+]
 
 
 class ObliviousJoinResult:
@@ -114,6 +128,99 @@ def _pad_join(
     return AnnotatedRelation(joined.attributes, rows, None, ring)
 
 
+def reveal_relation(
+    engine: Engine, rel: SecureRelation, name: str
+) -> Tuple[SharedVector, List[Tuple[int, Tuple]]]:
+    """Step 1 for one relation: share its annotations, then reveal the
+    nonzero-annotated ``(position, tuple)`` list to Alice."""
+    shares = rel.annotations.to_shared(engine, label="share")
+    revealed = _reveal_nonzero(engine, rel, f"reveal/{name}")
+    return shares, revealed
+
+
+def local_star_join(
+    ctx: Context,
+    relations: Dict[str, SecureRelation],
+    revealed: Dict[str, List[Tuple[int, Tuple]]],
+    join_steps: List[Tuple[str, str]],
+    pad_out_to: int = 0,
+) -> AnnotatedRelation:
+    """Step 2: Alice's local non-annotated join over the revealed ``R*``,
+    tracking per-relation source positions through hidden ``__idx_``
+    columns, then disclosing ``|J*|`` (optionally padded) to Bob."""
+    ring = IntegerRing(ctx.params.ell)
+    star: Dict[str, AnnotatedRelation] = {}
+    for name, rel in relations.items():
+        idx_attr = f"__idx_{name}"
+        star[name] = AnnotatedRelation(
+            tuple(rel.attributes) + (idx_attr,),
+            [t + (pos,) for pos, t in revealed[name]],
+            None,
+            ring,
+        )
+    order = list(join_steps)
+    if order:
+        rels = dict(star)
+        for child, parent in order:
+            rels[parent] = plain_join(rels[parent], rels[child])
+            del rels[child]
+        (root_name, joined), = rels.items()
+    else:
+        (root_name, joined), = star.items()
+    if pad_out_to:
+        joined = _pad_join(joined, relations, pad_out_to, ring)
+    ctx.send(ALICE, 8, "out_size")
+    return joined
+
+
+def empty_join_result(
+    ctx: Context, joined: AnnotatedRelation
+) -> ObliviousJoinResult:
+    """The ``|J*| = 0`` early exit: no OEPs, no product circuits."""
+    attrs = tuple(
+        a for a in joined.attributes if not a.startswith("__idx_")
+    )
+    return ObliviousJoinResult(
+        attrs, [], SharedVector.zeros(0, ctx.modulus)
+    )
+
+
+def align_factor(
+    engine: Engine,
+    name: str,
+    shares: SharedVector,
+    joined: AnnotatedRelation,
+) -> SharedVector:
+    """Step 3a for one relation: the OEP aligning its annotation shares
+    with the join rows via Alice's ``__idx_`` column."""
+    ctx = engine.ctx
+    oe = OrientedEngine(engine, ALICE)
+    xi = [int(v) for v in joined.column(f"__idx_{name}")]
+    # One extra zero slot receives the padding rows' indices, so
+    # their annotation product is a (shared) zero.
+    extended = shares.concat(SharedVector.zeros(1, ctx.modulus))
+    return oe.oep(xi, extended, len(joined), label=f"oep/{name}")
+
+
+def finish_join(
+    engine: Engine,
+    joined: AnnotatedRelation,
+    factors: List[SharedVector],
+) -> ObliviousJoinResult:
+    """Step 3b: one product circuit per join row, then strip the hidden
+    index columns."""
+    oe = OrientedEngine(engine, ALICE)
+    annots = oe.product_across(factors, label="prod")
+    keep = [
+        i
+        for i, a in enumerate(joined.attributes)
+        if not a.startswith("__idx_")
+    ]
+    attrs = tuple(joined.attributes[i] for i in keep)
+    tuples = [tuple(t[i] for i in keep) for t in joined.tuples]
+    return ObliviousJoinResult(attrs, tuples, annots)
+
+
 def oblivious_join(
     engine: Engine,
     relations: Dict[str, SecureRelation],
@@ -132,73 +239,25 @@ def oblivious_join(
     true size exceeds the declared bound.
     """
     ctx = engine.ctx
-    ring = IntegerRing(ctx.params.ell)
     with ctx.section(label):
         # Step 1: reveal R*_F to Alice (with original positions).
         revealed: Dict[str, List[Tuple[int, Tuple]]] = {}
         shares: Dict[str, SharedVector] = {}
         for name, rel in relations.items():
-            shares[name] = rel.annotations.to_shared(
-                engine, label="share"
+            shares[name], revealed[name] = reveal_relation(
+                engine, rel, name
             )
-            revealed[name] = _reveal_nonzero(engine, rel, f"reveal/{name}")
 
-        # Step 2: Alice's local non-annotated join, tracking per-relation
-        # source positions through hidden index columns.
-        star: Dict[str, AnnotatedRelation] = {}
-        for name, rel in relations.items():
-            idx_attr = f"__idx_{name}"
-            star[name] = AnnotatedRelation(
-                tuple(rel.attributes) + (idx_attr,),
-                [t + (pos,) for pos, t in revealed[name]],
-                None,
-                ring,
-            )
-        order = list(join_steps)
-        if order:
-            rels = dict(star)
-            for child, parent in order:
-                rels[parent] = plain_join(rels[parent], rels[child])
-                del rels[child]
-            (root_name, joined), = rels.items()
-        else:
-            (root_name, joined), = star.items()
-        if pad_out_to:
-            joined = _pad_join(joined, relations, pad_out_to, ring)
-        out = len(joined)
-        ctx.send(ALICE, 8, "out_size")
+        # Step 2: Alice's local join; |J*| goes to Bob.
+        joined = local_star_join(
+            ctx, relations, revealed, join_steps, pad_out_to
+        )
 
         # Step 3: per-relation OEP + one product circuit per join row.
-        if out == 0:
-            attrs = tuple(
-                a
-                for a in joined.attributes
-                if not a.startswith("__idx_")
-            )
-            return ObliviousJoinResult(
-                attrs, [], SharedVector.zeros(0, ctx.modulus)
-            )
-        oe = OrientedEngine(engine, ALICE)
-        factors: List[SharedVector] = []
-        for name in relations:
-            xi = [int(v) for v in joined.column(f"__idx_{name}")]
-            # One extra zero slot receives the padding rows' indices, so
-            # their annotation product is a (shared) zero.
-            extended = shares[name].concat(
-                SharedVector.zeros(1, ctx.modulus)
-            )
-            factors.append(
-                oe.oep(xi, extended, out, label=f"oep/{name}")
-            )
-        annots = oe.product_across(factors, label="prod")
-
-        keep = [
-            i
-            for i, a in enumerate(joined.attributes)
-            if not a.startswith("__idx_")
+        if len(joined) == 0:
+            return empty_join_result(ctx, joined)
+        factors = [
+            align_factor(engine, name, shares[name], joined)
+            for name in relations
         ]
-        attrs = tuple(joined.attributes[i] for i in keep)
-        tuples = [
-            tuple(t[i] for i in keep) for t in joined.tuples
-        ]
-    return ObliviousJoinResult(attrs, tuples, annots)
+        return finish_join(engine, joined, factors)

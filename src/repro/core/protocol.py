@@ -14,6 +14,13 @@ operators:
 ``secure_yannakakis`` reveals the annotations (they are the query
 results); ``secure_yannakakis_shared`` keeps them shared for query
 compositions (Section 7).
+
+Both entry points are thin wrappers over the :mod:`repro.exec` layer:
+the plan is compiled to an execution DAG and run by the scheduler,
+which reproduces the historical transcript byte-for-byte under its
+default policy.  The pre-IR sequential orchestrations are kept as
+``legacy_secure_yannakakis``/``legacy_secure_yannakakis_shared`` — the
+reference implementations the scheduler is tested against.
 """
 
 from __future__ import annotations
@@ -21,8 +28,6 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Tuple
-
-import numpy as np
 
 from ..mpc.context import ALICE, Context
 from ..mpc.engine import Engine
@@ -43,6 +48,8 @@ from .semijoin import oblivious_reduce_join, oblivious_semijoin
 __all__ = [
     "secure_yannakakis",
     "secure_yannakakis_shared",
+    "legacy_secure_yannakakis",
+    "legacy_secure_yannakakis_shared",
     "ProtocolStats",
 ]
 
@@ -68,6 +75,91 @@ def secure_yannakakis_shared(
 
     ``pad_out_to`` hides the true output size from Bob behind a declared
     upper bound (Section 4 / Section 6.3 step 2)."""
+    # Imported lazily: repro.exec imports the core operators, so a
+    # module-level import here would be circular.
+    from ..exec import Scheduler, compile_plan
+
+    exec_plan = compile_plan(
+        plan,
+        owners={name: rel.owner for name, rel in relations.items()},
+        input_order=list(relations),
+        pad_out_to=pad_out_to,
+    )
+    env = Scheduler(engine).run(exec_plan, relations)
+    return env["result"]
+
+
+def secure_yannakakis(
+    engine: Engine,
+    relations: Dict[str, SecureRelation],
+    plan: YannakakisPlan,
+) -> Tuple[AnnotatedRelation, ProtocolStats]:
+    """Evaluate the query and reveal the results to Alice.
+
+    Returns the result relation (attributes ordered as ``plan.output``,
+    duplicate group keys merged, zero groups dropped) and cost stats.
+    """
+    from ..exec import Scheduler, compile_plan
+
+    ctx = engine.ctx
+    start_msgs = len(ctx.transcript.messages)
+    t0 = time.perf_counter()
+    exec_plan = compile_plan(
+        plan,
+        owners={name: rel.owner for name, rel in relations.items()},
+        input_order=list(relations),
+        reveal_result=True,
+    )
+    env = Scheduler(engine).run(exec_plan, relations)
+    shared, values = env["output"]
+    elapsed = time.perf_counter() - t0
+    return _finish(ctx, plan, shared, values, elapsed, start_msgs)
+
+
+def _finish(
+    ctx: Context,
+    plan: YannakakisPlan,
+    shared: ObliviousJoinResult,
+    values,
+    elapsed: float,
+    start_msgs: int,
+) -> Tuple[AnnotatedRelation, ProtocolStats]:
+    """Assemble the revealed result relation and the cost summary."""
+    ring = IntegerRing(ctx.params.ell)
+    result = AnnotatedRelation(
+        shared.attributes, shared.tuples, values, ring
+    )
+    result = plain_aggregate(result, plan.output).nonzero()
+
+    new_msgs = ctx.transcript.messages[start_msgs:]
+    by_phase: Dict[str, int] = {}
+    for m in new_msgs:
+        key = m.label.split("/")[0] if m.label else ""
+        by_phase[key] = by_phase.get(key, 0) + m.n_bytes
+    stats = ProtocolStats(
+        seconds=elapsed,
+        total_bytes=sum(m.n_bytes for m in new_msgs),
+        rounds=ctx.transcript.rounds,
+        bytes_by_phase=by_phase,
+    )
+    return result, stats
+
+
+# ----------------------------------------------------------------------
+# Reference implementations (pre-IR sequential orchestration).  The
+# scheduler's transcript is asserted byte-identical to these in
+# tests/test_exec.py and tests/test_exec_tpch.py.
+# ----------------------------------------------------------------------
+
+
+def legacy_secure_yannakakis_shared(
+    engine: Engine,
+    relations: Dict[str, SecureRelation],
+    plan: YannakakisPlan,
+    pad_out_to: int = 0,
+) -> ObliviousJoinResult:
+    """Sequential reference implementation of
+    :func:`secure_yannakakis_shared`."""
     ctx = engine.ctx
     rels = dict(relations)
     missing = set(plan.tree.nodes) - set(rels)
@@ -115,40 +207,19 @@ def secure_yannakakis_shared(
         )
 
 
-def secure_yannakakis(
+def legacy_secure_yannakakis(
     engine: Engine,
     relations: Dict[str, SecureRelation],
     plan: YannakakisPlan,
 ) -> Tuple[AnnotatedRelation, ProtocolStats]:
-    """Evaluate the query and reveal the results to Alice.
-
-    Returns the result relation (attributes ordered as ``plan.output``,
-    duplicate group keys merged, zero groups dropped) and cost stats.
-    """
+    """Sequential reference implementation of
+    :func:`secure_yannakakis`."""
     ctx = engine.ctx
     start_msgs = len(ctx.transcript.messages)
     t0 = time.perf_counter()
-    shared = secure_yannakakis_shared(engine, relations, plan)
+    shared = legacy_secure_yannakakis_shared(engine, relations, plan)
     values = reveal_vector(
         ctx, shared.annotations, ALICE, label="result"
     )
     elapsed = time.perf_counter() - t0
-
-    ring = IntegerRing(ctx.params.ell)
-    result = AnnotatedRelation(
-        shared.attributes, shared.tuples, values, ring
-    )
-    result = plain_aggregate(result, plan.output).nonzero()
-
-    new_msgs = ctx.transcript.messages[start_msgs:]
-    by_phase: Dict[str, int] = {}
-    for m in new_msgs:
-        key = m.label.split("/")[0] if m.label else ""
-        by_phase[key] = by_phase.get(key, 0) + m.n_bytes
-    stats = ProtocolStats(
-        seconds=elapsed,
-        total_bytes=sum(m.n_bytes for m in new_msgs),
-        rounds=ctx.transcript.rounds,
-        bytes_by_phase=by_phase,
-    )
-    return result, stats
+    return _finish(ctx, plan, shared, values, elapsed, start_msgs)

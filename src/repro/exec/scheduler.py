@@ -1,0 +1,226 @@
+"""Topological scheduler for :class:`~repro.exec.ir.ExecPlan` DAGs.
+
+Two dispatch policies:
+
+* ``"program"`` (default) — Kahn's algorithm with a min-id tie-break.
+  The compiler emits steps in the legacy orchestration's visit order,
+  so this policy replays the legacy transcript **byte-for-byte** (same
+  message sizes, same senders, same labels, same order).
+* ``"stages"`` — stage-major dispatch: the DAG's dependency levels run
+  one after another, all steps of a level before any of the next.
+  Independent join-tree branches (parallel reveals, aligns, semijoins)
+  are grouped, which is the dispatch shape a multi-threaded or batched
+  backend would use.  Semantically identical and byte-identical in
+  total; the message *order* may differ from the program policy.
+
+Every executed node is recorded into the engine's
+:class:`~repro.exec.trace.ExecutionTrace` when one is attached.  The
+section wrappers reproduce the legacy transcript's label scheme
+exactly (``reduce``, ``semijoin``, ``full_join/oblivious_join``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Dict, List, Optional
+
+from ..mpc.context import ALICE
+from ..mpc.sharing import reveal_vector
+from ..core.aggregation import oblivious_aggregate
+from ..core.join import (
+    align_factor,
+    empty_join_result,
+    finish_join,
+    local_star_join,
+    reveal_relation,
+)
+from ..core.relation import SecureRelation
+from ..core.semijoin import oblivious_reduce_join, oblivious_semijoin
+from .ir import (
+    AggregateStep,
+    AlignStep,
+    ExecPlan,
+    JoinStep,
+    ProductStep,
+    ReduceFoldStep,
+    RevealResultStep,
+    RevealStep,
+    SemijoinStep,
+    ShareStep,
+    Step,
+)
+from .trace import ExecutionTrace
+
+__all__ = ["Scheduler"]
+
+POLICIES = ("program", "stages")
+
+
+class Scheduler:
+    """Executes an :class:`ExecPlan` over an engine's context.
+
+    ``policy`` and ``trace`` default to the engine's ``exec_policy``
+    and ``tracer`` attributes, so callers configure instrumentation
+    once on the engine and every pipeline run picks it up.
+    """
+
+    def __init__(
+        self,
+        engine,
+        policy: Optional[str] = None,
+        trace: Optional[ExecutionTrace] = None,
+    ):
+        self.engine = engine
+        self.policy = policy or getattr(engine, "exec_policy", "program")
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"unknown policy {self.policy!r}; expected one of {POLICIES}"
+            )
+        self.trace = (
+            trace
+            if trace is not None
+            else getattr(engine, "tracer", None)
+        )
+
+    # -- ordering --------------------------------------------------------
+
+    def execution_order(self, plan: ExecPlan) -> List[Step]:
+        if self.policy == "stages":
+            return [s for group in plan.stages for s in group]
+        # Kahn's algorithm, always releasing the smallest ready id:
+        # reproduces the compiler's emission order (the legacy program
+        # order) for any DAG the compiler produces.
+        indegree = {s.id: len(plan.deps[s.id]) for s in plan.steps}
+        dependants: Dict[int, List[int]] = {s.id: [] for s in plan.steps}
+        for s in plan.steps:
+            for d in plan.deps[s.id]:
+                dependants[d].append(s.id)
+        ready = [s.id for s in plan.steps if indegree[s.id] == 0]
+        heapq.heapify(ready)
+        order: List[Step] = []
+        while ready:
+            sid = heapq.heappop(ready)
+            order.append(plan.step_by_id(sid))
+            for nxt in dependants[sid]:
+                indegree[nxt] -= 1
+                if indegree[nxt] == 0:
+                    heapq.heappush(ready, nxt)
+        if len(order) != len(plan.steps):
+            raise ValueError("cycle in execution plan")
+        return order
+
+    # -- execution -------------------------------------------------------
+
+    def run(
+        self,
+        plan: ExecPlan,
+        relations: Dict[str, SecureRelation],
+    ) -> Dict[str, Any]:
+        """Execute the DAG; returns the final slot environment.  The
+        caller reads ``plan.result_slot`` out of it."""
+        ctx = self.engine.ctx
+        env: Dict[str, Any] = {}
+        for step in self.execution_order(plan):
+            if self.trace is not None:
+                with self.trace.node(
+                    ctx.transcript,
+                    id=step.id,
+                    kind=step.kind,
+                    label=step.label,
+                    section=step.section,
+                    stage=plan.stage_of[step.id],
+                ):
+                    self._dispatch(step, env, relations)
+            else:
+                self._dispatch(step, env, relations)
+        if self.trace is not None:
+            self.trace.meta["policy"] = self.policy
+            self.trace.meta["plan"] = plan.name
+            self.trace.meta["n_steps"] = len(plan.steps)
+            self.trace.meta["n_stages"] = len(plan.stages)
+            self.trace.meta["cache"] = ctx.cache.stats()
+        return env
+
+    def _dispatch(
+        self,
+        step: Step,
+        env: Dict[str, Any],
+        relations: Dict[str, SecureRelation],
+    ) -> None:
+        engine = self.engine
+        ctx = engine.ctx
+        if isinstance(step, ShareStep):
+            if step.relation not in relations:
+                raise KeyError(
+                    f"missing input relations: [{step.relation!r}]"
+                )
+            env[step.relation] = relations[step.relation]
+        elif isinstance(step, ReduceFoldStep):
+            with ctx.section("reduce"):
+                folded = oblivious_aggregate(
+                    engine, env[step.child], step.agg_attrs,
+                    label=f"agg/{step.child}",
+                )
+                env[step.parent] = oblivious_reduce_join(
+                    engine, env[step.parent], folded,
+                    label=step.label,
+                )
+            del env[step.child]
+        elif isinstance(step, AggregateStep):
+            with ctx.section("reduce"):
+                env[step.node] = oblivious_aggregate(
+                    engine, env[step.node], step.attrs,
+                    label=step.label,
+                )
+        elif isinstance(step, SemijoinStep):
+            with ctx.section("semijoin"):
+                env[step.target] = oblivious_semijoin(
+                    engine, env[step.target], env[step.filter],
+                    label=step.label,
+                )
+        elif isinstance(step, RevealStep):
+            with ctx.section("full_join"), ctx.section("oblivious_join"):
+                shares, revealed = reveal_relation(
+                    engine, env[step.relation], step.relation
+                )
+            env[f"shares:{step.relation}"] = shares
+            env[f"revealed:{step.relation}"] = revealed
+        elif isinstance(step, JoinStep):
+            with ctx.section("full_join"), ctx.section("oblivious_join"):
+                env["joined"] = local_star_join(
+                    ctx,
+                    {n: env[n] for n in step.relations},
+                    {n: env[f"revealed:{n}"] for n in step.relations},
+                    list(step.join_order),
+                    pad_out_to=step.pad_out_to,
+                )
+        elif isinstance(step, AlignStep):
+            joined = env["joined"]
+            if len(joined) == 0:
+                env[f"factor:{step.relation}"] = None
+                return
+            with ctx.section("full_join"), ctx.section("oblivious_join"):
+                env[f"factor:{step.relation}"] = align_factor(
+                    engine,
+                    step.relation,
+                    env[f"shares:{step.relation}"],
+                    joined,
+                )
+        elif isinstance(step, ProductStep):
+            joined = env["joined"]
+            if len(joined) == 0:
+                env["result"] = empty_join_result(ctx, joined)
+                return
+            factors = [
+                env[f"factor:{n}"] for n in step.relations
+            ]
+            with ctx.section("full_join"), ctx.section("oblivious_join"):
+                env["result"] = finish_join(engine, joined, factors)
+        elif isinstance(step, RevealResultStep):
+            result = env["result"]
+            values = reveal_vector(
+                ctx, result.annotations, ALICE, label="result"
+            )
+            env["output"] = (result, values)
+        else:  # pragma: no cover
+            raise TypeError(f"unknown step {step!r}")

@@ -17,6 +17,7 @@ from typing import Optional
 import numpy as np
 
 from .params import DEFAULT_PARAMS, SecurityParams
+from .runcache import RunCache
 from .transcript import ALICE, BOB, Transcript, other_party
 
 __all__ = ["Mode", "Context", "ALICE", "BOB"]
@@ -49,6 +50,7 @@ class Context:
         self.params = params
         self.transcript = Transcript()
         self.rng = np.random.default_rng(seed)
+        self.cache = RunCache()
         self._roles_swapped = False
 
     # -- convenience ----------------------------------------------------
@@ -93,9 +95,16 @@ class Context:
 
     def fresh(self) -> "Context":
         """A new context with the same configuration but an empty
-        transcript (used when measuring a sub-protocol in isolation)."""
+        transcript (used when measuring a sub-protocol in isolation).
+
+        The role orientation carries over: a sub-protocol measured inside
+        a :meth:`swapped_roles` block must keep attributing bytes to the
+        correct physical party.  The run cache is shared — setup material
+        is public and per-run, not per-transcript."""
         child = Context(self.mode, self.params)
         child.rng = self.rng
+        child.cache = self.cache
+        child._roles_swapped = self._roles_swapped
         return child
 
     def __repr__(self) -> str:

@@ -34,13 +34,30 @@ __all__ = ["Engine"]
 class Engine:
     """Batched secure vector operations over one protocol context."""
 
-    def __init__(self, ctx: Context, ot_group_bits: int = 2048):
+    def __init__(
+        self,
+        ctx: Context,
+        ot_group_bits: int = 2048,
+        tracer=None,
+        exec_policy: str = "program",
+    ):
         self.ctx = ctx
         self.ot = make_ot(ctx, ot_group_bits)
         # A second extension instance for OTs in the reverse direction
         # (Bob choosing) — used by the Gilboa multiplication's second
         # cross term; runs under swapped protocol roles.
         self._ot_rev = make_ot(ctx, ot_group_bits)
+        #: Optional :class:`repro.exec.ExecutionTrace` that the operator
+        #: scheduler and composition circuits record per-node costs into.
+        self.tracer = tracer
+        #: Dispatch policy for plans executed through :mod:`repro.exec`
+        #: ("program" preserves legacy message order byte-for-byte,
+        #: "stages" batches independent DAG nodes stage by stage).
+        self.exec_policy = exec_policy
+
+    def _gadget(self, builder, *shape):
+        """Fetch a circuit template through the run-scoped cache."""
+        return self.ctx.cache.circuit(builder, *shape)
 
     # -- sharing ----------------------------------------------------------
 
@@ -146,7 +163,7 @@ class Engine:
                        label: str) -> SharedVector:
         """Garbled-circuit multiplication (ablation reference)."""
         ell = self.ctx.params.ell
-        circuit = gadgets.mul_shared_circuit(ell)
+        circuit = self._gadget(gadgets.mul_shared_circuit, ell)
         return self._run_masked(
             circuit,
             label,
@@ -177,7 +194,7 @@ class Engine:
                           label: str = "nonzero") -> SharedVector:
         """``z_i = Ind(x_i != 0)`` as shared ring elements."""
         ell = self.ctx.params.ell
-        circuit = gadgets.nonzero_circuit(ell)
+        circuit = self._gadget(gadgets.nonzero_circuit, ell)
         return self._run_masked(
             circuit,
             label,
@@ -213,7 +230,7 @@ class Engine:
                 plain = v.reconstruct()
                 out = self._segment_last_sums(ind, plain)
                 return self._fresh(out)
-            circuit = gadgets.merge_sum_circuit(ell, n)
+            circuit = self._gadget(gadgets.merge_sum_circuit, ell, n)
             r = ctx.random_ring_vector(n)
             alice_bits = list(ind.astype(int))
             for val in v.alice:
@@ -254,7 +271,7 @@ class Engine:
                 plain = (v.reconstruct() != 0).astype(np.uint64)
                 out = self._segment_last_sums(ind, plain)
                 return self._fresh((out != 0).astype(np.uint64))
-            circuit = gadgets.merge_or_circuit(ell, n)
+            circuit = self._gadget(gadgets.merge_or_circuit, ell, n)
             r = ctx.random_ring_vector(n)
             alice_bits = list(ind.astype(int)) + [
                 int(val) & 1 for val in v.alice
@@ -313,10 +330,9 @@ class Engine:
                 raise ValueError("payloads must be fixed-width")
         else:
             pbits = 0
-        circuit = gadgets.reveal_tuple_circuit(ell, pbits) if pbits else None
         with ctx.section(label):
             if ctx.mode == Mode.SIMULATED:
-                template = gadgets.reveal_tuple_circuit(ell, pbits)
+                template = self._gadget(gadgets.reveal_tuple_circuit, ell, pbits)
                 charge_garbled_batch(ctx, self.ot, template, n)
                 plain = v.reconstruct()
                 flags = (plain != 0).astype(bool)
@@ -327,7 +343,7 @@ class Engine:
                     for i in range(n)
                 ]
                 return flags, payloads
-            template = gadgets.reveal_tuple_circuit(ell, pbits)
+            template = self._gadget(gadgets.reveal_tuple_circuit, ell, pbits)
             alice_bits = [bits_of(int(a), ell) for a in v.alice]
             bob_bits = []
             for i in range(n):
@@ -355,7 +371,7 @@ class Engine:
         n = len(x)
         ell = self.ctx.params.ell
         ctx = self.ctx
-        circuit = gadgets.div_reveal_circuit(ell)
+        circuit = self._gadget(gadgets.div_reveal_circuit, ell)
         with ctx.section(label):
             if ctx.mode == Mode.SIMULATED:
                 charge_garbled_batch(ctx, self.ot, circuit, n)
@@ -389,9 +405,10 @@ class Engine:
         ctx, ot = self.ctx, self.ot
         ell = ctx.params.ell
         if n <= 3:
-            charge_garbled_batch(ctx, ot, make_circuit(ell, n), 1)
+            charge_garbled_batch(ctx, ot, self._gadget(make_circuit, ell, n), 1)
             return
-        c2, c3 = make_circuit(ell, 2), make_circuit(ell, 3)
+        c2 = self._gadget(make_circuit, ell, 2)
+        c3 = self._gadget(make_circuit, ell, 3)
 
         def extrapolate(f2: int, f3: int) -> int:
             return f2 + (n - 2) * (f3 - f2)

@@ -31,7 +31,7 @@ import numpy as np
 
 from .context import Context, Mode
 from .sharing import SharedVector
-from .waksman import benes_network, pad_permutation, switch_count
+from .waksman import pad_permutation, switch_count
 from .yao import charge_ot
 
 __all__ = ["oblivious_permutation", "oblivious_extended_permutation"]
@@ -72,7 +72,7 @@ def oblivious_permutation(
             n_switches = switch_count(n)
             charge_ot(ctx, ot, n_switches, 2 * 2 * _ring_bytes(ctx) * n_switches)
             return _fresh_shares(ctx, out_plain)
-        layers = benes_network(pad_permutation(perm))
+        layers = ctx.cache.benes_network(pad_permutation(perm))
         padded = values.concat(
             SharedVector.zeros(_padded_size(n) - n, ctx.modulus)
         )
@@ -164,8 +164,10 @@ def _oep_real(
         if perm2[g] == -1:
             perm2[g] = next(free_targets)
 
-    layers1 = benes_network(perm1)
-    layers2 = benes_network(perm2)
+    # The size-keyed topology is cached across every OEP of the run;
+    # only the per-permutation switch settings are recomputed here.
+    layers1 = ctx.cache.benes_network(perm1)
+    layers2 = ctx.cache.benes_network(perm2)
     routed = _apply_switch_network(
         ctx, ot, [layers1, layers2], copy_bits, padded
     )

@@ -1,0 +1,100 @@
+"""Per-run cross-operator setup cache.
+
+One protocol run touches the same circuit templates and switching-network
+shapes over and over: every merge chain of length ``n`` garbles the same
+``merge_sum_circuit(ell, n)`` template, every OEP over ``n`` wires routes
+the same Beneš *topology* (the wire-pair structure depends only on the
+size; only the switch settings depend on the permutation).  A
+:class:`RunCache` hangs off the :class:`~repro.mpc.context.Context` and
+memoises both, so a DAG of operators builds each template once per run —
+and reports hit/miss statistics that the execution tracer
+(:mod:`repro.exec.trace`) surfaces per run.
+
+Cached setup material is *public*: circuit templates and network shapes
+depend only on public sizes and bit widths, never on private inputs, so
+sharing them across operators leaks nothing and leaves transcripts
+byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from . import waksman
+
+__all__ = ["RunCache"]
+
+
+class RunCache:
+    """Memoises circuit templates (keyed ``(gadget, *shape)``) and Beneš
+    network topologies (keyed by size) for one protocol run."""
+
+    def __init__(self):
+        self._circuits: Dict[Tuple, object] = {}
+        self._topologies: Dict[int, Tuple] = {}
+        self.circuit_hits = 0
+        self.circuit_misses = 0
+        self.topology_hits = 0
+        self.topology_misses = 0
+
+    # -- garbled-circuit gadget templates --------------------------------
+
+    def circuit(self, builder: Callable, *shape):
+        """The circuit template ``builder(*shape)``, built once per run.
+
+        ``builder`` is one of the :mod:`repro.mpc.gadgets` constructors;
+        the cache key is ``(gadget name, *shape)`` — e.g.
+        ``("merge_sum_circuit", 32, 512)``.
+        """
+        key = (builder.__name__,) + shape
+        if key in self._circuits:
+            self.circuit_hits += 1
+            return self._circuits[key]
+        self.circuit_misses += 1
+        template = builder(*shape)
+        self._circuits[key] = template
+        return template
+
+    # -- Beneš switching networks ----------------------------------------
+
+    def benes_topology(self, n: int):
+        """The size-``n`` Beneš wire-pair layers (permutation-independent)."""
+        if n in self._topologies:
+            self.topology_hits += 1
+            return self._topologies[n]
+        self.topology_misses += 1
+        topology = waksman.benes_topology(n)
+        self._topologies[n] = topology
+        return topology
+
+    def benes_network(self, perm: Sequence[int]) -> List[List[Tuple[int, int, bool]]]:
+        """Routed network for ``perm``: cached topology zipped with the
+        per-permutation switch settings (same output format as
+        :func:`repro.mpc.waksman.benes_network`)."""
+        topology = self.benes_topology(len(perm))
+        swaps = waksman.benes_routing(perm)
+        return [
+            [(a, b, s) for (a, b), s in zip(t_layer, s_layer)]
+            for t_layer, s_layer in zip(topology, swaps)
+        ]
+
+    # -- reporting --------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "circuit_hits": self.circuit_hits,
+            "circuit_misses": self.circuit_misses,
+            "circuit_templates": len(self._circuits),
+            "topology_hits": self.topology_hits,
+            "topology_misses": self.topology_misses,
+            "topologies": len(self._topologies),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        s = self.stats()
+        return (
+            f"RunCache(circuits={s['circuit_templates']} "
+            f"hit/miss={s['circuit_hits']}/{s['circuit_misses']}, "
+            f"topologies={s['topologies']} "
+            f"hit/miss={s['topology_hits']}/{s['topology_misses']})"
+        )

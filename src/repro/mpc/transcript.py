@@ -98,6 +98,31 @@ class Transcript:
             out[key] = out.get(key, 0) + m.n_bytes
         return out
 
+    def rounds_by_section(self, depth: int = 1) -> Dict[str, int]:
+        """Round counts keyed like :meth:`bytes_by_section`: per section,
+        the number of direction changes among that section's messages
+        (interleaved sections each count their own sub-sequence)."""
+        rounds: Dict[str, int] = {}
+        last: Dict[str, str] = {}
+        for m in self.messages:
+            key = "/".join(m.label.split("/")[:depth]) if m.label else ""
+            if m.sender != last.get(key):
+                rounds[key] = rounds.get(key, 0) + 1
+                last[key] = m.sender
+        return rounds
+
+    @staticmethod
+    def slice_rounds(messages: List[Message]) -> int:
+        """Rounds attributable to a contiguous message slice: direction
+        changes within the slice, the first message opening a round."""
+        rounds = 0
+        last: Optional[str] = None
+        for m in messages:
+            if m.sender != last:
+                rounds += 1
+                last = m.sender
+        return rounds
+
     def summary(self) -> str:
         lines = [
             f"total: {self.total_bytes:,} bytes in {len(self.messages)} "
@@ -120,6 +145,7 @@ class Transcript:
                 BOB: self.bytes_from(BOB),
             },
             "by_section": self.bytes_by_section(),
+            "rounds_by_section": self.rounds_by_section(),
         }
 
     def fingerprint(self) -> Tuple[Tuple[str, int, str], ...]:

@@ -7,22 +7,43 @@ permutation: sizes are padded to the next power of two (padded slots are
 routed identically), giving ``2*log2(n) - 1`` layers and about
 ``n*log2(n)`` switches.
 
-The routing algorithm is the classic looping/2-colouring argument: the
-two inputs of every input-layer switch must enter different sub-networks,
-and the two inputs targeting the same output-layer switch must arrive
-from different sub-networks; walking these constraints around their even
-cycles yields a consistent assignment.
+The network splits into two independent parts:
+
+* :func:`benes_topology` — the wire-pair structure of every layer.  It
+  depends only on the size ``n``, so it is memoised (both here and in
+  the per-run :class:`~repro.mpc.runcache.RunCache`): a query that runs
+  hundreds of OEPs over same-sized vectors builds each shape once.
+* :func:`benes_routing` — the per-permutation switch settings, computed
+  by the classic looping/2-colouring argument: the two inputs of every
+  input-layer switch must enter different sub-networks, and the two
+  inputs targeting the same output-layer switch must arrive from
+  different sub-networks; walking these constraints around their even
+  cycles yields a consistent assignment.
+
+:func:`benes_network` zips the two into the routed-switch format the OEP
+protocol consumes.
 """
 
 from __future__ import annotations
 
+import functools
 from typing import List, Sequence, Tuple
 
-__all__ = ["benes_network", "apply_network", "switch_count", "pad_permutation"]
+__all__ = [
+    "benes_network",
+    "benes_topology",
+    "benes_routing",
+    "apply_network",
+    "switch_count",
+    "pad_permutation",
+]
 
 #: A switch: (wire_a, wire_b, swap?).  Switches within a layer are disjoint.
 Switch = Tuple[int, int, bool]
 Layer = List[Switch]
+
+#: A topology layer: the (wire_a, wire_b) pairs without settings.
+TopologyLayer = Tuple[Tuple[int, int], ...]
 
 
 def pad_permutation(perm: Sequence[int]) -> List[int]:
@@ -35,28 +56,52 @@ def pad_permutation(perm: Sequence[int]) -> List[int]:
     return list(perm) + list(range(n, size))
 
 
-def benes_network(perm: Sequence[int]) -> List[Layer]:
-    """Layers of switches realising ``wire[perm[i]] <- wire[i]``, i.e.
-    the value entering on wire ``i`` leaves on wire ``perm[i]``.
-
-    ``perm`` must be a permutation whose length is a power of two (use
-    :func:`pad_permutation` first).
-    """
-    n = len(perm)
+def _check_size(n: int) -> None:
     if n & (n - 1):
         raise ValueError("Benes network size must be a power of two")
+
+
+@functools.lru_cache(maxsize=None)
+def benes_topology(n: int) -> Tuple[TopologyLayer, ...]:
+    """The layers of (wire_a, wire_b) switch pairs of a size-``n`` Beneš
+    network — permutation-independent, hence memoised by size.  ``n``
+    must be a power of two."""
+    _check_size(n)
+    return tuple(_topology(list(range(n))))
+
+
+def _topology(wires: List[int]) -> List[TopologyLayer]:
+    n = len(wires)
+    if n == 1:
+        return []
+    if n == 2:
+        return [((wires[0], wires[1]),)]
+    in_layer = tuple((wires[2 * p], wires[2 * p + 1]) for p in range(n // 2))
+    top = _topology([wires[2 * p] for p in range(n // 2)])
+    bot = _topology([wires[2 * p + 1] for p in range(n // 2)])
+    middle = [top[d] + bot[d] for d in range(len(top))]
+    out_layer = tuple((wires[2 * q], wires[2 * q + 1]) for q in range(n // 2))
+    return [in_layer] + middle + [out_layer]
+
+
+def benes_routing(perm: Sequence[int]) -> List[Tuple[bool, ...]]:
+    """Per-layer switch settings realising ``wire[perm[i]] <- wire[i]``,
+    aligned switch-for-switch with :func:`benes_topology` of the same
+    size.  ``perm`` must be a permutation whose length is a power of two
+    (use :func:`pad_permutation` first)."""
+    n = len(perm)
+    _check_size(n)
     if sorted(perm) != list(range(n)):
         raise ValueError("not a permutation")
-    return _route(list(perm), list(range(n)))
+    return _route_swaps(list(perm))
 
 
-def _route(perm: List[int], wires: List[int]) -> List[Layer]:
-    """Recursive Benes routing on the global wire ids in ``wires``."""
+def _route_swaps(perm: List[int]) -> List[Tuple[bool, ...]]:
     n = len(perm)
     if n == 1:
         return []
     if n == 2:
-        return [[(wires[0], wires[1], perm[0] == 1)]]
+        return [(perm[0] == 1,)]
 
     inv = [0] * n
     for i, t in enumerate(perm):
@@ -78,43 +123,50 @@ def _route(perm: List[int], wires: List[int]) -> List[Layer]:
             i = partner_out ^ 1
             colour = subnet[partner_out] ^ 1
 
-    in_layer: Layer = []
+    in_swaps: List[bool] = []
     top_perm = [0] * (n // 2)
     bot_perm = [0] * (n // 2)
     for p in range(n // 2):
         a, b = 2 * p, 2 * p + 1
         swap = subnet[a] == 1
-        in_layer.append((wires[a], wires[b], swap))
+        in_swaps.append(swap)
         top_in = b if swap else a
         bot_in = a if swap else b
         top_perm[p] = perm[top_in] // 2
         bot_perm[p] = perm[bot_in] // 2
 
-    out_layer: Layer = []
+    out_swaps: List[bool] = []
     for q in range(n // 2):
         # The element reaching output switch q from the top subnet is the
         # input with subnet colour 0 whose target lies in output pair q.
         top_elem = next(
             i for i in (inv[2 * q], inv[2 * q + 1]) if subnet[i] == 0
         )
-        out_layer.append(
-            (wires[2 * q], wires[2 * q + 1], perm[top_elem] == 2 * q + 1)
-        )
+        out_swaps.append(perm[top_elem] == 2 * q + 1)
 
-    top_wires = [wires[2 * p] for p in range(n // 2)]
-    bot_wires = [wires[2 * p + 1] for p in range(n // 2)]
-    top_layers = _route(top_perm, top_wires)
-    bot_layers = _route(bot_perm, bot_wires)
-    # Merge the parallel sub-networks layer by layer.
-    middle: List[Layer] = []
-    for d in range(max(len(top_layers), len(bot_layers))):
-        layer: Layer = []
-        if d < len(top_layers):
-            layer.extend(top_layers[d])
-        if d < len(bot_layers):
-            layer.extend(bot_layers[d])
-        middle.append(layer)
-    return [in_layer] + middle + [out_layer]
+    top_layers = _route_swaps(top_perm)
+    bot_layers = _route_swaps(bot_perm)
+    # Merge the parallel sub-networks layer by layer (top switches first,
+    # matching the topology's layer order).
+    middle = [
+        top_layers[d] + bot_layers[d] for d in range(len(top_layers))
+    ]
+    return [tuple(in_swaps)] + middle + [tuple(out_swaps)]
+
+
+def benes_network(perm: Sequence[int]) -> List[Layer]:
+    """Layers of switches realising ``wire[perm[i]] <- wire[i]``, i.e.
+    the value entering on wire ``i`` leaves on wire ``perm[i]``.
+
+    ``perm`` must be a permutation whose length is a power of two (use
+    :func:`pad_permutation` first).
+    """
+    topology = benes_topology(len(perm))
+    swaps = benes_routing(perm)
+    return [
+        [(a, b, s) for (a, b), s in zip(t_layer, s_layer)]
+        for t_layer, s_layer in zip(topology, swaps)
+    ]
 
 
 def apply_network(layers: List[Layer], values: Sequence) -> List:
@@ -127,6 +179,7 @@ def apply_network(layers: List[Layer], values: Sequence) -> List:
     return vals
 
 
+@functools.lru_cache(maxsize=None)
 def switch_count(n: int) -> int:
     """Number of switches of a padded Benes network on ``n`` inputs —
     the quantity the SIMULATED cost model charges per permutation."""

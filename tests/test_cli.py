@@ -1,5 +1,7 @@
 """The command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -20,6 +22,31 @@ class TestCli:
         assert main(["estimate", "Q3", "--scale", "1"]) == 0
         out = capsys.readouterr().out
         assert "input tuples" in out
+
+    def test_trace_stdout(self, capsys):
+        assert main(["trace", "Q3", "--scale", "1"]) == 0
+        blob = json.loads(capsys.readouterr().out)
+        assert blob["meta"]["query"] == "Q3"
+        assert blob["meta"]["policy"] == "program"
+        assert blob["total_bytes"] > 0
+        kinds = {n["kind"] for n in blob["nodes"]}
+        assert {"share", "reveal", "join", "align", "product"} <= kinds
+        for node in blob["nodes"]:
+            assert {
+                "id", "kind", "label", "section", "stage",
+                "seconds", "n_bytes", "n_messages", "rounds",
+            } <= set(node)
+
+    def test_trace_to_file(self, capsys, tmp_path):
+        out_file = tmp_path / "trace.json"
+        assert main([
+            "trace", "Q18", "--scale", "1",
+            "--policy", "stages", "-o", str(out_file),
+        ]) == 0
+        assert "trace nodes" in capsys.readouterr().out
+        blob = json.loads(out_file.read_text())
+        assert blob["meta"]["policy"] == "stages"
+        assert len(blob["nodes"]) > 0
 
     def test_unknown_query_rejected(self):
         with pytest.raises(SystemExit):

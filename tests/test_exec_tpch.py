@@ -1,0 +1,53 @@
+"""Obliviousness fingerprints of the scheduler path on the five TPC-H
+queries: the exec-layer pipeline must reproduce the legacy sequential
+pipeline's transcript byte-for-byte on identical seeds at tiny scale.
+"""
+
+import pytest
+
+import repro.query.builder as builder
+from repro.core.protocol import (
+    legacy_secure_yannakakis,
+    legacy_secure_yannakakis_shared,
+)
+from repro.mpc import Engine, Mode
+from repro.tpch import PREPARED, generate
+
+SEED = 5
+
+
+def prepare(name):
+    dataset = generate(1)
+    if name == "Q9":
+        return PREPARED[name](dataset, nations=[8, 14])
+    return PREPARED[name](dataset)
+
+
+def run_transcript(query, *, legacy, monkeypatch):
+    with monkeypatch.context() as mp:
+        if legacy:
+            mp.setattr(
+                builder, "secure_yannakakis", legacy_secure_yannakakis
+            )
+            mp.setattr(
+                builder,
+                "secure_yannakakis_shared",
+                legacy_secure_yannakakis_shared,
+            )
+        ctx = query.make_context(Mode.SIMULATED, seed=SEED)
+        engine = Engine(ctx)
+        result, stats = query.run_secure(engine)
+    return ctx.transcript.fingerprint(), result
+
+
+@pytest.mark.parametrize("name", ["Q3", "Q10", "Q18", "Q8", "Q9"])
+def test_tpch_fingerprint_identity(name, monkeypatch):
+    query = prepare(name)
+    f_legacy, r_legacy = run_transcript(
+        query, legacy=True, monkeypatch=monkeypatch
+    )
+    f_new, r_new = run_transcript(
+        query, legacy=False, monkeypatch=monkeypatch
+    )
+    assert f_new == f_legacy
+    assert r_new.semantically_equal(r_legacy)

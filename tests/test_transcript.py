@@ -51,6 +51,50 @@ class TestTranscript:
         t.send(ALICE, 10, "x")
         assert "10" in t.summary()
 
+    def test_rounds_by_section(self):
+        t = Transcript()
+        with t.section("reduce"):
+            t.send(ALICE, 1, "a")
+            t.send(BOB, 1, "b")
+            t.send(BOB, 1, "c")
+        with t.section("join"):
+            t.send(BOB, 1, "d")
+            t.send(ALICE, 1, "e")
+        # Direction changes are counted per section independently.
+        assert t.rounds_by_section() == {"reduce": 2, "join": 2}
+        with t.section("reduce"):
+            t.send(ALICE, 1, "f")
+        assert t.rounds_by_section()["reduce"] == 3
+
+    def test_rounds_by_section_depth_and_unlabelled(self):
+        t = Transcript()
+        t.send(ALICE, 1)
+        with t.section("psi"):
+            with t.section("ot"):
+                t.send(BOB, 1, "u")
+                t.send(ALICE, 1, "v")
+            t.send(ALICE, 1, "w")
+        assert t.rounds_by_section() == {"": 1, "psi": 2}
+        assert t.rounds_by_section(depth=2) == {
+            "": 1, "psi/ot": 2, "psi/w": 1,
+        }
+
+    def test_slice_rounds(self):
+        t = Transcript()
+        t.send(ALICE, 1)
+        t.send(ALICE, 1)
+        t.send(BOB, 1)
+        assert Transcript.slice_rounds(t.messages) == 2
+        assert Transcript.slice_rounds(t.messages[1:]) == 2
+        assert Transcript.slice_rounds([]) == 0
+
+    def test_to_json_includes_rounds_by_section(self):
+        t = Transcript()
+        with t.section("semijoin"):
+            t.send(ALICE, 4, "x")
+        blob = t.to_json()
+        assert blob["rounds_by_section"] == {"semijoin": 1}
+
 
 class TestContext:
     def test_other_party(self):
@@ -80,6 +124,20 @@ class TestContext:
         child = ctx.fresh()
         assert child.mode == Mode.REAL
         assert child.transcript.total_bytes == 0
+
+    def test_fresh_preserves_swapped_roles(self):
+        # Regression: a sub-protocol measured inside a swapped_roles
+        # block must keep attributing bytes to the physical sender.
+        ctx = Context(Mode.SIMULATED, seed=2)
+        with ctx.swapped_roles():
+            child = ctx.fresh()
+            child.send(ALICE, 5, "x")
+        assert child.transcript.messages[0].sender == BOB
+
+    def test_fresh_shares_run_cache(self):
+        ctx = Context(Mode.SIMULATED, seed=2)
+        child = ctx.fresh()
+        assert child.cache is ctx.cache
 
 
 class TestSecurityParams:
