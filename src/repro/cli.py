@@ -6,14 +6,17 @@
     python -m repro tpch Q3 --scale 1 [--real]
     python -m repro trace Q3 --scale 1 [--policy stages] [-o trace.json]
     python -m repro estimate Q3 --scale 10
+    python -m repro fuzz --seed 0 --iterations 50
     python -m repro demo
 
 ``figures`` regenerates the paper's evaluation series; ``tpch`` runs a
 single benchmark query end to end and prints results + costs;
 ``trace`` runs one query through the execution scheduler and dumps the
 per-operator ExecutionTrace as JSON; ``estimate`` prints the analytic
-cost prediction without running the protocol; ``demo`` runs the
-Example 1.1 quickstart with REAL cryptography.
+cost prediction without running the protocol; ``fuzz`` runs the
+differential query fuzzer and obliviousness transcript audit (see
+docs/TESTING.md); ``demo`` runs the Example 1.1 quickstart with REAL
+cryptography.
 """
 
 from __future__ import annotations
@@ -126,6 +129,73 @@ def _cmd_estimate(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    from .fuzz import (
+        fuzz,
+        iter_corpus,
+        perturb_one_share,
+        replay_file,
+    )
+
+    if args.replay:
+        failures = replay_file(args.replay, audit=not args.no_audit)
+        for f in failures:
+            print(f)
+        print(
+            f"replay {args.replay}: "
+            + ("FAILED" if failures else "ok")
+        )
+        return 1 if failures else 0
+
+    if args.corpus is not None:
+        from .fuzz import check_instance
+
+        n, bad = 0, 0
+        for path, instance in iter_corpus(args.corpus or None):
+            failures = check_instance(
+                instance, audit=not args.no_audit
+            )
+            n += 1
+            for f in failures:
+                bad += 1
+                print(f"{path.name}: {f}")
+        print(f"corpus: {n} instances, {bad} failures")
+        return 1 if bad else 0
+
+    fault = perturb_one_share if args.inject_fault else None
+
+    def progress(i, report):
+        if (i + 1 - args.start) % 10 == 0:
+            print(
+                f"  ... {i + 1 - args.start}/{args.iterations} "
+                f"instances, {len(report.failures)} failures"
+            )
+
+    report = fuzz(
+        args.seed,
+        args.iterations,
+        start=args.start,
+        real_every=args.real_every,
+        audit=not args.no_audit,
+        fault=fault,
+        max_failures=args.max_failures,
+        on_progress=progress,
+        save_failures_to=args.save_failures,
+    )
+    for f in report.failures:
+        print(f)
+    print(f"fuzz --seed {args.seed}: {report.summary()}")
+    if args.inject_fault:
+        # Self-test mode: the injected fault MUST be detected.
+        caught = bool(report.failures)
+        print(
+            "injected fault was "
+            + ("caught and reported" if caught else "NOT caught")
+        )
+        return 0 if caught else 1
+    return 0 if report.ok else 1
+
+
 def _cmd_demo(args) -> int:
     import runpy
     from pathlib import Path
@@ -195,6 +265,46 @@ def main(argv=None) -> int:
     p.add_argument("query", choices=["Q3", "Q10", "Q18", "Q8", "Q9"])
     p.add_argument("--scale", type=float, default=1)
     p.set_defaults(fn=_cmd_estimate)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential fuzzer + obliviousness transcript audit",
+    )
+    p.add_argument("--seed", type=int, default=0,
+                   help="master seed of the instance stream")
+    p.add_argument("--iterations", type=int, default=50)
+    p.add_argument(
+        "--start", type=int, default=0,
+        help="first instance index (for replaying a failing seed)",
+    )
+    p.add_argument(
+        "--real-every", type=int, default=10,
+        help="every Nth instance also runs a tiny REAL-mode "
+        "differential (0 disables)",
+    )
+    p.add_argument(
+        "--no-audit", action="store_true",
+        help="skip the obliviousness transcript audit",
+    )
+    p.add_argument(
+        "--inject-fault", action="store_true",
+        help="self-test: perturb one share and require the fuzzer "
+        "to catch it (exit 0 iff caught)",
+    )
+    p.add_argument("--max-failures", type=int, default=10)
+    p.add_argument(
+        "--save-failures", default=None, metavar="DIR",
+        help="write failing instances as replayable JSON here",
+    )
+    p.add_argument(
+        "--replay", default=None, metavar="FILE",
+        help="re-check one saved instance/failure file",
+    )
+    p.add_argument(
+        "--corpus", default=None, metavar="DIR", nargs="?", const="",
+        help="replay every corpus file (default: tests/corpus)",
+    )
+    p.set_defaults(fn=_cmd_fuzz)
 
     p = sub.add_parser("demo", help="run the quickstart example")
     p.set_defaults(fn=_cmd_demo)

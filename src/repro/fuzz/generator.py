@@ -1,0 +1,397 @@
+"""Seeded generation of random free-connex join-aggregate instances.
+
+The differential fuzzer needs a stream of *valid* inputs: acyclic join
+queries with a rooted join tree on which the 3-phase plan compiles
+(Section 3.2), together with random databases and ownership splits.
+Rather than generating arbitrary hypergraphs and rejecting the cyclic
+ones, instances are grown from a random tree:
+
+* draw a random tree over 2..6 relations;
+* give each tree edge one or two join attributes — either fresh, or
+  (with some probability) an attribute the parent already carries, which
+  extends that attribute's node set along a connected subtree and keeps
+  the hypergraph alpha-acyclic by construction;
+* give each relation up to two private attributes;
+* draw the output attribute set from candidate subsets, keeping the
+  first that passes :func:`repro.relalg.join_tree.is_free_connex`; two
+  fallbacks always succeed — the full-aggregate output ``()`` and the
+  attribute union of a connected subtree containing the tree root.
+
+Databases use small key domains (so joins actually hit), annotations mix
+SUM-style random weights with COUNT-style all-ones, and a configurable
+fraction of zero annotations exercises the dummy-tuple paths.  The
+default bit width is ``ell = 48`` so that no aggregate can wrap around
+the ring modulus — a property :func:`value_disjoint_twin` relies on (see
+below) and the TPC-H drivers also use for Q8/Q9.
+
+Everything is driven by one :func:`numpy.random.default_rng` seeded from
+``(master_seed, index)``, so any instance is reproducible from two
+integers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..mpc.context import ALICE, BOB
+from ..query.builder import JoinAggregateQuery
+from ..relalg.hypergraph import Hypergraph
+from ..relalg.join_tree import is_free_connex
+from ..relalg.relation import AnnotatedRelation
+from ..relalg.semiring import IntegerRing
+
+__all__ = [
+    "GeneratorConfig",
+    "TINY_CONFIG",
+    "QueryInstance",
+    "generate_instance",
+    "value_disjoint_twin",
+]
+
+#: Offset applied by :func:`value_disjoint_twin`: far above any generated
+#: key, far below ``2^31`` so the codec keeps 4-byte int slots.
+TWIN_OFFSET = 1_000_003
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs of the instance generator (all ranges inclusive)."""
+
+    min_relations: int = 2
+    max_relations: int = 5
+    max_arity: int = 3
+    #: Extra non-join attributes per relation (0..this).
+    max_private_attrs: int = 2
+    #: Attribute values are drawn from ``0..key_range-1``.
+    key_range: int = 4
+    min_tuples: int = 1
+    max_tuples: int = 6
+    #: Nonzero annotations are drawn from ``1..max_annotation``.
+    max_annotation: int = 9
+    #: Probability that a tuple's annotation is zero (dummy-style).
+    zero_annotation_prob: float = 0.25
+    #: Probability of a COUNT query (all annotations = 1).
+    count_query_prob: float = 0.25
+    #: Probability an edge attribute is reused from the parent (makes
+    #: attributes span >2 relations).
+    reuse_attr_prob: float = 0.3
+    #: Probability of compiling the original two-phase (semijoin-first)
+    #: plan variant instead of the paper's reduce-first order.
+    two_phase_prob: float = 0.15
+    #: Ring bit width.  48 keeps every aggregate below the modulus for
+    #: these ranges, which :func:`value_disjoint_twin` requires.
+    ell: int = 48
+
+
+#: Small instances for sampled REAL-mode runs (per-bit OTs are slow).
+TINY_CONFIG = GeneratorConfig(
+    max_relations=3,
+    max_arity=2,
+    max_private_attrs=1,
+    max_tuples=4,
+    key_range=3,
+)
+
+
+@dataclass
+class QueryInstance:
+    """One concrete fuzz instance: relations, owners, output, plan flags.
+
+    Serialisable to plain JSON so failing instances can be kept as
+    corpus files and replayed byte-for-byte by future versions even if
+    the generator's drawing order changes.
+    """
+
+    seed: Tuple[int, int]
+    relations: Dict[str, AnnotatedRelation]
+    owners: Dict[str, str]
+    output: Tuple[str, ...]
+    two_phase: bool = False
+    ell: int = 48
+    note: str = ""
+
+    # -- structure -------------------------------------------------------
+
+    def hypergraph(self) -> Hypergraph:
+        return Hypergraph(
+            {n: r.attributes for n, r in self.relations.items()}
+        )
+
+    def query(self) -> JoinAggregateQuery:
+        q = JoinAggregateQuery(output=self.output)
+        for name, rel in self.relations.items():
+            q.add_relation(name, rel, owner=self.owners[name])
+        return q
+
+    def sizes(self) -> Dict[str, int]:
+        return {n: len(r) for n, r in self.relations.items()}
+
+    def describe(self) -> str:
+        parts = [
+            f"{n}({','.join(r.attributes)})[{len(r)} @{self.owners[n]}]"
+            for n, r in self.relations.items()
+        ]
+        plan = "two-phase" if self.two_phase else "reduce-first"
+        return (
+            f"seed={list(self.seed)} output={list(self.output)} "
+            f"{plan} ell={self.ell}: " + " ".join(parts)
+        )
+
+    # -- serialisation ---------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            "seed": list(self.seed),
+            "ell": self.ell,
+            "two_phase": self.two_phase,
+            "output": list(self.output),
+            "note": self.note,
+            "relations": {
+                name: {
+                    "owner": self.owners[name],
+                    "attributes": list(rel.attributes),
+                    "tuples": [list(t) for t in rel.tuples],
+                    "annotations": [int(v) for v in rel.annotations],
+                }
+                for name, rel in self.relations.items()
+            },
+        }
+
+    @classmethod
+    def from_json(cls, blob: dict) -> "QueryInstance":
+        ring = IntegerRing(blob["ell"])
+        relations: Dict[str, AnnotatedRelation] = {}
+        owners: Dict[str, str] = {}
+        for name, spec in blob["relations"].items():
+            relations[name] = AnnotatedRelation(
+                tuple(spec["attributes"]),
+                [tuple(t) for t in spec["tuples"]],
+                spec["annotations"],
+                ring,
+            )
+            owners[name] = spec["owner"]
+        return cls(
+            seed=tuple(blob.get("seed", (0, 0))),
+            relations=relations,
+            owners=owners,
+            output=tuple(blob["output"]),
+            two_phase=bool(blob.get("two_phase", False)),
+            ell=int(blob["ell"]),
+            note=blob.get("note", ""),
+        )
+
+
+# ----------------------------------------------------------------------
+# schema generation
+# ----------------------------------------------------------------------
+
+
+def _random_schema(
+    rng: np.random.Generator, config: GeneratorConfig
+) -> Tuple[Dict[str, List[str]], List[Optional[int]]]:
+    """A random acyclic schema grown from a random tree.  Returns the
+    per-relation attribute lists and the tree's parent array."""
+    n_rel = int(
+        rng.integers(config.min_relations, config.max_relations + 1)
+    )
+    parent: List[Optional[int]] = [None]
+    for i in range(1, n_rel):
+        parent.append(int(rng.integers(0, i)))
+
+    attrs: List[List[str]] = [[] for _ in range(n_rel)]
+    counter = 0
+
+    def fresh() -> str:
+        nonlocal counter
+        counter += 1
+        return f"a{counter - 1}"
+
+    attrs[0].append(fresh())
+    for i in range(1, n_rel):
+        p = parent[i]
+        n_join = int(rng.integers(1, 3))  # 1 or 2 join attributes
+        for _ in range(n_join):
+            if len(attrs[i]) >= config.max_arity:
+                break
+            reusable = [a for a in attrs[p] if a not in attrs[i]]
+            if reusable and rng.random() < config.reuse_attr_prob:
+                a = reusable[int(rng.integers(0, len(reusable)))]
+            else:
+                a = fresh()
+                if len(attrs[p]) < config.max_arity:
+                    attrs[p].append(a)
+                elif attrs[p]:
+                    # Parent is full: reuse one of its attributes so the
+                    # edge still shares something.
+                    a = attrs[p][int(rng.integers(0, len(attrs[p])))]
+                    if a in attrs[i]:
+                        continue
+            if a not in attrs[i]:
+                attrs[i].append(a)
+        if not set(attrs[i]) & set(attrs[p]):
+            # Degenerate draw (parent full, all reuses collided): force
+            # one genuinely shared attribute.
+            shared = attrs[p][int(rng.integers(0, len(attrs[p])))]
+            if shared not in attrs[i]:
+                attrs[i].append(shared)
+    for i in range(n_rel):
+        n_priv = int(rng.integers(0, config.max_private_attrs + 1))
+        while n_priv and len(attrs[i]) < config.max_arity:
+            attrs[i].append(fresh())
+            n_priv -= 1
+    return {f"R{i}": attrs[i] for i in range(n_rel)}, parent
+
+
+def _subtree_output(
+    rng: np.random.Generator,
+    schema: Dict[str, List[str]],
+    parent: List[Optional[int]],
+) -> Tuple[str, ...]:
+    """The attribute union of a random connected subtree containing the
+    tree root — always a free-connex output for this schema."""
+    n_rel = len(parent)
+    in_subtree = [False] * n_rel
+    in_subtree[0] = True
+    for i in range(1, n_rel):
+        if in_subtree[parent[i]] and rng.random() < 0.5:
+            in_subtree[i] = True
+    out: List[str] = []
+    for i in range(n_rel):
+        if in_subtree[i]:
+            for a in schema[f"R{i}"]:
+                if a not in out:
+                    out.append(a)
+    return tuple(sorted(out))
+
+
+def _draw_output(
+    rng: np.random.Generator,
+    schema: Dict[str, List[str]],
+    parent: List[Optional[int]],
+    hypergraph: Hypergraph,
+) -> Tuple[str, ...]:
+    """A free-connex output set: random subsets under rejection, then
+    the guaranteed fallbacks (subtree union, full aggregate)."""
+    all_attrs = sorted({a for attrs in schema.values() for a in attrs})
+    for _ in range(8):
+        k = int(rng.integers(0, len(all_attrs) + 1))
+        if k == 0:
+            return ()
+        pick = rng.choice(len(all_attrs), size=k, replace=False)
+        candidate = tuple(sorted(all_attrs[i] for i in pick))
+        if is_free_connex(hypergraph, set(candidate)):
+            return candidate
+    if rng.random() < 0.5:
+        return _subtree_output(rng, schema, parent)
+    return ()
+
+
+# ----------------------------------------------------------------------
+# database + instance generation
+# ----------------------------------------------------------------------
+
+
+def _random_database(
+    rng: np.random.Generator,
+    schema: Dict[str, List[str]],
+    config: GeneratorConfig,
+) -> Dict[str, AnnotatedRelation]:
+    ring = IntegerRing(config.ell)
+    count_query = rng.random() < config.count_query_prob
+    out: Dict[str, AnnotatedRelation] = {}
+    for name, attrs in schema.items():
+        n = int(rng.integers(config.min_tuples, config.max_tuples + 1))
+        tuples = [
+            tuple(
+                int(v)
+                for v in rng.integers(0, config.key_range, len(attrs))
+            )
+            for _ in range(n)
+        ]
+        if count_query:
+            annots = [1] * n
+        else:
+            annots = [
+                0
+                if rng.random() < config.zero_annotation_prob
+                else int(rng.integers(1, config.max_annotation + 1))
+                for _ in range(n)
+            ]
+        out[name] = AnnotatedRelation(tuple(attrs), tuples, annots, ring)
+    return out
+
+
+def generate_instance(
+    master_seed: int,
+    index: int,
+    config: GeneratorConfig = GeneratorConfig(),
+) -> QueryInstance:
+    """The ``index``-th instance of the ``master_seed`` stream."""
+    rng = np.random.default_rng([master_seed, index])
+    schema, parent = _random_schema(rng, config)
+    hypergraph = Hypergraph(schema)
+    output = _draw_output(rng, schema, parent, hypergraph)
+    relations = _random_database(rng, schema, config)
+    owners = {
+        name: (ALICE if rng.random() < 0.5 else BOB) for name in schema
+    }
+    two_phase = rng.random() < config.two_phase_prob
+    return QueryInstance(
+        seed=(master_seed, index),
+        relations=relations,
+        owners=owners,
+        output=output,
+        two_phase=two_phase,
+        ell=config.ell,
+    )
+
+
+def value_disjoint_twin(
+    instance: QueryInstance, twin_seed: int = 1
+) -> QueryInstance:
+    """A database sharing *no* attribute value with ``instance`` but with
+    identical public shape — the pair the obliviousness audit compares.
+
+    The twin applies one injective per-attribute remap ``v -> v +
+    TWIN_OFFSET + salt(attr)`` (consistent across relations, so the join
+    structure — and hence the revealed ``|J*|``, the paper's allowed
+    output-size leakage — is preserved exactly), and redraws every
+    nonzero annotation as a fresh nonzero value.  Because generated
+    annotations are small positives in a wide ring (no wrap-around),
+    zero-ness of every intermediate aggregate is a function of the input
+    zero pattern and the join structure alone, so the twin's transcript
+    must match byte for byte; any divergence is an obliviousness bug.
+    """
+    rng = np.random.default_rng([TWIN_OFFSET, twin_seed, *instance.seed])
+    attr_salt: Dict[str, int] = {}
+    relations: Dict[str, AnnotatedRelation] = {}
+    for name, rel in instance.relations.items():
+        for a in rel.attributes:
+            if a not in attr_salt:
+                attr_salt[a] = int(rng.integers(0, 1000)) * 100
+        remapped = [
+            tuple(
+                int(v) + TWIN_OFFSET + attr_salt[a]
+                for v, a in zip(t, rel.attributes)
+            )
+            for t in rel.tuples
+        ]
+        annots = [
+            0 if int(v) == 0 else int(rng.integers(1, 10))
+            for v in rel.annotations
+        ]
+        relations[name] = AnnotatedRelation(
+            rel.attributes, remapped, annots, rel.semiring
+        )
+    return QueryInstance(
+        seed=instance.seed,
+        relations=relations,
+        owners=dict(instance.owners),
+        output=instance.output,
+        two_phase=instance.two_phase,
+        ell=instance.ell,
+        note=f"value-disjoint twin of {list(instance.seed)}",
+    )

@@ -1,0 +1,475 @@
+"""The differential fuzz runner and the obliviousness transcript audit.
+
+Two machine-checked versions of the paper's headline guarantees:
+
+* **Correctness** (:func:`run_differential`) — the secure protocol's
+  revealed result must be semantically equal, as a K-relation, to the
+  ``naive_join_aggregate`` oracle (join-then-aggregate by brute force)
+  and to the plaintext Yannakakis executor, for every instance, under
+  both scheduler dispatch policies ("program" and "stages").
+
+* **Data-obliviousness** (:func:`audit_obliviousness`) — running the
+  same query shape on a value-disjoint database of identical
+  cardinalities must produce the *identical* transcript: same per-
+  message ``(sender, n_bytes, label)`` fingerprint, hence identical
+  per-section byte totals and identical round counts.  This is the
+  paper's leakage claim (input sizes + the revealed ``|J*|`` only)
+  turned into an executable assertion.
+
+Failures are reported as :class:`FuzzFailure` records carrying the
+instance's ``(master_seed, index)`` so any finding replays from two
+integers; :func:`fuzz` drives whole campaigns and can persist failing
+instances as corpus JSON for regression replay.
+
+The ``fault`` hook deliberately breaks the protocol (it perturbs one
+party's share of one annotation before the run) — used by tests and
+``repro fuzz --inject-fault`` to prove the oracle actually has teeth.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.protocol import secure_yannakakis
+from ..core.relation import SecureRelation
+from ..mpc.context import Context, Mode
+from ..mpc.engine import Engine
+from ..mpc.params import SecurityParams
+from ..query.planner import choose_plan
+from ..relalg.relation import AnnotatedRelation
+from ..yannakakis.naive import naive_join_aggregate
+from ..yannakakis.plain import execute_plan
+from ..yannakakis.plan import YannakakisPlan, build_two_phase_plan
+from .generator import (
+    TINY_CONFIG,
+    GeneratorConfig,
+    QueryInstance,
+    generate_instance,
+    value_disjoint_twin,
+)
+
+__all__ = [
+    "FuzzFailure",
+    "FuzzReport",
+    "POLICIES",
+    "run_differential",
+    "audit_obliviousness",
+    "check_instance",
+    "fuzz",
+    "perturb_one_share",
+    "save_failure",
+    "replay_file",
+]
+
+POLICIES = ("program", "stages")
+
+#: Engine OT group size for fuzzing (smaller than the 2048-bit
+#: production default; REAL-mode iterations are per-bit OTs).
+FUZZ_GROUP_BITS = 1536
+
+
+@dataclass
+class FuzzFailure:
+    """One confirmed divergence, replayable from the instance seed."""
+
+    kind: str  # "mismatch" | "transcript" | "crash"
+    seed: Tuple[int, int]
+    detail: str
+    policy: Optional[str] = None
+    mode: str = "simulated"
+    instance: Optional[QueryInstance] = None
+
+    def replay_hint(self) -> str:
+        master, index = self.seed
+        return (
+            f"repro fuzz --seed {master} --start {index} --iterations 1"
+        )
+
+    def __str__(self) -> str:
+        where = f" policy={self.policy}" if self.policy else ""
+        return (
+            f"[{self.kind}] seed={list(self.seed)} mode={self.mode}"
+            f"{where}: {self.detail}  (replay: {self.replay_hint()})"
+        )
+
+
+@dataclass
+class FuzzReport:
+    """Summary of one fuzz campaign."""
+
+    iterations: int = 0
+    real_iterations: int = 0
+    audits: int = 0
+    failures: List[FuzzFailure] = field(default_factory=list)
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.failures)} FAILURES"
+        return (
+            f"{status}: {self.iterations} instances "
+            f"({self.real_iterations} REAL-mode), "
+            f"{self.audits} obliviousness audits, "
+            f"{self.seconds:.1f}s"
+        )
+
+
+# ----------------------------------------------------------------------
+# single-instance checks
+# ----------------------------------------------------------------------
+
+
+def _plan_for(instance: QueryInstance) -> YannakakisPlan:
+    plan = choose_plan(
+        instance.hypergraph(),
+        instance.output,
+        instance.owners,
+        instance.sizes(),
+    )
+    if instance.two_phase:
+        plan = build_two_phase_plan(plan.tree, plan.output)
+    return plan
+
+
+def _secure_inputs(
+    instance: QueryInstance,
+) -> Dict[str, SecureRelation]:
+    return {
+        name: SecureRelation.from_annotated(instance.owners[name], rel)
+        for name, rel in instance.relations.items()
+    }
+
+
+def perturb_one_share(
+    engine: Engine, inputs: Dict[str, SecureRelation]
+) -> None:
+    """The injected fault: secret-share the first relation's annotations
+    and add 1 to Alice's share of entry 0.  The sharing itself is
+    transcript-neutral in accounting terms, but the reconstructed
+    annotation is now wrong — the oracle comparison must catch it."""
+    name = sorted(inputs)[0]
+    rel = inputs[name]
+    if len(rel) == 0:  # pragma: no cover - generator emits >=1 tuple
+        return
+    from ..core.relation import SecureAnnotations
+
+    shares = rel.annotations.to_shared(engine, label="fault")
+    shares.alice[0] = (int(shares.alice[0]) + 1) % engine.ctx.modulus
+    rel.annotations = SecureAnnotations.shared(shares)
+
+
+def _run_secure(
+    instance: QueryInstance,
+    plan: YannakakisPlan,
+    mode: Mode,
+    policy: str,
+    engine_seed: int = 7,
+    fault: Optional[Callable] = None,
+) -> Tuple[AnnotatedRelation, Context]:
+    ctx = Context(
+        mode, SecurityParams(ell=instance.ell), seed=engine_seed
+    )
+    engine = Engine(ctx, FUZZ_GROUP_BITS, exec_policy=policy)
+    inputs = _secure_inputs(instance)
+    if fault is not None:
+        fault(engine, inputs)
+    result, _ = secure_yannakakis(engine, inputs, plan)
+    return result, ctx
+
+
+def run_differential(
+    instance: QueryInstance,
+    mode: Mode = Mode.SIMULATED,
+    policies: Sequence[str] = POLICIES,
+    fault: Optional[Callable] = None,
+) -> List[FuzzFailure]:
+    """Differential check of one instance: oracle vs plaintext plan vs
+    the secure protocol under each scheduler policy."""
+    failures: List[FuzzFailure] = []
+    oracle = naive_join_aggregate(
+        instance.relations, list(instance.output)
+    )
+    try:
+        plan = _plan_for(instance)
+    except Exception as exc:  # pragma: no cover - generator guarantees
+        return [
+            FuzzFailure(
+                "crash", instance.seed,
+                f"planner failed: {exc!r}", mode=mode.value,
+                instance=instance,
+            )
+        ]
+    plain = execute_plan(plan, instance.relations).nonzero()
+    if not plain.semantically_equal(oracle):
+        failures.append(
+            FuzzFailure(
+                "mismatch", instance.seed,
+                "plaintext Yannakakis != naive oracle "
+                f"({plain.to_dict()} vs {oracle.to_dict()})",
+                policy="plain", mode=mode.value, instance=instance,
+            )
+        )
+    for policy in policies:
+        try:
+            result, _ = _run_secure(
+                instance, plan, mode, policy, fault=fault
+            )
+        except Exception as exc:
+            failures.append(
+                FuzzFailure(
+                    "crash", instance.seed,
+                    f"secure run raised {exc!r}",
+                    policy=policy, mode=mode.value, instance=instance,
+                )
+            )
+            continue
+        if not result.semantically_equal(oracle):
+            failures.append(
+                FuzzFailure(
+                    "mismatch", instance.seed,
+                    f"secure({policy}) != oracle "
+                    f"({result.to_dict()} vs {oracle.to_dict()})",
+                    policy=policy, mode=mode.value, instance=instance,
+                )
+            )
+    return failures
+
+
+def audit_obliviousness(
+    instance: QueryInstance,
+    mode: Mode = Mode.SIMULATED,
+    policy: str = "program",
+    twin_seed: int = 1,
+) -> List[FuzzFailure]:
+    """Run ``instance`` and its value-disjoint twin; the transcripts must
+    agree on every observable: per-message fingerprints (sender, size,
+    label), per-section byte totals, and round counts."""
+    plan = _plan_for(instance)
+    twin = value_disjoint_twin(instance, twin_seed)
+    _, ctx_a = _run_secure(instance, plan, mode, policy)
+    _, ctx_b = _run_secure(twin, plan, mode, policy)
+    ta, tb = ctx_a.transcript, ctx_b.transcript
+    failures: List[FuzzFailure] = []
+
+    def fail(detail: str) -> None:
+        failures.append(
+            FuzzFailure(
+                "transcript", instance.seed, detail,
+                policy=policy, mode=mode.value, instance=instance,
+            )
+        )
+
+    if ta.bytes_by_section() != tb.bytes_by_section():
+        fail(
+            "per-section bytes differ across value-disjoint twins: "
+            f"{ta.bytes_by_section()} vs {tb.bytes_by_section()}"
+        )
+    if ta.rounds != tb.rounds or (
+        ta.rounds_by_section() != tb.rounds_by_section()
+    ):
+        fail(
+            "round structure differs across value-disjoint twins: "
+            f"{ta.rounds}/{ta.rounds_by_section()} vs "
+            f"{tb.rounds}/{tb.rounds_by_section()}"
+        )
+    if not failures and ta.fingerprint() != tb.fingerprint():
+        # Byte- and round-aggregates agree but the message streams
+        # differ — report the first diverging message.
+        fa, fb = ta.fingerprint(), tb.fingerprint()
+        for i, (ma, mb) in enumerate(zip(fa, fb)):
+            if ma != mb:
+                fail(
+                    f"message {i} differs across value-disjoint twins: "
+                    f"{ma} vs {mb}"
+                )
+                break
+        else:
+            fail(
+                f"message counts differ: {len(fa)} vs {len(fb)}"
+            )
+    return failures
+
+
+def check_instance(
+    instance: QueryInstance,
+    mode: Mode = Mode.SIMULATED,
+    audit: bool = True,
+    fault: Optional[Callable] = None,
+) -> List[FuzzFailure]:
+    """Everything the fuzzer asserts about one instance."""
+    failures = run_differential(instance, mode=mode, fault=fault)
+    if audit and fault is None:
+        failures += audit_obliviousness(instance, mode=mode)
+    return failures
+
+
+# ----------------------------------------------------------------------
+# campaigns
+# ----------------------------------------------------------------------
+
+
+def _refails(
+    failure: FuzzFailure, fault: Optional[Callable]
+) -> Callable[[QueryInstance], bool]:
+    """A predicate for :func:`minimize_instance`: does a shrunk instance
+    still exhibit the same kind of failure?"""
+
+    def check(candidate: QueryInstance) -> bool:
+        if failure.kind == "transcript":
+            found = audit_obliviousness(candidate)
+        else:
+            found = run_differential(candidate, fault=fault)
+        return any(f.kind == failure.kind for f in found)
+
+    return check
+
+
+def fuzz(
+    seed: int,
+    iterations: int,
+    start: int = 0,
+    config: GeneratorConfig = GeneratorConfig(),
+    real_every: int = 10,
+    audit: bool = True,
+    fault: Optional[Callable] = None,
+    max_failures: int = 10,
+    on_progress: Optional[Callable[[int, "FuzzReport"], None]] = None,
+    save_failures_to: Optional[str] = None,
+) -> FuzzReport:
+    """A fuzz campaign: instances ``start .. start+iterations-1`` of the
+    ``seed`` stream.  Every instance runs the SIMULATED differential
+    check under both policies plus the obliviousness audit; every
+    ``real_every``-th instance additionally runs a *tiny* REAL-mode
+    differential (0 disables REAL sampling).  Stops early after
+    ``max_failures`` findings."""
+    report = FuzzReport()
+    t0 = time.perf_counter()
+    for i in range(start, start + iterations):
+        instance = generate_instance(seed, i, config)
+        found = check_instance(
+            instance, mode=Mode.SIMULATED, audit=audit, fault=fault
+        )
+        report.iterations += 1
+        if audit and fault is None:
+            report.audits += 1
+        if real_every and (i - start) % real_every == 0:
+            tiny = generate_instance(seed, i, TINY_CONFIG)
+            found += run_differential(
+                tiny, mode=Mode.REAL, policies=("program",), fault=fault
+            )
+            report.real_iterations += 1
+        for failure in found:
+            if (
+                failure.instance is not None
+                and failure.mode == Mode.SIMULATED.value
+            ):
+                failure.instance = minimize_instance(
+                    failure.instance, _refails(failure, fault)
+                )
+            report.failures.append(failure)
+            if save_failures_to is not None:
+                save_failure(failure, save_failures_to)
+        if on_progress is not None:
+            on_progress(i, report)
+        if len(report.failures) >= max_failures:
+            break
+    report.seconds = time.perf_counter() - t0
+    return report
+
+
+# ----------------------------------------------------------------------
+# minimisation, failure persistence + replay
+# ----------------------------------------------------------------------
+
+
+def minimize_instance(
+    instance: QueryInstance,
+    still_fails: Callable[[QueryInstance], bool],
+    max_steps: int = 200,
+) -> QueryInstance:
+    """Greedy delta-debugging: repeatedly drop one tuple (annotation
+    included) wherever the failure persists, keeping at least one tuple
+    per relation.  Deterministic; ``max_steps`` bounds the work."""
+    current = instance
+    steps = 0
+    shrunk = True
+    while shrunk and steps < max_steps:
+        shrunk = False
+        for name in sorted(current.relations):
+            rel = current.relations[name]
+            i = 0
+            while i < len(rel.tuples) and len(rel.tuples) > 1:
+                if steps >= max_steps:
+                    return current
+                steps += 1
+                candidate_rel = AnnotatedRelation(
+                    rel.attributes,
+                    rel.tuples[:i] + rel.tuples[i + 1 :],
+                    np.delete(rel.annotations, i),
+                    rel.semiring,
+                )
+                candidate = QueryInstance(
+                    seed=current.seed,
+                    relations={
+                        **current.relations, name: candidate_rel
+                    },
+                    owners=dict(current.owners),
+                    output=current.output,
+                    two_phase=current.two_phase,
+                    ell=current.ell,
+                    note=current.note or "minimized",
+                )
+                try:
+                    if still_fails(candidate):
+                        current = candidate
+                        rel = candidate_rel
+                        shrunk = True
+                        continue
+                except Exception:
+                    current = candidate
+                    rel = candidate_rel
+                    shrunk = True
+                    continue
+                i += 1
+    return current
+
+
+def save_failure(failure: FuzzFailure, directory: str) -> Path:
+    """Persist a failing instance as a replayable corpus JSON file."""
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    master, index = failure.seed
+    name = f"fail_{failure.kind}_s{master}_i{index}.json"
+    blob = {
+        "failure": {
+            "kind": failure.kind,
+            "detail": failure.detail,
+            "policy": failure.policy,
+            "mode": failure.mode,
+            "replay": failure.replay_hint(),
+        },
+    }
+    if failure.instance is not None:
+        blob["instance"] = failure.instance.to_json()
+    out = path / name
+    out.write_text(json.dumps(blob, indent=2) + "\n")
+    return out
+
+
+def replay_file(path: str, audit: bool = True) -> List[FuzzFailure]:
+    """Re-check a saved instance file (corpus entry or failure repro).
+
+    Accepts either a bare instance JSON (``QueryInstance.to_json``) or a
+    failure file produced by :func:`save_failure`."""
+    blob = json.loads(Path(path).read_text())
+    instance = QueryInstance.from_json(blob.get("instance", blob))
+    return check_instance(instance, audit=audit)

@@ -93,6 +93,14 @@ class Context:
         finally:
             self._roles_swapped = not self._roles_swapped
 
+    def cache_stats(self) -> dict:
+        """Hit/miss counters of the per-run setup cache (circuit
+        templates and Beneš topologies) — see
+        :meth:`repro.mpc.runcache.RunCache.stats`.  Because
+        :meth:`fresh` shares the cache, these counters aggregate over
+        every sub-protocol of the run."""
+        return self.cache.stats()
+
     def fresh(self) -> "Context":
         """A new context with the same configuration but an empty
         transcript (used when measuring a sub-protocol in isolation).

@@ -63,6 +63,22 @@ class JoinAggregateQuery:
         self._plan = None
         return self
 
+    def swap_owners(self) -> "JoinAggregateQuery":
+        """The mirrored query: every ALICE-owned relation becomes
+        BOB-owned and vice versa.  The plan cost model is symmetric
+        under a global owner flip, so the mirrored query picks the same
+        plan; the protocol must then produce the identical result with
+        the reduce/semijoin communication mirrored between the parties
+        (see ``tests/test_owner_symmetry.py``)."""
+        from ..mpc.transcript import other_party
+
+        mirrored = JoinAggregateQuery(self.output)
+        for name, rel in self.relations.items():
+            mirrored.add_relation(
+                name, rel, owner=other_party(self.owners[name])
+            )
+        return mirrored
+
     # -- structure --------------------------------------------------------
 
     def hypergraph(self) -> Hypergraph:

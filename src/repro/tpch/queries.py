@@ -100,6 +100,12 @@ class PreparedQuery:
         return result, time.perf_counter() - t0
 
 
+def _maybe_flip(
+    query: JoinAggregateQuery, flip_owners: bool
+) -> JoinAggregateQuery:
+    return query.swap_owners() if flip_owners else query
+
+
 def _rename(rel: AnnotatedRelation, mapping: Dict[str, str]) -> AnnotatedRelation:
     return rel.replace(
         attributes=tuple(mapping.get(a, a) for a in rel.attributes)
@@ -125,7 +131,9 @@ def _rel(
 # ----------------------------------------------------------------------
 
 
-def prepare_q3(dataset: TpchDataset) -> PreparedQuery:
+def prepare_q3(
+    dataset: TpchDataset, flip_owners: bool = False
+) -> PreparedQuery:
     """TPC-H Q3: revenue of AUTOMOBILE orders not yet shipped — already
     free-connex in its vanilla form; all selection selectivities are
     treated as private (dummy tuples)."""
@@ -155,7 +163,7 @@ def prepare_q3(dataset: TpchDataset) -> PreparedQuery:
             * (100 - np.asarray(cols["l_discount"])),
             mask=np.asarray(lineitem.column("l_shipdate")) > cutoff,
         )
-        return (
+        q = (
             JoinAggregateQuery(
                 output=["orderkey", "o_orderdate", "o_shippriority"]
             )
@@ -163,6 +171,7 @@ def prepare_q3(dataset: TpchDataset) -> PreparedQuery:
             .add_relation("orders", o, owner=BOB)
             .add_relation("lineitem", l, owner=ALICE)
         )
+        return _maybe_flip(q, flip_owners)
 
     eff = (
         customer.column_bytes(["c_custkey", "c_mktsegment"])
@@ -192,7 +201,9 @@ def prepare_q3(dataset: TpchDataset) -> PreparedQuery:
 # ----------------------------------------------------------------------
 
 
-def prepare_q10(dataset: TpchDataset) -> PreparedQuery:
+def prepare_q10(
+    dataset: TpchDataset, flip_owners: bool = False
+) -> PreparedQuery:
     """TPC-H Q10 with the paper's rewrite: ``nation`` is public, so the
     query groups by ``c_nationkey`` and the receiver looks names up."""
     ell = 32
@@ -222,12 +233,13 @@ def prepare_q10(dataset: TpchDataset) -> PreparedQuery:
                 [f == "R" for f in lineitem.column("l_returnflag")]
             ),
         )
-        return (
+        q = (
             JoinAggregateQuery(output=["custkey", "c_name", "c_nationkey"])
             .add_relation("customer", c, owner=ALICE)
             .add_relation("orders", o, owner=BOB)
             .add_relation("lineitem", l, owner=ALICE)
         )
+        return _maybe_flip(q, flip_owners)
 
     eff = (
         customer.column_bytes(["c_custkey", "c_name", "c_nationkey"])
@@ -255,7 +267,9 @@ def prepare_q10(dataset: TpchDataset) -> PreparedQuery:
 # ----------------------------------------------------------------------
 
 
-def prepare_q18(dataset: TpchDataset) -> PreparedQuery:
+def prepare_q18(
+    dataset: TpchDataset, flip_owners: bool = False
+) -> PreparedQuery:
     """TPC-H Q18: the ``having sum(l_quantity) > 300`` subquery is
     evaluated locally by lineitem's owner and padded with dummies to
     ``|lineitem|`` so its result size stays hidden."""
@@ -301,7 +315,7 @@ def prepare_q18(dataset: TpchDataset) -> PreparedQuery:
             list(big.annotations) + [0] * pad,
             IntegerRing(ell),
         )
-        return (
+        q = (
             JoinAggregateQuery(
                 output=[
                     "c_name", "custkey", "orderkey",
@@ -313,6 +327,7 @@ def prepare_q18(dataset: TpchDataset) -> PreparedQuery:
             .add_relation("lineitem", l, owner=ALICE)
             .add_relation("bigorders", big, owner=ALICE)
         )
+        return _maybe_flip(q, flip_owners)
 
     eff = (
         customer.column_bytes(["c_custkey", "c_name"])
@@ -345,7 +360,9 @@ def prepare_q18(dataset: TpchDataset) -> PreparedQuery:
 # ----------------------------------------------------------------------
 
 
-def _q8_queries(dataset: TpchDataset, ell: int):
+def _q8_queries(
+    dataset: TpchDataset, ell: int, flip_owners: bool = False
+):
     lo, hi = date_ordinal("1995-01-01"), date_ordinal("1996-12-31")
     part, supplier, lineitem, orders, customer = (
         dataset["part"], dataset["supplier"], dataset["lineitem"],
@@ -397,7 +414,7 @@ def _q8_queries(dataset: TpchDataset, ell: int):
                 [8, 9, 12, 18, 21],
             ),
         )
-        return (
+        q = (
             JoinAggregateQuery(output=["o_year"])
             .add_relation("part", p, owner=ALICE)
             .add_relation("supplier", s, owner=BOB)
@@ -405,17 +422,20 @@ def _q8_queries(dataset: TpchDataset, ell: int):
             .add_relation("orders", o, owner=BOB)
             .add_relation("customer", c, owner=ALICE)
         )
+        return _maybe_flip(q, flip_owners)
 
     return build
 
 
-def prepare_q8(dataset: TpchDataset) -> PreparedQuery:
+def prepare_q8(
+    dataset: TpchDataset, flip_owners: bool = False
+) -> PreparedQuery:
     """TPC-H Q8 (national market share): a ratio of two sums, decomposed
     into two join-aggregate queries plus a division circuit (Section 7).
     Reported ``mkt_share`` is in 1/10000ths."""
     ell = 48
     scale = 10_000
-    build = _q8_queries(dataset, ell)
+    build = _q8_queries(dataset, ell, flip_owners)
 
     def secure(engine: Engine) -> AnnotatedRelation:
         num = build(True).run_secure_shared(engine)
@@ -462,7 +482,9 @@ def prepare_q8(dataset: TpchDataset) -> PreparedQuery:
 # ----------------------------------------------------------------------
 
 
-def _q9_queries(dataset: TpchDataset, ell: int):
+def _q9_queries(
+    dataset: TpchDataset, ell: int, flip_owners: bool = False
+):
     part, supplier, lineitem, partsupp, orders = (
         dataset["part"], dataset["supplier"], dataset["lineitem"],
         dataset["partsupp"], dataset["orders"],
@@ -532,7 +554,7 @@ def _q9_queries(dataset: TpchDataset, ell: int):
                 {"o_orderkey": "orderkey"}, ell,
             ),
         )
-        return (
+        q = (
             JoinAggregateQuery(output=["o_year"])
             .add_relation("part", p, owner=ALICE)
             .add_relation("supplier", s, owner=BOB)
@@ -540,12 +562,15 @@ def _q9_queries(dataset: TpchDataset, ell: int):
             .add_relation("partsupp", ps, owner=BOB)
             .add_relation("orders", o, owner=BOB)
         )
+        return _maybe_flip(q, flip_owners)
 
     return build
 
 
 def prepare_q9(
-    dataset: TpchDataset, nations: Optional[List[int]] = None
+    dataset: TpchDataset,
+    nations: Optional[List[int]] = None,
+    flip_owners: bool = False,
 ) -> PreparedQuery:
     """TPC-H Q9 (product-type profit): acyclic but *not* free-connex —
     decomposed into one query per nation (``s_nationkey`` has a public
@@ -557,7 +582,7 @@ def prepare_q9(
     """
     ell = 48
     nations = list(range(25)) if nations is None else list(nations)
-    build = _q9_queries(dataset, ell)
+    build = _q9_queries(dataset, ell, flip_owners)
     ring = IntegerRing(ell)
 
     def secure(engine: Engine) -> AnnotatedRelation:

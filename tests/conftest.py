@@ -1,6 +1,14 @@
-"""Shared fixtures: contexts, engines, and small random relations."""
+"""Shared fixtures: contexts, engines, and small random relations.
+
+Also the suite-wide policy knobs: the hypothesis settings profile (so
+no test file hard-codes its own example budget) and automatic ``real``
+marking of every test that reaches REAL-mode cryptography through the
+shared fixtures (``-m 'not real'`` then skips all of them).
+"""
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
@@ -8,8 +16,43 @@ import pytest
 from repro.mpc import ALICE, BOB, Context, Engine, Mode
 from repro.relalg import AnnotatedRelation, IntegerRing
 
+try:
+    from hypothesis import settings as _hyp_settings
+
+    # One shared example budget for every property test; select an
+    # alternative with HYPOTHESIS_PROFILE=thorough (e.g. nightly).
+    _hyp_settings.register_profile(
+        "default", max_examples=25, deadline=None
+    )
+    _hyp_settings.register_profile("ci", max_examples=15, deadline=None)
+    _hyp_settings.register_profile(
+        "thorough", max_examples=200, deadline=None
+    )
+    _hyp_settings.load_profile(
+        os.environ.get("HYPOTHESIS_PROFILE", "default")
+    )
+except ImportError:  # pragma: no cover - hypothesis is optional
+    pass
+
 #: Small OT group for REAL-mode tests (2048-bit is the production default).
 TEST_GROUP_BITS = 1536
+
+#: Fixtures whose use implies REAL-mode cryptography.
+_REAL_FIXTURES = {"real_ctx", "real_engine"}
+
+
+def pytest_collection_modifyitems(config, items):
+    """Auto-mark ``real`` on tests that run REAL-mode crypto via the
+    shared fixtures or a ``Mode.REAL`` parametrization."""
+    for item in items:
+        if _REAL_FIXTURES & set(getattr(item, "fixturenames", ())):
+            item.add_marker(pytest.mark.real)
+            continue
+        callspec = getattr(item, "callspec", None)
+        if callspec is not None and any(
+            v is Mode.REAL for v in callspec.params.values()
+        ):
+            item.add_marker(pytest.mark.real)
 
 
 @pytest.fixture

@@ -1,7 +1,7 @@
 """The Boolean circuit builder: every gadget against integer semantics."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.mpc.circuits import Circuit, CircuitBuilder
@@ -25,40 +25,33 @@ def run2(gadget, x, y, ell=ELL):
 
 class TestWordGadgets:
     @given(x=WORD, y=WORD)
-    @settings(max_examples=80, deadline=None)
     def test_add(self, x, y):
         assert run2(lambda b, xs, ys: b.add(xs, ys), x, y) == (x + y) % 2**ELL
 
     @given(x=WORD, y=WORD)
-    @settings(max_examples=80, deadline=None)
     def test_sub(self, x, y):
         assert run2(lambda b, xs, ys: b.sub(xs, ys), x, y) == (x - y) % 2**ELL
 
     @given(x=WORD, y=WORD)
-    @settings(max_examples=80, deadline=None)
     def test_mul(self, x, y):
         assert run2(lambda b, xs, ys: b.mul(xs, ys), x, y) == (x * y) % 2**ELL
 
     @given(x=WORD)
-    @settings(max_examples=40, deadline=None)
     def test_neg(self, x):
         assert run2(lambda b, xs, ys: b.neg(xs), x, 0) == (-x) % 2**ELL
 
     @given(x=WORD, y=WORD)
-    @settings(max_examples=80, deadline=None)
     def test_eq_and_comparisons(self, x, y):
         assert run2(lambda b, xs, ys: [b.eq(xs, ys)], x, y) == int(x == y)
         assert run2(lambda b, xs, ys: [b.lt_unsigned(xs, ys)], x, y) == int(x < y)
         assert run2(lambda b, xs, ys: [b.gt_unsigned(xs, ys)], x, y) == int(x > y)
 
     @given(x=WORD)
-    @settings(max_examples=40, deadline=None)
     def test_is_zero_nonzero(self, x):
         assert run2(lambda b, xs, ys: [b.is_zero(xs)], x, 0) == int(x == 0)
         assert run2(lambda b, xs, ys: [b.nonzero(xs)], x, 0) == int(x != 0)
 
     @given(x=WORD, y=WORD, sel=st.integers(0, 1))
-    @settings(max_examples=60, deadline=None)
     def test_mux(self, x, y, sel):
         def gadget(b, xs, ys):
             s = b.constant(sel)
@@ -67,7 +60,6 @@ class TestWordGadgets:
         assert run2(gadget, x, y) == (x if sel else y)
 
     @given(x=WORD, y=WORD)
-    @settings(max_examples=80, deadline=None)
     def test_div(self, x, y):
         def quot(b, xs, ys):
             q, _ = b.div_unsigned(xs, ys)

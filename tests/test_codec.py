@@ -1,7 +1,7 @@
 """The fixed-width tuple codec used by the oblivious join's reveal."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.codec import (
@@ -46,7 +46,6 @@ class TestRoundtrip:
             max_size=12,
         ),
     )
-    @settings(max_examples=60, deadline=None)
     def test_int_str_roundtrip(self, a, b):
         t = (a, b)
         specs = infer_specs([t], 2)

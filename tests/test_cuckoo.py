@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.mpc.cuckoo import (
@@ -42,7 +42,6 @@ class TestEncodeItem:
         a=st.one_of(st.integers(), st.text(max_size=8)),
         b=st.one_of(st.integers(), st.text(max_size=8)),
     )
-    @settings(max_examples=50, deadline=None)
     def test_injective_on_scalars(self, a, b):
         if a != b:
             assert encode_item(a) != encode_item(b)

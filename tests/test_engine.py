@@ -127,6 +127,7 @@ class TestRevealAndDivide:
         assert q[2] == eng.ctx.modulus - 1  # division by zero sentinel
 
 
+@pytest.mark.real
 class TestCostParity:
     def test_mul_bytes_match_across_modes(self):
         def run(mode):
@@ -163,6 +164,7 @@ class TestCostParity:
         )
 
 
+@pytest.mark.real
 class TestOrChainParity:
     def test_or_chain_bytes_match_across_modes(self):
         def run(mode, n):

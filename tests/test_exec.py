@@ -172,6 +172,7 @@ def test_fingerprint_identity_simulated(owners):
     assert r_new.semantically_equal(r_legacy)
 
 
+@pytest.mark.real
 def test_fingerprint_identity_real():
     f_legacy, r_legacy, f_new, r_new = run_both(
         example_11(), {"R1": ALICE, "R2": BOB, "R3": ALICE}, Mode.REAL
@@ -321,6 +322,32 @@ def test_gadget_template_cache_hits():
     assert stats["circuit_misses"] == stats["circuit_templates"]
 
 
+def test_context_cache_stats_across_reruns():
+    rels = example_11()
+    owners = {"R1": ALICE, "R2": BOB, "R3": ALICE}
+    ctx = Context(Mode.SIMULATED, seed=9)
+    engine = Engine(ctx, TEST_GROUP_BITS)
+    assert ctx.cache_stats() == ctx.cache.stats()
+    assert ctx.cache_stats()["circuit_misses"] == 0
+    secure_yannakakis(
+        engine, secure_inputs(rels, owners), make_plan(rels)
+    )
+    first = ctx.cache_stats()
+    # Every miss builds exactly one template; nothing is rebuilt.
+    assert first["circuit_misses"] == first["circuit_templates"]
+    assert first["topology_misses"] == first["topologies"]
+    # A second run on the same context reuses every template: hit
+    # counters grow, miss counters stay frozen.
+    secure_yannakakis(
+        engine, secure_inputs(rels, owners), make_plan(rels)
+    )
+    second = ctx.cache_stats()
+    assert second["circuit_misses"] == first["circuit_misses"]
+    assert second["topology_misses"] == first["topology_misses"]
+    assert second["circuit_hits"] > first["circuit_hits"]
+
+
+@pytest.mark.real
 def test_topology_cache_shared_across_oeps():
     rels = example_11()
     owners = {"R1": ALICE, "R2": BOB, "R3": ALICE}

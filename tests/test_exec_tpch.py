@@ -13,6 +13,8 @@ from repro.core.protocol import (
 from repro.mpc import Engine, Mode
 from repro.tpch import PREPARED, generate
 
+pytestmark = pytest.mark.slow
+
 SEED = 5
 
 

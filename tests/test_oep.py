@@ -99,6 +99,7 @@ class TestExtendedPermutation:
             oblivious_extended_permutation(ctx, ot, [0, 1], sv, 1)
 
 
+@pytest.mark.real
 class TestCostParity:
     def test_modes_charge_identically(self):
         rng = np.random.default_rng(3)

@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.relalg import (
@@ -135,19 +135,16 @@ def small_relation(draw, attrs):
 
 class TestAlgebraicProperties:
     @given(r1=small_relation(("a", "b")), r2=small_relation(("b", "c")))
-    @settings(max_examples=60, deadline=None)
     def test_join_commutes_semantically(self, r1, r2):
         assert join(r1, r2).semantically_equal(join(r2, r1))
 
     @given(r=small_relation(("a", "b")))
-    @settings(max_examples=60, deadline=None)
     def test_aggregate_preserves_total(self, r):
         total = aggregate(r, ())
         regrouped = aggregate(aggregate(r, ("a",)), ())
         assert total.semantically_equal(regrouped)
 
     @given(r1=small_relation(("a", "b")), r2=small_relation(("b",)))
-    @settings(max_examples=60, deadline=None)
     def test_semijoin_is_join_with_support(self, r1, r2):
         direct = semijoin(r1, r2)
         via_def = join(r1, support_projection(r2, ("b",)))
@@ -158,14 +155,12 @@ class TestAlgebraicProperties:
         r2=small_relation(("a", "b")),
         r3=small_relation(("b",)),
     )
-    @settings(max_examples=60, deadline=None)
     def test_join_associative(self, r1, r2, r3):
         left = join(join(r1, r2), r3)
         right = join(r1, join(r2, r3))
         assert left.semantically_equal(right)
 
     @given(r=small_relation(("a", "b")))
-    @settings(max_examples=60, deadline=None)
     def test_aggregation_distributes_over_projection_chain(self, r):
         one_step = aggregate(r, ("a",))
         # Aggregating an aggregate over the same attrs is idempotent.

@@ -46,6 +46,7 @@ class TestPolynomials:
         assert poly_eval(coeffs, 999) == 42
 
 
+@pytest.mark.real
 class TestBatchedOprf:
     def test_real_alice_values_match_bob_evaluation(self):
         ctx = Context(Mode.REAL, seed=1)

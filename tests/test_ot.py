@@ -38,6 +38,7 @@ class TestModpGroup:
         assert (x * g.inv(x)) % g.p == 1
 
 
+@pytest.mark.real
 class TestChouOrlandi:
     def test_transfers_chosen_messages(self):
         ctx = Context(Mode.REAL, seed=1)
@@ -59,6 +60,7 @@ class TestChouOrlandi:
             ot.transfer([(b"a", b"bb")], [0])
 
 
+@pytest.mark.real
 class TestIknpExtension:
     def test_large_batch(self):
         ctx = Context(Mode.REAL, seed=2)

@@ -2,7 +2,7 @@
 (hypothesis-driven; SIMULATED mode for speed)."""
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core import SecureRelation, secure_yannakakis
@@ -60,7 +60,6 @@ def two_relation_instance(draw):
 
 
 @given(instance=two_relation_instance())
-@settings(max_examples=25, deadline=None)
 def test_secure_protocol_equals_naive(instance):
     r1, r2, output, owners = instance
     rels = {"R1": r1, "R2": r2}
@@ -80,7 +79,6 @@ def test_secure_protocol_equals_naive(instance):
 @given(
     perm=st.permutations(list(range(9))),
 )
-@settings(max_examples=40, deadline=None)
 def test_benes_routes_any_permutation(perm):
     padded = pad_permutation(list(perm))
     routed = apply_network(benes_network(padded), list(range(len(padded))))
@@ -92,7 +90,6 @@ def test_benes_routes_any_permutation(perm):
     values=st.lists(st.integers(0, 2**32 - 1), min_size=1, max_size=12),
     data=st.data(),
 )
-@settings(max_examples=30, deadline=None)
 def test_oep_matches_numpy_take(values, data):
     n_out = data.draw(st.integers(1, 12))
     xi = [
@@ -110,7 +107,6 @@ def test_oep_matches_numpy_take(values, data):
     values=st.lists(st.integers(0, 2**32 - 1), min_size=1, max_size=20),
     data=st.data(),
 )
-@settings(max_examples=30, deadline=None)
 def test_merge_chain_invariant(values, data):
     """Positions flagged 'same as next' always emit 0; group totals
     appear exactly once per group, and the grand total is preserved."""

@@ -117,6 +117,7 @@ def test_random_queries_simulated(shape):
             )
 
 
+@pytest.mark.real
 def test_real_mode_two_relation_query():
     rng = np.random.default_rng(5)
     r1 = AnnotatedRelation(

@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.mpc import ALICE, BOB, Context, Mode, SharedVector
@@ -52,7 +52,6 @@ class TestLocalOps:
         xs=st.lists(st.integers(0, 2**32 - 1), min_size=1, max_size=8),
         ys=st.lists(st.integers(0, 2**32 - 1), min_size=1, max_size=8),
     )
-    @settings(max_examples=40, deadline=None)
     def test_add_sub_neg(self, xs, ys):
         n = min(len(xs), len(ys))
         xs, ys = xs[:n], ys[:n]

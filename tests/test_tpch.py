@@ -110,6 +110,7 @@ class TestHelpers:
         assert date_ordinal("1995-03-13") > date_ordinal("1995-03-12")
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("name", sorted(PREPARED))
 def test_queries_secure_equals_plain(name, dataset):
     if name == "Q9":

@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.relalg import (
@@ -135,7 +135,6 @@ def test_random_queries_match_naive(shape):
 
 
 @given(data=st.data())
-@settings(max_examples=40, deadline=None)
 def test_hypothesis_chain_queries(data):
     """Chains R1(a,b)-R2(b,c) with arbitrary small data, every output set."""
     def tuples_for(arity):
