@@ -46,8 +46,9 @@ class CostEstimate:
 
 
 class _Estimator:
-    def __init__(self, params: SecurityParams):
+    def __init__(self, params: SecurityParams, group_bits: int = 2048):
         self.p = params
+        self.group_bits = group_bits
         self.est = CostEstimate()
         self._ot_base_charged: Dict[bool, bool] = {
             False: False, True: False,
@@ -60,7 +61,10 @@ class _Estimator:
             return
         kappa = self.p.kappa
         if not self._ot_base_charged[reverse]:
-            self.est.add("ot_base", 2048 // 8 * (1 + kappa) + 32 * kappa)
+            self.est.add(
+                "ot_base",
+                self.group_bits // 8 * (1 + kappa) + 32 * kappa,
+            )
             self._ot_base_charged[reverse] = True
         self.est.add("ot_u", kappa * ((n + 7) // 8))
         self.est.add("ot_ct", pair_bytes)
@@ -119,7 +123,7 @@ class _Estimator:
         n_work = 1
         while n_work < max(m, n_out, 1):
             n_work *= 2
-        rb = max(1, self.p.ell // 8)
+        rb = (self.p.ell + 7) // 8
         switches = 2 * switch_count(n_work)
         self.ot(
             switches + (n_work - 1),
@@ -127,18 +131,18 @@ class _Estimator:
         )
 
     def permute(self, n: int) -> None:
-        rb = max(1, self.p.ell // 8)
+        rb = (self.p.ell + 7) // 8
         s = switch_count(n)
         self.ot(s, 2 * 2 * rb * s)
 
     def gilboa(self, n: int, n_cross_terms: int = 2) -> None:
         ell = self.p.ell
-        rb = max(1, ell // 8)
+        rb = (ell + 7) // 8
         for i in range(n_cross_terms):
             self.ot(n * ell, 2 * rb * n * ell, reverse=bool(i % 2))
 
     def share(self, n: int) -> None:
-        self.est.add("shares", n * max(1, self.p.ell // 8))
+        self.est.add("shares", n * ((self.p.ell + 7) // 8))
 
     def psi(self, m: int, n: int, shared_payload: bool) -> None:
         b = num_bins(m, self.p.cuckoo_expansion)
@@ -212,15 +216,18 @@ def estimate_plan_cost(
     owners: Dict[str, str],
     out_size: int,
     params: SecurityParams = DEFAULT_PARAMS,
+    group_bits: int = 2048,
 ) -> CostEstimate:
     """Predict the protocol's communication for ``plan`` over relations
     of the given sizes/owners, with ``out_size`` final join rows.
+    ``group_bits`` is the base-OT group size the engine was built with
+    (the OPRF's group is fixed at 2048 by :mod:`repro.mpc.oprf`).
 
     Tracks which intermediate annotations are still owner-plain so the
     Section 6.5 fast paths are credited exactly as the executor takes
     them.
     """
-    e = _Estimator(params)
+    e = _Estimator(params, group_bits)
     n = dict(sizes)
     plain = {name: True for name in sizes}
     owner = dict(owners)
@@ -250,7 +257,7 @@ def estimate_plan_cost(
 
     # Full join: reveal + OUT + per-relation OEP + products + result.
     reduced = list(plan.reduced_attrs)
-    ell_bytes = max(1, params.ell // 8)
+    ell_bytes = (params.ell + 7) // 8
     for name in reduced:
         if plain[name]:
             e.share(n[name])

@@ -1,0 +1,271 @@
+"""Scalar reference implementations of the vectorised hot paths.
+
+The batch kernels in :mod:`repro.mpc.batch` and the vectorised
+primitives built on them (:meth:`IknpExtension.transfer`,
+:func:`repro.mpc.yao.run_garbled_batch`,
+:meth:`repro.mpc.engine.Engine._gilboa_cross`) replaced one-value-at-a-
+time loops.  Those legacy loops live on here — with the two OT-layer
+bugfixes applied (full-width base-OT exponents, ``(ell+7)//8`` ring
+widths) so that they compute the *intended* functionality — and the
+differential tests in ``tests/test_batch_kernels.py`` pin the vectorised
+code against them: identical outputs and byte-identical transcript
+fingerprints, in REAL and SIMULATED modes.
+
+Nothing here is exported through the package; it exists only as the
+ground truth for tests and for line-by-line auditing of the batched
+implementations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from .context import ALICE, BOB, Context
+from .circuits.garbling import LABEL_BYTES, evaluate_garbled, garble
+from .modp import modp_group
+from .ot import ChouOrlandiOT, IknpExtension, Pair, _int_bytes, _kdf
+from .sharing import SharedVector
+
+__all__ = [
+    "stream_xor",
+    "prg_bits",
+    "ReferenceChouOrlandiOT",
+    "ReferenceIknpExtension",
+    "gilboa_cross",
+    "run_garbled_batch",
+]
+
+
+def stream_xor(key: bytes, data: bytes) -> bytes:
+    """The pre-vectorisation ``_stream_xor``: byte-at-a-time XOR against
+    a block-by-block SHA-256 keystream."""
+    out = bytearray()
+    counter = 0
+    while len(out) < len(data):
+        out.extend(_kdf(key, counter.to_bytes(8, "little")))
+        counter += 1
+    return bytes(a ^ b for a, b in zip(data, out[: len(data)]))
+
+
+def prg_bits(seed: bytes, n_bits: int, salt: bytes) -> np.ndarray:
+    """The pre-vectorisation per-seed PRG expansion (one seed at a time,
+    Python chunk loop) that ``_prg_bits_all`` batches."""
+    n_bytes = (n_bits + 7) // 8
+    chunks: List[bytes] = []
+    counter = 0
+    while sum(len(c) for c in chunks) < n_bytes:
+        chunks.append(_kdf(seed, salt, counter.to_bytes(8, "little")))
+        counter += 1
+    raw = b"".join(chunks)[:n_bytes]
+    return np.unpackbits(np.frombuffer(raw, dtype=np.uint8))[:n_bits]
+
+
+class ReferenceChouOrlandiOT(ChouOrlandiOT):
+    """Chou–Orlandi with the legacy scalar ciphertext loop (the group
+    arithmetic was always scalar; only the stream cipher changed)."""
+
+    def transfer(
+        self, pairs: Sequence[Pair], choices: Sequence[int]
+    ) -> List[bytes]:
+        if len(pairs) != len(choices):
+            raise ValueError("one choice bit per message pair is required")
+        g, ctx = self.group, self.ctx
+
+        a = g.random_exponent(ctx.random_bytes)
+        big_a = g.pow(g.g, a)
+        ctx.send(BOB, g.element_bytes, "ot/base/A")
+        inv_a = g.inv(big_a)
+
+        big_bs, alice_keys = [], []
+        for c in choices:
+            b = g.random_exponent(ctx.random_bytes)
+            big_b = g.pow(g.g, b)
+            if c:
+                big_b = (big_b * big_a) % g.p
+            big_bs.append(big_b)
+            alice_keys.append(_kdf(_int_bytes(g.pow(big_a, b), g)))
+        ctx.send(ALICE, g.element_bytes * len(choices), "ot/base/B")
+
+        out: List[bytes] = []
+        total = 0
+        ciphertexts: List[Pair] = []
+        for (m0, m1), big_b in zip(pairs, big_bs):
+            if len(m0) != len(m1):
+                raise ValueError("OT messages in a pair must be equal-length")
+            k0 = _kdf(_int_bytes(g.pow(big_b, a), g))
+            k1 = _kdf(_int_bytes(g.pow((big_b * inv_a) % g.p, a), g))
+            ciphertexts.append((stream_xor(k0, m0), stream_xor(k1, m1)))
+            total += len(m0) + len(m1)
+        ctx.send(BOB, total, "ot/base/ciphertexts")
+
+        for (c0, c1), c, key in zip(ciphertexts, choices, alice_keys):
+            out.append(stream_xor(key, c1 if c else c0))
+        return out
+
+
+class ReferenceIknpExtension(IknpExtension):
+    """IKNP extension with the legacy per-pair transfer loop (column
+    PRG expansion, key derivation, and the stream cipher all scalar).
+
+    Shares the (already scalar) base phase with the production class, so
+    only :meth:`transfer` differs.
+    """
+
+    def transfer(
+        self, pairs: Sequence[Pair], choices: Sequence[int]
+    ) -> List[bytes]:
+        if len(pairs) != len(choices):
+            raise ValueError("one choice bit per message pair is required")
+        if not pairs:
+            return []
+        if not self._base_done:
+            self._base_phase()
+        ctx = self.ctx
+        m = len(pairs)
+        salt = self._batch.to_bytes(8, "little")
+        self._batch += 1
+        r = np.asarray(choices, dtype=np.uint8) & 1
+
+        t_cols = np.stack(
+            [
+                prg_bits(self._seeds_alice[i][0], m, salt)
+                for i in range(self.kappa)
+            ]
+        )  # kappa x m
+        u_cols = np.stack(
+            [
+                t_cols[i]
+                ^ prg_bits(self._seeds_alice[i][1], m, salt)
+                ^ r
+                for i in range(self.kappa)
+            ]
+        )
+        ctx.send(ALICE, self.kappa * ((m + 7) // 8), "ot/ext/u")
+
+        q_cols = np.stack(
+            [
+                prg_bits(self._seeds_bob[i], m, salt)
+                ^ (self._s[i] * u_cols[i])
+                for i in range(self.kappa)
+            ]
+        )
+        q_rows = np.packbits(q_cols.T, axis=1)  # m x kappa/8
+        t_rows = np.packbits(t_cols.T, axis=1)
+        s_packed = np.packbits(self._s)
+
+        out: List[bytes] = []
+        total = 0
+        for j, (m0, m1) in enumerate(pairs):
+            if len(m0) != len(m1):
+                raise ValueError("OT messages in a pair must be equal-length")
+            qj = q_rows[j].tobytes()
+            qj_s = (q_rows[j] ^ s_packed).tobytes()
+            jb = j.to_bytes(8, "little")
+            y0 = stream_xor(_kdf(jb, salt, qj), m0)
+            y1 = stream_xor(_kdf(jb, salt, qj_s), m1)
+            total += len(y0) + len(y1)
+            tj = t_rows[j].tobytes()
+            key = _kdf(jb, salt, tj)  # equals the k_{r_j} key
+            out.append(stream_xor(key, y1 if r[j] else y0))
+        ctx.send(BOB, total, "ot/ext/ciphertexts")
+        return out
+
+
+def gilboa_cross(
+    ctx: Context, ot, u: np.ndarray, v: np.ndarray
+) -> SharedVector:
+    """The legacy scalar staging of ``Engine._gilboa_cross`` (REAL mode,
+    Alice-holds-bits orientation), with the ``(ell+7)//8`` width fix:
+    per bit ``i`` of ``u_j``, one OT of ``(r, r + (v_j << i))``."""
+    ell = ctx.params.ell
+    n = len(u)
+    mask = int(ctx.modulus - 1)
+    rb = (ell + 7) // 8
+    r = ctx.rng.integers(0, ctx.modulus, size=(n, ell), dtype=np.uint64)
+    pairs: List[Pair] = []
+    choice_bits: List[int] = []
+    for j in range(n):
+        vj = int(v[j])
+        for i in range(ell):
+            r_ji = int(r[j, i])
+            m0 = r_ji.to_bytes(rb, "little")
+            m1 = ((r_ji + (vj << i)) & mask).to_bytes(rb, "little")
+            pairs.append((m0, m1))
+            choice_bits.append((int(u[j]) >> i) & 1)
+    got = ot.transfer(pairs, choice_bits)
+    recv = np.zeros(n, dtype=np.uint64)
+    for j in range(n):
+        total = 0
+        for i in range(ell):
+            total += int.from_bytes(got[j * ell + i], "little")
+        recv[j] = total & mask
+    sender_share = (-r.sum(axis=1, dtype=np.uint64)) & np.uint64(mask)
+    return SharedVector(recv, sender_share, ctx.modulus)
+
+
+def run_garbled_batch(
+    ctx: Context,
+    ot,
+    circuit,
+    alice_bits_list: Sequence[Sequence[int]],
+    bob_bits_list: Sequence[Sequence[int]],
+) -> List[List[int]]:
+    """The legacy one-instance-at-a-time garbled batch: dict-based
+    scalar garbling per instance, per-bit label pair staging, per-wire
+    decode — exactly what :func:`repro.mpc.yao.run_garbled_batch` now
+    does with matrix kernels."""
+    if len(alice_bits_list) != len(bob_bits_list):
+        raise ValueError("need matching numbers of Alice/Bob input vectors")
+    n = len(alice_bits_list)
+    if n == 0:
+        return []
+
+    garblings = []
+    tables_bytes = 0
+    bob_label_bytes = 0
+    label_pairs = []
+    choice_bits: List[int] = []
+    for alice_bits, bob_bits in zip(alice_bits_list, bob_bits_list):
+        g = garble(circuit, ctx.random_bytes)
+        garblings.append(g)
+        tables_bytes += g.tables.n_bytes
+        bob_label_bytes += LABEL_BYTES * (
+            len(circuit.bob_inputs) + len(circuit.const_wires)
+        )
+        for w, bit in zip(circuit.alice_inputs, alice_bits):
+            pair = (
+                g.label(w, 0).to_bytes(LABEL_BYTES, "little"),
+                g.label(w, 1).to_bytes(LABEL_BYTES, "little"),
+            )
+            label_pairs.append(pair)
+            choice_bits.append(int(bit) & 1)
+    ctx.send(BOB, tables_bytes, "gc/tables")
+    ctx.send(BOB, bob_label_bytes, "gc/bob_labels")
+    with ctx.section("gc/alice_labels"):
+        alice_labels = ot.transfer(label_pairs, choice_bits)
+
+    outputs: List[List[int]] = []
+    decode_bytes = 0
+    cursor = 0
+    for g, bob_bits in zip(garblings, bob_bits_list):
+        input_labels = {}
+        for w in circuit.alice_inputs:
+            input_labels[w] = int.from_bytes(alice_labels[cursor], "little")
+            cursor += 1
+        for w, bit in zip(circuit.bob_inputs, bob_bits):
+            input_labels[w] = g.label(w, int(bit) & 1)
+        for w, bit in circuit.const_wires:
+            input_labels[w] = g.label(w, bit)
+        active = evaluate_garbled(circuit, g.tables, input_labels)
+        permute = g.output_permute_bits()
+        decode_bytes += (len(circuit.outputs) + 7) // 8
+        outputs.append(
+            [
+                (active[w] & 1) ^ p
+                for w, p in zip(circuit.outputs, permute)
+            ]
+        )
+    ctx.send(BOB, decode_bytes, "gc/decode")
+    return outputs

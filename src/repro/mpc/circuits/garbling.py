@@ -23,12 +23,25 @@ garbler-supplied permute bits.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+import numpy as np
+
+from ..batch import sha256_rows
 from .circuit import AND, INV, XOR, Circuit
 
-__all__ = ["GarblingResult", "GarbledTables", "garble", "evaluate_garbled"]
+__all__ = [
+    "GarblingResult",
+    "GarbledTables",
+    "garble",
+    "evaluate_garbled",
+    "GarblePlan",
+    "BatchGarbling",
+    "make_garble_plan",
+    "garble_batch",
+    "evaluate_batch",
+]
 
 LABEL_BYTES = 16
 #: Ciphertexts per AND gate (half-gates).
@@ -118,6 +131,205 @@ def garble(circuit: Circuit, rand_bytes) -> GarblingResult:
         else:  # pragma: no cover
             raise ValueError(f"unknown gate {g.op}")
     return GarblingResult(delta, zero, GarbledTables(tables), circuit)
+
+
+# ----------------------------------------------------------------------
+# Batched (instance-parallel) garbling
+# ----------------------------------------------------------------------
+#
+# ``run_garbled_batch`` garbles the SAME template for every instance of a
+# batch, so the per-gate control flow is identical across instances and
+# the whole batch can be garbled SIMD-style: wire labels become
+# ``(n_instances, 16)`` byte matrices, XOR gates are one vectorised XOR,
+# and each AND gate's 4 (garble) / 2 (evaluate) hashes run as one
+# row-batched SHA-256 pass over all instances.  A :class:`GarblePlan`
+# precompiles the per-template constants (gate operand arrays, the
+# half-gate index bytes, the input-wire ordering) once per run — cached
+# in the :class:`~repro.mpc.runcache.RunCache` — so repeated templates
+# reuse their wire orderings.
+
+
+@dataclass
+class GarblePlan:
+    """Precompiled, instance-independent view of one circuit template."""
+
+    circuit: Circuit
+    n_wires: int
+    #: wires drawing fresh labels, in the scalar path's draw order
+    #: (alice, bob, const)
+    input_wires: np.ndarray
+    alice_wires: np.ndarray
+    bob_wires: np.ndarray
+    const_wires: np.ndarray
+    const_bits: np.ndarray
+    output_wires: np.ndarray
+    #: per gate: (op, a, b, out, and_index, jb_row, jb2_row) with
+    #: ``jb = (2*gate_id)_le64`` / ``jb2 = (2*gate_id+1)_le64``
+    steps: List[Tuple] = field(repr=False, default_factory=list)
+    n_ands: int = 0
+
+    @property
+    def n_inputs(self) -> int:
+        return len(self.input_wires)
+
+
+def make_garble_plan(circuit: Circuit) -> GarblePlan:
+    alice = np.asarray(circuit.alice_inputs, dtype=np.int64)
+    bob = np.asarray(circuit.bob_inputs, dtype=np.int64)
+    const_w = np.asarray(
+        [w for w, _ in circuit.const_wires], dtype=np.int64
+    )
+    const_b = np.asarray(
+        [b & 1 for _, b in circuit.const_wires], dtype=np.uint8
+    )
+    steps: List[Tuple] = []
+    n_ands = 0
+    for gate_id, g in enumerate(circuit.gates):
+        if g.op == AND:
+            jb = np.frombuffer(
+                (2 * gate_id).to_bytes(8, "little"), dtype=np.uint8
+            )
+            jb2 = np.frombuffer(
+                (2 * gate_id + 1).to_bytes(8, "little"), dtype=np.uint8
+            )
+            steps.append((AND, g.a, g.b, g.out, n_ands, jb, jb2))
+            n_ands += 1
+        elif g.op in (XOR, INV):
+            steps.append((g.op, g.a, g.b, g.out, None, None, None))
+        else:  # pragma: no cover
+            raise ValueError(f"unknown gate {g.op}")
+    return GarblePlan(
+        circuit=circuit,
+        n_wires=circuit.n_wires,
+        input_wires=np.concatenate([alice, bob, const_w]),
+        alice_wires=alice,
+        bob_wires=bob,
+        const_wires=const_w,
+        const_bits=const_b,
+        output_wires=np.asarray(circuit.outputs, dtype=np.int64),
+        steps=steps,
+        n_ands=n_ands,
+    )
+
+
+@dataclass
+class BatchGarbling:
+    """The garbler's view over a whole batch: per-wire ``(n, 16)``
+    zero-label matrices (little-endian label bytes), the per-instance
+    free-XOR offsets, and the AND-gate tables."""
+
+    plan: GarblePlan
+    delta: np.ndarray  # (n, 16)
+    zero: np.ndarray  # (n_wires, n, 16)
+    tables: np.ndarray  # (n_ands, 2, n, 16)
+
+    @property
+    def n_instances(self) -> int:
+        return self.delta.shape[0]
+
+    @property
+    def tables_bytes(self) -> int:
+        return self.tables.size
+
+    def labels(self, wires: np.ndarray, bits: np.ndarray) -> np.ndarray:
+        """Active labels for ``wires`` given per-instance ``bits`` of
+        shape ``(n, len(wires))``; returns ``(len(wires), n, 16)``."""
+        z = self.zero[wires]
+        if z.shape[0] == 0:
+            return z
+        return z ^ (self.delta[None, :, :] * bits.T[:, :, None])
+
+    def output_permute_bits(self) -> np.ndarray:
+        """``(n, n_outputs)`` select bits of the output zero-labels."""
+        return (self.zero[self.plan.output_wires][:, :, 0] & 1).T
+
+
+def _hash_rows(labels: np.ndarray, index_bytes: np.ndarray) -> np.ndarray:
+    """Row-batched :func:`_hash_label`: SHA-256 of ``label || index``
+    truncated to 16 bytes, for an ``(n, 16)`` label matrix."""
+    n = labels.shape[0]
+    inp = np.empty((n, LABEL_BYTES + 8), dtype=np.uint8)
+    inp[:, :LABEL_BYTES] = labels
+    inp[:, LABEL_BYTES:] = index_bytes
+    return sha256_rows(inp)[:, :LABEL_BYTES]
+
+
+def garble_batch(
+    plan: GarblePlan, n: int, rand_bytes
+) -> BatchGarbling:
+    """Garble ``n`` instances of the plan's template at once; instance
+    ``k``'s garbling is an independent sample of :func:`garble`."""
+    blob = np.frombuffer(
+        rand_bytes(LABEL_BYTES * n * (1 + plan.n_inputs)), dtype=np.uint8
+    ).reshape(n, 1 + plan.n_inputs, LABEL_BYTES)
+    delta = blob[:, 0, :].copy()
+    delta[:, 0] |= 1  # LSB 1 so select bits of W0/W1 differ
+    zero = np.zeros((plan.n_wires, n, LABEL_BYTES), dtype=np.uint8)
+    if plan.n_inputs:
+        zero[plan.input_wires] = blob[:, 1:, :].transpose(1, 0, 2)
+    tables = np.empty((plan.n_ands, 2, n, LABEL_BYTES), dtype=np.uint8)
+
+    for op, a, b, out, ai, jb, jb2 in plan.steps:
+        if op == XOR:
+            np.bitwise_xor(zero[a], zero[b], out=zero[out])
+        elif op == INV:
+            np.bitwise_xor(zero[a], delta, out=zero[out])
+        else:
+            wa0, wb0 = zero[a], zero[b]
+            p_a = wa0[:, :1] & 1
+            p_b = wb0[:, :1] & 1
+            hashes = np.empty((4 * n, LABEL_BYTES + 8), dtype=np.uint8)
+            hashes[:n, :LABEL_BYTES] = wa0
+            hashes[n : 2 * n, :LABEL_BYTES] = wa0 ^ delta
+            hashes[2 * n : 3 * n, :LABEL_BYTES] = wb0
+            hashes[3 * n :, :LABEL_BYTES] = wb0 ^ delta
+            hashes[: 2 * n, LABEL_BYTES:] = jb
+            hashes[2 * n :, LABEL_BYTES:] = jb2
+            h = sha256_rows(hashes)[:, :LABEL_BYTES]
+            h_a0, h_a1 = h[:n], h[n : 2 * n]
+            h_b0, h_b1 = h[2 * n : 3 * n], h[3 * n :]
+            # Generator half-gate: computes a AND p_b.
+            t_g = h_a0 ^ h_a1 ^ (delta * p_b)
+            w_g0 = h_a0 ^ (t_g * p_a)
+            # Evaluator half-gate: computes a AND (b XOR p_b).
+            t_e = h_b0 ^ h_b1 ^ wa0
+            w_e0 = h_b0 ^ ((t_e ^ wa0) * p_b)
+            zero[out] = w_g0 ^ w_e0
+            tables[ai, 0] = t_g
+            tables[ai, 1] = t_e
+    return BatchGarbling(plan, delta, zero, tables)
+
+
+def evaluate_batch(
+    plan: GarblePlan,
+    tables: np.ndarray,
+    active_inputs: np.ndarray,
+) -> np.ndarray:
+    """Evaluate all instances at once from the ``(n_wires, n, 16)``
+    matrix with every input/constant wire's active label filled in;
+    returns the ``(n, n_outputs)`` decoded select bits."""
+    active = active_inputs
+    n = active.shape[1]
+    for op, a, b, out, ai, jb, jb2 in plan.steps:
+        if op == XOR:
+            np.bitwise_xor(active[a], active[b], out=active[out])
+        elif op == INV:
+            active[out] = active[a]  # relabelled: flipped meaning
+        else:
+            wa, wb = active[a], active[b]
+            s_a = wa[:, :1] & 1
+            s_b = wb[:, :1] & 1
+            inp = np.empty((2 * n, LABEL_BYTES + 8), dtype=np.uint8)
+            inp[:n, :LABEL_BYTES] = wa
+            inp[n:, :LABEL_BYTES] = wb
+            inp[:n, LABEL_BYTES:] = jb
+            inp[n:, LABEL_BYTES:] = jb2
+            h = sha256_rows(inp)[:, :LABEL_BYTES]
+            t_g, t_e = tables[ai, 0], tables[ai, 1]
+            w_g = h[:n] ^ (t_g * s_a)
+            w_e = h[n:] ^ ((t_e ^ wa) * s_b)
+            active[out] = w_g ^ w_e
+    return (active[plan.output_wires][:, :, 0] & 1).T
 
 
 def evaluate_garbled(

@@ -105,10 +105,16 @@ def max_bin_load(
     # Smallest L with P[Bin(n,p) > L] < target.  scipy's survival function
     # loses precision below ~1e-15, so scan upward with a log-space
     # Chernoff bound once sf() underflows.
-    load = int(binom.isf(max(target, 1e-14), n, p)) + 1
+    isf = binom.isf(max(target, 1e-14), n, p)
+    load = (int(isf) if math.isfinite(isf) else 0) + 1
     if target < 1e-14:
         mean = n * p
-        # Chernoff: P[X > L] <= exp(-mean) * (e*mean/L)^L for L > mean.
+        # Chernoff: P[X > L] <= exp(-mean) * (e*mean/L)^L — valid (and
+        # decreasing in L) only for L > mean, so clamp the scan start:
+        # from below the mean the bound is vacuous and the first
+        # spuriously-small log_tail would end the scan at an L that the
+        # binomial tail exceeds by orders of magnitude.
+        load = max(load, math.ceil(mean) + 1)
         while load <= n:
             log_tail = -mean + load * (1 + math.log(mean / load))
             if log_tail < math.log(target):

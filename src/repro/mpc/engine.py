@@ -21,8 +21,9 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from . import gadgets
+from .batch import bits_to_words, words_to_bits, words_to_le_bytes
+from .batch import le_bytes_to_words
 from .context import ALICE, BOB, Context, Mode
-from .gadgets import bits_of, int_of
 from .ot import make_ot
 from .sharing import SharedVector, reveal_vector, share_vector
 from .transcript import other_party
@@ -85,16 +86,20 @@ class Engine:
     ) -> SharedVector:
         """Fresh shares of ``u_i * v_i`` where ``bits_owner`` holds ``u``
         and the other party holds ``v``: per bit ``i`` of ``u``, one OT
-        of ``(r, r + (v << i))`` selected by that bit."""
+        of ``(r, r + (v << i))`` selected by that bit.
+
+        All ``n * ell`` pairs are staged as one byte matrix and the
+        received shares reassembled with vectorised byte packing — the
+        scalar original is kept in :mod:`repro.mpc._reference`."""
         ctx = self.ctx
         ell = ctx.params.ell
         n = len(u)
         mask = ctx.mask
+        rb = (ell + 7) // 8
         reverse = bits_owner == BOB
         ot = self._ot_rev if reverse else self.ot
         with ctx.section(label):
             if ctx.mode == Mode.SIMULATED:
-                rb = max(1, ell // 8)
                 if reverse:
                     with ctx.swapped_roles():
                         charge_ot(ctx, ot, n * ell, 2 * rb * n * ell)
@@ -104,33 +109,24 @@ class Engine:
                     u.astype(np.uint64) * v.astype(np.uint64)
                 ) & mask
                 return self._fresh(prod)
-            rb = max(1, ell // 8)
             r = ctx.rng.integers(
                 0, ctx.modulus, size=(n, ell), dtype=np.uint64
             )
-            pairs = []
-            choices = []
-            for j in range(n):
-                vj = int(v[j])
-                for i in range(ell):
-                    r_ji = int(r[j, i])
-                    m0 = r_ji.to_bytes(rb, "little")
-                    m1 = (
-                        (r_ji + (vj << i)) & int(mask)
-                    ).to_bytes(rb, "little")
-                    pairs.append((m0, m1))
-                    choices.append((int(u[j]) >> i) & 1)
+            shifted = (
+                v.astype(np.uint64)[:, None]
+                << np.arange(ell, dtype=np.uint64)[None, :]
+            )
+            m0 = words_to_le_bytes(r.reshape(-1), rb)
+            m1 = words_to_le_bytes(((r + shifted) & mask).reshape(-1), rb)
+            choices = words_to_bits(u.astype(np.uint64), ell).reshape(-1)
             if reverse:
                 with ctx.swapped_roles():
-                    got = ot.transfer(pairs, choices)
+                    got = ot.transfer_matrix(m0, m1, choices)
             else:
-                got = ot.transfer(pairs, choices)
-            recv = np.zeros(n, dtype=np.uint64)
-            for j in range(n):
-                total = 0
-                for i in range(ell):
-                    total += int.from_bytes(got[j * ell + i], "little")
-                recv[j] = total & int(mask)
+                got = ot.transfer_matrix(m0, m1, choices)
+            recv = le_bytes_to_words(got).reshape(n, ell).sum(
+                axis=1, dtype=np.uint64
+            ) & mask
             sender_share = (-r.sum(axis=1, dtype=np.uint64)) & mask
             if reverse:
                 return SharedVector(sender_share, recv, ctx.modulus)
@@ -232,20 +228,20 @@ class Engine:
                 return self._fresh(out)
             circuit = self._gadget(gadgets.merge_sum_circuit, ell, n)
             r = ctx.random_ring_vector(n)
-            alice_bits = list(ind.astype(int))
-            for val in v.alice:
-                alice_bits += bits_of(int(val), ell)
-            bob_bits: List[int] = []
-            for val in v.bob:
-                bob_bits += bits_of(int(val), ell)
-            for val in r:
-                bob_bits += bits_of(int(val), ell)
+            alice_bits = np.concatenate(
+                [ind.astype(np.uint8), words_to_bits(v.alice, ell).reshape(-1)]
+            )
+            bob_bits = np.concatenate(
+                [
+                    words_to_bits(v.bob, ell).reshape(-1),
+                    words_to_bits(r, ell).reshape(-1),
+                ]
+            )
             outs = run_garbled_batch(
                 ctx, self.ot, circuit, [alice_bits], [bob_bits]
             )[0]
-            words = np.asarray(
-                [int_of(outs[i * ell : (i + 1) * ell]) for i in range(n)],
-                dtype=np.uint64,
+            words = bits_to_words(
+                np.asarray(outs, dtype=np.uint8).reshape(n, ell)
             )
             return SharedVector(words, (-r) & ctx.mask, ctx.modulus)
 
@@ -273,18 +269,20 @@ class Engine:
                 return self._fresh((out != 0).astype(np.uint64))
             circuit = self._gadget(gadgets.merge_or_circuit, ell, n)
             r = ctx.random_ring_vector(n)
-            alice_bits = list(ind.astype(int)) + [
-                int(val) & 1 for val in v.alice
-            ]
-            bob_bits = [int(val) & 1 for val in v.bob]
-            for val in r:
-                bob_bits += bits_of(int(val), ell)
+            alice_bits = np.concatenate(
+                [ind.astype(np.uint8), (v.alice & np.uint64(1)).astype(np.uint8)]
+            )
+            bob_bits = np.concatenate(
+                [
+                    (v.bob & np.uint64(1)).astype(np.uint8),
+                    words_to_bits(r, ell).reshape(-1),
+                ]
+            )
             outs = run_garbled_batch(
                 ctx, self.ot, circuit, [alice_bits], [bob_bits]
             )[0]
-            words = np.asarray(
-                [int_of(outs[i * ell : (i + 1) * ell]) for i in range(n)],
-                dtype=np.uint64,
+            words = bits_to_words(
+                np.asarray(outs, dtype=np.uint8).reshape(n, ell)
             )
             return SharedVector(words, (-r) & ctx.mask, ctx.modulus)
 
@@ -344,13 +342,16 @@ class Engine:
                 ]
                 return flags, payloads
             template = self._gadget(gadgets.reveal_tuple_circuit, ell, pbits)
-            alice_bits = [bits_of(int(a), ell) for a in v.alice]
-            bob_bits = []
-            for i in range(n):
-                bb = bits_of(int(v.bob[i]), ell)
-                if pbits:
-                    bb += list(payload_bits_list[i])
-                bob_bits.append(bb)
+            alice_bits = words_to_bits(v.alice, ell)
+            bob_bits = words_to_bits(v.bob, ell)
+            if pbits:
+                bob_bits = np.concatenate(
+                    [
+                        bob_bits,
+                        np.asarray(payload_bits_list, dtype=np.uint8),
+                    ],
+                    axis=1,
+                )
             outs = run_garbled_batch(
                 ctx, self.ot, template, alice_bits, bob_bits
             )
@@ -381,18 +382,18 @@ class Engine:
                 nz = ys != 0
                 out[nz] = xs[nz] // ys[nz]
                 return out
-            alice_bits = [
-                bits_of(int(a), ell) + bits_of(int(b), ell)
-                for a, b in zip(x.alice, y.alice)
-            ]
-            bob_bits = [
-                bits_of(int(a), ell) + bits_of(int(b), ell)
-                for a, b in zip(x.bob, y.bob)
-            ]
+            alice_bits = np.concatenate(
+                [words_to_bits(x.alice, ell), words_to_bits(y.alice, ell)],
+                axis=1,
+            )
+            bob_bits = np.concatenate(
+                [words_to_bits(x.bob, ell), words_to_bits(y.bob, ell)],
+                axis=1,
+            )
             outs = run_garbled_batch(
                 ctx, self.ot, circuit, alice_bits, bob_bits
             )
-            return np.asarray([int_of(o) for o in outs], dtype=np.uint64)
+            return bits_to_words(np.asarray(outs, dtype=np.uint8))
 
     # -- internals -----------------------------------------------------------
 
@@ -470,19 +471,16 @@ class Engine:
                 charge_garbled_batch(ctx, self.ot, circuit, n)
                 return self._fresh(np.asarray(semantics()) & ctx.mask)
             r = ctx.random_ring_vector(n)
-            alice_bits = [
-                sum((bits_of(int(w[i]), ell) for w in alice_words), [])
-                for i in range(n)
-            ]
-            bob_bits = [
-                sum((bits_of(int(w[i]), ell) for w in bob_words), [])
-                + bits_of(int(r[i]), ell)
-                for i in range(n)
-            ]
+            alice_bits = np.concatenate(
+                [words_to_bits(w, ell) for w in alice_words], axis=1
+            )
+            bob_bits = np.concatenate(
+                [words_to_bits(w, ell) for w in bob_words]
+                + [words_to_bits(r, ell)],
+                axis=1,
+            )
             outs = run_garbled_batch(
                 ctx, self.ot, circuit, alice_bits, bob_bits
             )
-            out_words = np.asarray(
-                [int_of(o) for o in outs], dtype=np.uint64
-            )
+            out_words = bits_to_words(np.asarray(outs, dtype=np.uint8))
             return SharedVector(out_words, (-r) & ctx.mask, ctx.modulus)

@@ -17,6 +17,11 @@ import functools
 import random
 from dataclasses import dataclass
 
+try:  # OpenSSL-backed modular exponentiation (~10x CPython's pow).
+    from cryptography.hazmat.primitives.asymmetric import dh as _dh
+except ImportError:  # pragma: no cover - optional accelerator
+    _dh = None
+
 __all__ = ["ModpGroup", "modp_group"]
 
 #: RFC 3526 correction constants per bit length.
@@ -85,10 +90,56 @@ class ModpGroup:
         return (self.bits + 7) // 8
 
     def pow(self, base: int, exp: int) -> int:
+        if (
+            _dh is not None
+            and exp.bit_length() > 320
+            and 2 <= base <= self.p - 2
+        ):
+            try:
+                return _openssl_pow(base, exp, self.p)
+            except Exception:  # pragma: no cover - fall back on edge inputs
+                pass
         return pow(base, exp, self.p)
 
     def inv(self, x: int) -> int:
-        return pow(x, self.p - 2, self.p)
+        return self.pow(x % self.p, self.p - 2)
+
+    def random_exponent(self, random_bytes) -> int:
+        """Uniform secret exponent in ``[1, q)`` by rejection sampling.
+
+        ``random_bytes(n)`` supplies the randomness (the protocol
+        context's metered source).  Full-width exponents are required:
+        sampling only ``k`` bits exposes the exponent to a
+        ``O(2^(k/2))`` Pollard-kangaroo recovery, which for the 62–124
+        bit exponents this library once drew was a practical break.
+        """
+        qbits = self.q.bit_length()
+        nbytes = (qbits + 7) // 8
+        top = (1 << qbits) - 1
+        while True:
+            x = int.from_bytes(random_bytes(nbytes), "little") & top
+            if 1 <= x < self.q:
+                return x
+
+
+def _openssl_pow(base: int, exp: int, p: int) -> int:
+    """``base^exp mod p`` through OpenSSL's DH shared-secret kernel.
+
+    ``DHPrivateNumbers(exp).private_key()`` does not validate the
+    (unused) public component, so the construction is cheap and
+    ``exchange`` performs exactly one modular exponentiation in C.
+    """
+    pn = _dh_param_numbers(p)
+    priv = _dh.DHPrivateNumbers(
+        exp, _dh.DHPublicNumbers(4, pn)
+    ).private_key()
+    pub = _dh.DHPublicNumbers(base, pn).public_key()
+    return int.from_bytes(priv.exchange(pub), "big")
+
+
+@functools.lru_cache(maxsize=8)
+def _dh_param_numbers(p: int):
+    return _dh.DHParameterNumbers(p, 2)
 
 
 @functools.lru_cache(maxsize=None)

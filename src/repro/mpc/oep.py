@@ -29,6 +29,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from .batch import le_bytes_to_words, words_to_le_bytes
 from .context import Context, Mode
 from .sharing import SharedVector
 from .waksman import pad_permutation, switch_count
@@ -38,20 +39,7 @@ __all__ = ["oblivious_permutation", "oblivious_extended_permutation"]
 
 
 def _ring_bytes(ctx: Context) -> int:
-    return max(1, ctx.params.ell // 8)
-
-
-def _encode(vals: Sequence[int], ctx: Context) -> bytes:
-    rb = _ring_bytes(ctx)
-    return b"".join(int(v).to_bytes(rb, "little") for v in vals)
-
-
-def _decode(data: bytes, ctx: Context) -> List[int]:
-    rb = _ring_bytes(ctx)
-    return [
-        int.from_bytes(data[i : i + rb], "little")
-        for i in range(0, len(data), rb)
-    ]
+    return (ctx.params.ell + 7) // 8
 
 
 def oblivious_permutation(
@@ -174,55 +162,82 @@ def _oep_real(
     return routed.take(np.arange(n_out))
 
 
-def _run_network(
+def _stage_network(
     ctx: Context,
     layers: List[List[Tuple[int, int, bool]]],
-    alice: np.ndarray,
     bob: np.ndarray,
-    pairs: List[Tuple[bytes, bytes]],
-    choices: List[int],
-    plan: List[Tuple[str, int, int]],
+    segments: List[Tuple],
 ) -> None:
-    """Stage Bob's OT message pairs and Alice's choices for one network.
-    ``bob`` is updated in place to the post-network shares (Bob can do
-    this before any interaction); Alice's updates are replayed later with
-    the OT results via ``plan``."""
-    mask = int(ctx.modulus - 1)
+    """Stage Bob's OT message pairs and Alice's choices for one network,
+    one byte-matrix segment per layer (a layer's switches touch disjoint
+    wire pairs, so each layer stages as one vectorised step).  ``bob`` is
+    updated in place to the post-network shares (Bob can do this before
+    any interaction); Alice's updates are replayed later with the OT
+    results."""
+    mask = ctx.mask
     rb = _ring_bytes(ctx)
-    rng = ctx.rng
     for layer in layers:
-        for a, b, swap in layer:
-            ra = int(rng.integers(0, ctx.modulus))
-            rbv = int(rng.integers(0, ctx.modulus))
-            ua, ub = int(bob[a]), int(bob[b])
-            m0 = _encode([(ua - ra) & mask, (ub - rbv) & mask], ctx)
-            m1 = _encode([(ub - ra) & mask, (ua - rbv) & mask], ctx)
-            pairs.append((m0, m1))
-            choices.append(1 if swap else 0)
-            plan.append(("switch", a, b))
-            bob[a], bob[b] = ra, rbv
+        if not layer:
+            continue
+        a_idx = np.asarray([a for a, _, _ in layer], dtype=np.int64)
+        b_idx = np.asarray([b for _, b, _ in layer], dtype=np.int64)
+        swaps = np.asarray([s for _, _, s in layer], dtype=np.uint8)
+        ra = ctx.rng.integers(
+            0, ctx.modulus, size=len(layer), dtype=np.uint64
+        )
+        rbv = ctx.rng.integers(
+            0, ctx.modulus, size=len(layer), dtype=np.uint64
+        )
+        ua, ub = bob[a_idx], bob[b_idx]
+        m0 = np.concatenate(
+            [
+                words_to_le_bytes((ua - ra) & mask, rb),
+                words_to_le_bytes((ub - rbv) & mask, rb),
+            ],
+            axis=1,
+        )
+        m1 = np.concatenate(
+            [
+                words_to_le_bytes((ub - ra) & mask, rb),
+                words_to_le_bytes((ua - rbv) & mask, rb),
+            ],
+            axis=1,
+        )
+        bob[a_idx] = ra
+        bob[b_idx] = rbv
+        segments.append(("switch", a_idx, b_idx, swaps, m0, m1))
 
 
-def _replay_network(
+def _replay_segments(
     ctx: Context,
     alice: np.ndarray,
-    plan: List[Tuple[str, int, int]],
-    swaps: List[int],
-    messages: List[bytes],
+    segments: List[Tuple],
+    messages: List[np.ndarray],
 ) -> None:
-    mask = int(ctx.modulus - 1)
-    for (kind, a, b), swap, msg in zip(plan, swaps, messages):
-        vals = _decode(msg, ctx)
-        if kind == "switch":
-            xa, xb = int(alice[a]), int(alice[b])
-            if swap:
-                xa, xb = xb, xa
-            alice[a] = (xa + vals[0]) & mask
-            alice[b] = (xb + vals[1]) & mask
-        else:  # replication gate: position b copies a or keeps itself
-            keep = int(alice[b])
-            prev = int(alice[a])
-            alice[b] = ((prev if swap else keep) + vals[0]) & mask
+    """Apply Alice's post-OT updates segment by segment: switch layers
+    vectorise (disjoint wire pairs); the replication pass is a sequential
+    left-to-right scan by construction."""
+    mask = ctx.mask
+    rb = _ring_bytes(ctx)
+    for seg, msg in zip(segments, messages):
+        if seg[0] == "switch":
+            _, a_idx, b_idx, swaps, _, _ = seg
+            v0 = le_bytes_to_words(msg[:, :rb])
+            v1 = le_bytes_to_words(msg[:, rb:])
+            xa, xb = alice[a_idx], alice[b_idx]
+            sw = swaps.astype(bool)
+            alice[a_idx] = (np.where(sw, xb, xa) + v0) & mask
+            alice[b_idx] = (np.where(sw, xa, xb) + v1) & mask
+        else:
+            _, copy_bits, _, _ = seg
+            vals = le_bytes_to_words(msg)
+            imask = int(mask)
+            for i in range(1, len(alice)):
+                prev = int(alice[i - 1])
+                keep = int(alice[i])
+                alice[i] = (
+                    (prev if copy_bits[i] else keep) + int(vals[i - 1])
+                ) & imask
 
 
 def _apply_switch_network(
@@ -236,29 +251,33 @@ def _apply_switch_network(
     between, batching every OT into one extension call."""
     alice = values.alice.astype(np.uint64).copy()
     bob = values.bob.astype(np.uint64).copy()
-    mask = int(ctx.modulus - 1)
+    mask = ctx.mask
     rb = _ring_bytes(ctx)
-    rng = ctx.rng
 
-    pairs: List[Tuple[bytes, bytes]] = []
-    choices: List[int] = []
-    plan: List[Tuple[str, int, int]] = []
-
-    _run_network(ctx, networks[0], alice, bob, pairs, choices, plan)
-    if replication_after_first:
+    segments: List[Tuple] = []
+    _stage_network(ctx, networks[0], bob, segments)
+    if replication_after_first and len(bob) > 1:
         n = len(bob)
-        for i in range(1, n):
-            r = int(rng.integers(0, ctx.modulus))
-            m0 = _encode([(int(bob[i]) - r) & mask], ctx)
-            m1 = _encode([(int(bob[i - 1]) - r) & mask], ctx)
-            pairs.append((m0, m1))
-            choices.append(1 if replication_after_first[i] else 0)
-            plan.append(("copy", i - 1, i))
-            bob[i] = r
+        r = ctx.rng.integers(0, ctx.modulus, size=n - 1, dtype=np.uint64)
+        # Position i's "copy" message offers its left neighbour's
+        # post-pass share, which is r[i-2] for i >= 2 (already refreshed
+        # by the previous gate) and the original share for i = 1.
+        prev = np.concatenate([bob[:1], r[:-1]])
+        m0 = words_to_le_bytes((bob[1:] - r) & mask, rb)
+        m1 = words_to_le_bytes((prev - r) & mask, rb)
+        bob[1:] = r
+        segments.append(
+            ("copy", np.asarray(replication_after_first, dtype=bool), m0, m1)
+        )
     if len(networks) > 1:
-        _run_network(ctx, networks[1], alice, bob, pairs, choices, plan)
+        _stage_network(ctx, networks[1], bob, segments)
 
     with ctx.section("switches"):
-        messages = ot.transfer(pairs, choices)
-    _replay_network(ctx, alice, plan, choices, messages)
+        messages = ot.transfer_segments(
+            [
+                (seg[-2], seg[-1], seg[3] if seg[0] == "switch" else seg[1][1:])
+                for seg in segments
+            ]
+        )
+    _replay_segments(ctx, alice, segments, messages)
     return SharedVector(alice, bob, ctx.modulus)

@@ -16,6 +16,14 @@ back-ends share one interface:
 * :class:`SimulatedOT` — delivers the chosen messages directly while
   charging the transcript exactly what the real extension would send.
 
+The extension's per-transfer work is batched: message pairs enter as
+contiguous byte matrices (:meth:`IknpExtension.transfer_matrix` /
+:meth:`IknpExtension.transfer_segments`), keys are derived with one
+row-batched SHA-256 pass, and the ciphertext/decrypt XORs are single
+numpy operations over the whole batch (:mod:`repro.mpc.batch`).  The
+scalar reference implementation is kept in :mod:`repro.mpc._reference`
+and pinned by differential tests.
+
 All message sizes are metered through the shared :class:`Context`.
 """
 
@@ -26,12 +34,17 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from .batch import kdf_rows, sha256_rows, stream_xor_rows, words_to_le_bytes
 from .context import ALICE, BOB, Context
 from .modp import ModpGroup, modp_group
 
 __all__ = ["ChouOrlandiOT", "IknpExtension", "SimulatedOT", "make_ot"]
 
 Pair = Tuple[bytes, bytes]
+
+#: One staged batch of same-width OT message pairs:
+#: ``(m0_matrix, m1_matrix, choice_bits)``.
+Segment = Tuple[np.ndarray, np.ndarray, np.ndarray]
 
 
 def _kdf(*parts: bytes) -> bytes:
@@ -40,12 +53,13 @@ def _kdf(*parts: bytes) -> bytes:
 
 def _stream_xor(key: bytes, data: bytes) -> bytes:
     """Encrypt/decrypt with a SHA-256-based stream cipher."""
-    out = bytearray()
-    counter = 0
-    while len(out) < len(data):
-        out.extend(_kdf(key, counter.to_bytes(8, "little")))
-        counter += 1
-    return bytes(a ^ b for a, b in zip(data, out[: len(data)]))
+    if not data:
+        return b""
+    out = stream_xor_rows(
+        np.frombuffer(key, dtype=np.uint8)[None, :],
+        np.frombuffer(data, dtype=np.uint8)[None, :],
+    )
+    return out.tobytes()
 
 
 def _int_bytes(x: int, group: ModpGroup) -> bytes:
@@ -59,6 +73,7 @@ class ChouOrlandiOT:
     def __init__(self, ctx: Context, group_bits: int = 2048):
         self.ctx = ctx
         self.group = modp_group(group_bits)
+        self.group_bits = group_bits
 
     def transfer(
         self, pairs: Sequence[Pair], choices: Sequence[int]
@@ -68,21 +83,17 @@ class ChouOrlandiOT:
         if len(pairs) != len(choices):
             raise ValueError("one choice bit per message pair is required")
         g, ctx = self.group, self.ctx
-        rng = ctx.rng
 
         # Bob: publish A = g^a.
-        a = int(rng.integers(1, 1 << 62)) | (
-            int(rng.integers(0, 1 << 62)) << 62
-        )
-        a %= g.q
+        a = g.random_exponent(ctx.random_bytes)
         big_a = g.pow(g.g, a)
         ctx.send(BOB, g.element_bytes, "ot/base/A")
         inv_a = g.inv(big_a)
 
         # Alice: per choice, B = g^b * A^c and her key H(A^b).
-        bs, big_bs, alice_keys = [], [], []
+        big_bs, alice_keys = [], []
         for c in choices:
-            b = int(rng.integers(1, 1 << 62)) % g.q
+            b = g.random_exponent(ctx.random_bytes)
             big_b = g.pow(g.g, b)
             if c:
                 big_b = (big_b * big_a) % g.p
@@ -111,14 +122,39 @@ class ChouOrlandiOT:
 
 def _prg_bits(seed: bytes, n_bits: int, salt: bytes) -> np.ndarray:
     """Expand ``seed`` into ``n_bits`` pseudorandom bits (uint8 array)."""
+    return _prg_bits_all([seed], n_bits, salt)[0]
+
+
+def _prg_bits_all(
+    seeds: Sequence[bytes], n_bits: int, salt: bytes
+) -> np.ndarray:
+    """Expand every seed into ``n_bits`` pseudorandom bits at once.
+
+    Row ``i`` equals the legacy per-seed expansion
+    ``unpackbits(G(seeds[i], salt))[:n_bits]`` where ``G`` concatenates
+    ``_kdf(seed, salt, counter)`` blocks — here all ``len(seeds) *
+    n_chunks`` SHA-256 compressions run over one contiguous input matrix.
+    """
+    k = len(seeds)
     n_bytes = (n_bits + 7) // 8
-    chunks = []
-    counter = 0
-    while sum(len(c) for c in chunks) < n_bytes:
-        chunks.append(_kdf(seed, salt, counter.to_bytes(8, "little")))
-        counter += 1
-    raw = b"".join(chunks)[:n_bytes]
-    return np.unpackbits(np.frombuffer(raw, dtype=np.uint8))[:n_bits]
+    n_chunks = (n_bytes + 31) // 32
+    slen = len(seeds[0])
+    width = slen + len(salt) + 10  # seed | 0 | salt | 0 | counter_le64
+    rows = np.empty((k, n_chunks, width), dtype=np.uint8)
+    rows[:, :, :slen] = np.frombuffer(
+        b"".join(seeds), dtype=np.uint8
+    ).reshape(k, slen)[:, None, :]
+    rows[:, :, slen] = 0
+    rows[:, :, slen + 1 : slen + 1 + len(salt)] = np.frombuffer(
+        salt, dtype=np.uint8
+    )
+    rows[:, :, slen + 1 + len(salt)] = 0
+    rows[:, :, slen + 2 + len(salt) :] = words_to_le_bytes(
+        np.arange(n_chunks, dtype=np.uint64), 8
+    )[None, :, :]
+    digests = sha256_rows(rows.reshape(k * n_chunks, width))
+    raw = digests.reshape(k, n_chunks * 32)[:, :n_bytes]
+    return np.unpackbits(np.ascontiguousarray(raw), axis=1)[:, :n_bits]
 
 
 class IknpExtension:
@@ -134,7 +170,7 @@ class IknpExtension:
         self.ctx = ctx
         self.kappa = ctx.params.kappa
         self._base_done = False
-        self._group_bits = group_bits
+        self.group_bits = group_bits
         self._s: np.ndarray = np.zeros(0, dtype=np.uint8)
         self._seeds_alice: List[Pair] = []
         self._seeds_bob: List[bytes] = []
@@ -142,8 +178,7 @@ class IknpExtension:
 
     def _base_phase(self) -> None:
         ctx = self.ctx
-        rng = ctx.rng
-        self._s = rng.integers(0, 2, size=self.kappa, dtype=np.uint8)
+        self._s = ctx.rng.integers(0, 2, size=self.kappa, dtype=np.uint8)
         self._seeds_alice = [
             (ctx.random_bytes(16), ctx.random_bytes(16))
             for _ in range(self.kappa)
@@ -151,15 +186,15 @@ class IknpExtension:
         # Roles reversed: Alice is the base-OT *sender*.  The base
         # protocol below is written Bob->Alice, so we meter it manually
         # with swapped parties and run the arithmetic inline.
-        g = modp_group(self._group_bits)
-        a = int(rng.integers(1, 1 << 62)) % g.q
+        g = modp_group(self.group_bits)
+        a = g.random_exponent(ctx.random_bytes)
         big_a = g.pow(g.g, a)
         ctx.send(ALICE, g.element_bytes, "ot/ext/base/A")
         inv_a = g.inv(big_a)
         received: List[bytes] = []
         total_ct = 0
         for i in range(self.kappa):
-            b = int(rng.integers(1, 1 << 62)) % g.q
+            b = g.random_exponent(ctx.random_bytes)
             big_b = g.pow(g.g, b)
             if self._s[i]:
                 big_b = (big_b * big_a) % g.p
@@ -177,6 +212,69 @@ class IknpExtension:
         self._seeds_bob = received
         self._base_done = True
 
+    def _column_phase(self, m: int, r: np.ndarray):
+        """One extension batch's column correlation: Alice's ``T`` rows,
+        Bob's ``Q`` rows, and the batch salt.  Sends the ``u``
+        correction columns."""
+        if not self._base_done:
+            self._base_phase()
+        ctx = self.ctx
+        salt = self._batch.to_bytes(8, "little")
+        self._batch += 1
+
+        # Alice: T columns from k^0; correction u = G(k0) ^ G(k1) ^ r.
+        t_cols = _prg_bits_all(
+            [s[0] for s in self._seeds_alice], m, salt
+        )  # kappa x m
+        u_cols = (
+            t_cols
+            ^ _prg_bits_all([s[1] for s in self._seeds_alice], m, salt)
+            ^ r[None, :]
+        )
+        ctx.send(ALICE, self.kappa * ((m + 7) // 8), "ot/ext/u")
+
+        # Bob: q columns; row j satisfies Q_j = T_j ^ (r_j * s).
+        q_cols = _prg_bits_all(self._seeds_bob, m, salt) ^ (
+            self._s[:, None] * u_cols
+        )
+        q_rows = np.packbits(q_cols.T, axis=1)  # m x kappa/8
+        t_rows = np.packbits(t_cols.T, axis=1)
+        s_packed = np.packbits(self._s)
+        return salt, q_rows, t_rows, s_packed
+
+    def _transfer_core(
+        self,
+        groups: Sequence[Tuple[np.ndarray, np.ndarray, np.ndarray]],
+        m: int,
+        r: np.ndarray,
+    ) -> List[np.ndarray]:
+        """Run one extension batch over index-disjoint groups of
+        same-width pairs; group ``(idx, m0, m1)`` holds the pairs at
+        global positions ``idx`` as ``(len(idx), w)`` byte matrices.
+        Returns the chosen-message matrix per group."""
+        ctx = self.ctx
+        salt, q_rows, t_rows, s_packed = self._column_phase(m, r)
+        salt_arr = np.frombuffer(salt, dtype=np.uint8)
+        out: List[np.ndarray] = []
+        total = 0
+        for idx, m0, m1 in groups:
+            jb = words_to_le_bytes(idx.astype(np.uint64), 8)
+            qj = q_rows[idx]
+            y0 = stream_xor_rows(kdf_rows(jb, salt_arr, qj), m0)
+            y1 = stream_xor_rows(
+                kdf_rows(jb, salt_arr, qj ^ s_packed), m1
+            )
+            total += y0.size + y1.size
+            chosen = np.where(r[idx].astype(bool)[:, None], y1, y0)
+            # T_j packs the k_{r_j} column, so this key decrypts y_{r_j}.
+            out.append(
+                stream_xor_rows(
+                    kdf_rows(jb, salt_arr, t_rows[idx]), chosen
+                )
+            )
+        ctx.send(BOB, total, "ot/ext/ciphertexts")
+        return out
+
     def transfer(
         self, pairs: Sequence[Pair], choices: Sequence[int]
     ) -> List[bytes]:
@@ -184,68 +282,99 @@ class IknpExtension:
             raise ValueError("one choice bit per message pair is required")
         if not pairs:
             return []
-        if not self._base_done:
-            self._base_phase()
-        ctx = self.ctx
         m = len(pairs)
-        salt = self._batch.to_bytes(8, "little")
-        self._batch += 1
-        r = np.asarray(choices, dtype=np.uint8) & 1
-
-        # Alice: T columns from k^0; correction u = G(k0) ^ G(k1) ^ r.
-        t_cols = np.stack(
-            [
-                _prg_bits(self._seeds_alice[i][0], m, salt)
-                for i in range(self.kappa)
-            ]
-        )  # kappa x m
-        u_cols = np.stack(
-            [
-                t_cols[i]
-                ^ _prg_bits(self._seeds_alice[i][1], m, salt)
-                ^ r
-                for i in range(self.kappa)
-            ]
-        )
-        ctx.send(ALICE, self.kappa * ((m + 7) // 8), "ot/ext/u")
-
-        # Bob: q columns; row j satisfies Q_j = T_j ^ (r_j * s).
-        q_cols = np.stack(
-            [
-                _prg_bits(self._seeds_bob[i], m, salt)
-                ^ (self._s[i] * u_cols[i])
-                for i in range(self.kappa)
-            ]
-        )
-        q_rows = np.packbits(q_cols.T, axis=1)  # m x kappa/8
-        t_rows = np.packbits(t_cols.T, axis=1)
-        s_packed = np.packbits(self._s)
-
-        out: List[bytes] = []
-        total = 0
+        by_width = {}
         for j, (m0, m1) in enumerate(pairs):
             if len(m0) != len(m1):
                 raise ValueError("OT messages in a pair must be equal-length")
-            qj = q_rows[j].tobytes()
-            qj_s = (q_rows[j] ^ s_packed).tobytes()
-            jb = j.to_bytes(8, "little")
-            y0 = _stream_xor(_kdf(jb, salt, qj), m0)
-            y1 = _stream_xor(_kdf(jb, salt, qj_s), m1)
-            total += len(y0) + len(y1)
-            tj = t_rows[j].tobytes()
-            key = _kdf(jb, salt, tj)  # equals the k_{r_j} key
-            out.append(_stream_xor(key, y1 if r[j] else y0))
-        ctx.send(BOB, total, "ot/ext/ciphertexts")
+            by_width.setdefault(len(m0), []).append(j)
+        groups = []
+        for w, positions in by_width.items():
+            idx = np.asarray(positions, dtype=np.int64)
+            m0_mat = np.frombuffer(
+                b"".join(pairs[j][0] for j in positions), dtype=np.uint8
+            ).reshape(len(positions), w)
+            m1_mat = np.frombuffer(
+                b"".join(pairs[j][1] for j in positions), dtype=np.uint8
+            ).reshape(len(positions), w)
+            groups.append((idx, m0_mat, m1_mat))
+        r = np.asarray(choices, dtype=np.uint8) & 1
+        mats = self._transfer_core(groups, m, r)
+        out: List[bytes] = [b""] * m
+        for (idx, _, _), mat in zip(groups, mats):
+            rows = mat.tobytes()
+            w = mat.shape[1]
+            for k, j in enumerate(idx):
+                out[j] = rows[k * w : (k + 1) * w]
         return out
+
+    def transfer_matrix(
+        self, m0: np.ndarray, m1: np.ndarray, choices: np.ndarray
+    ) -> np.ndarray:
+        """Uniform-width fast path: ``(m, w)`` message matrices in, the
+        ``(m, w)`` chosen-message matrix out — no per-pair ``bytes``."""
+        m0 = np.ascontiguousarray(m0, dtype=np.uint8)
+        m1 = np.ascontiguousarray(m1, dtype=np.uint8)
+        if m0.shape != m1.shape:
+            raise ValueError("OT messages in a pair must be equal-length")
+        m = m0.shape[0]
+        if len(choices) != m:
+            raise ValueError("one choice bit per message pair is required")
+        if m == 0:
+            return m0.copy()
+        r = np.asarray(choices, dtype=np.uint8) & 1
+        return self._transfer_core(
+            [(np.arange(m, dtype=np.int64), m0, m1)], m, r
+        )[0]
+
+    def transfer_segments(
+        self, segments: Sequence[Segment]
+    ) -> List[np.ndarray]:
+        """One extension batch over consecutively-indexed segments of
+        (possibly different-width) pair matrices; returns one
+        chosen-message matrix per segment, in order.  Used by the
+        switching network, whose layers stage naturally as matrices."""
+        groups = []
+        r_parts = []
+        off = 0
+        for m0, m1, ch in segments:
+            m0 = np.ascontiguousarray(m0, dtype=np.uint8)
+            m1 = np.ascontiguousarray(m1, dtype=np.uint8)
+            if m0.shape != m1.shape:
+                raise ValueError("OT messages in a pair must be equal-length")
+            k = m0.shape[0]
+            if len(ch) != k:
+                raise ValueError("one choice bit per message pair is required")
+            groups.append(
+                (np.arange(off, off + k, dtype=np.int64), m0, m1)
+            )
+            r_parts.append(np.asarray(ch, dtype=np.uint8) & 1)
+            off += k
+        if off == 0:
+            return [m0.copy() for m0, _, _ in segments]
+        return self._transfer_core(groups, off, np.concatenate(r_parts))
 
 
 class SimulatedOT:
     """Functionally-identical OT that skips the crypto but charges the
     transcript what :class:`IknpExtension` would send."""
 
-    def __init__(self, ctx: Context):
+    def __init__(self, ctx: Context, group_bits: int = 2048):
         self.ctx = ctx
+        self.group_bits = group_bits
         self._base_charged = False
+
+    def _charge(self, m: int, total_pair_bytes: int) -> None:
+        ctx = self.ctx
+        kappa = ctx.params.kappa
+        if not self._base_charged:
+            elem = self.group_bits // 8
+            ctx.send(ALICE, elem, "ot/ext/base/A")
+            ctx.send(BOB, elem * kappa, "ot/ext/base/B")
+            ctx.send(ALICE, 32 * kappa, "ot/ext/base/ciphertexts")
+            self._base_charged = True
+        ctx.send(ALICE, kappa * ((m + 7) // 8), "ot/ext/u")
+        ctx.send(BOB, total_pair_bytes, "ot/ext/ciphertexts")
 
     def transfer(
         self, pairs: Sequence[Pair], choices: Sequence[int]
@@ -254,19 +383,23 @@ class SimulatedOT:
             raise ValueError("one choice bit per message pair is required")
         if not pairs:
             return []
-        ctx = self.ctx
-        kappa = ctx.params.kappa
-        if not self._base_charged:
-            elem = 2048 // 8  # MODP-2048 group element
-            ctx.send(ALICE, elem, "ot/ext/base/A")
-            ctx.send(BOB, elem * kappa, "ot/ext/base/B")
-            ctx.send(ALICE, 32 * kappa, "ot/ext/base/ciphertexts")
-            self._base_charged = True
-        m = len(pairs)
-        ctx.send(ALICE, kappa * ((m + 7) // 8), "ot/ext/u")
-        total = sum(len(m0) + len(m1) for m0, m1 in pairs)
-        ctx.send(BOB, total, "ot/ext/ciphertexts")
+        self._charge(
+            len(pairs), sum(len(m0) + len(m1) for m0, m1 in pairs)
+        )
         return [p[1] if c else p[0] for p, c in zip(pairs, choices)]
+
+    def transfer_matrix(
+        self, m0: np.ndarray, m1: np.ndarray, choices: np.ndarray
+    ) -> np.ndarray:
+        m0 = np.ascontiguousarray(m0, dtype=np.uint8)
+        m1 = np.ascontiguousarray(m1, dtype=np.uint8)
+        if m0.shape != m1.shape:
+            raise ValueError("OT messages in a pair must be equal-length")
+        if m0.shape[0] == 0:
+            return m0.copy()
+        self._charge(m0.shape[0], m0.size + m1.size)
+        r = (np.asarray(choices, dtype=np.uint8) & 1).astype(bool)
+        return np.where(r[:, None], m1, m0)
 
 
 def make_ot(ctx: Context, group_bits: int = 2048):
@@ -275,4 +408,4 @@ def make_ot(ctx: Context, group_bits: int = 2048):
 
     if ctx.mode == Mode.REAL:
         return IknpExtension(ctx, group_bits)
-    return SimulatedOT(ctx)
+    return SimulatedOT(ctx, group_bits)

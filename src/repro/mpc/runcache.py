@@ -32,10 +32,13 @@ class RunCache:
     def __init__(self):
         self._circuits: Dict[Tuple, object] = {}
         self._topologies: Dict[int, Tuple] = {}
+        self._garble_plans: Dict[int, object] = {}
         self.circuit_hits = 0
         self.circuit_misses = 0
         self.topology_hits = 0
         self.topology_misses = 0
+        self.plan_hits = 0
+        self.plan_misses = 0
 
     # -- garbled-circuit gadget templates --------------------------------
 
@@ -54,6 +57,27 @@ class RunCache:
         template = builder(*shape)
         self._circuits[key] = template
         return template
+
+    def garble_plan(self, circuit):
+        """The precompiled :class:`~repro.mpc.circuits.garbling.GarblePlan`
+        for a circuit template, built once per run.
+
+        Keyed by object identity: templates are themselves cached (here
+        or in the :mod:`repro.mpc.gadgets` ``lru_cache``), so one template
+        object stands for one shape — and the plan keeps the circuit
+        alive, so the identity key cannot be recycled while cached.
+        """
+        from .circuits.garbling import make_garble_plan
+
+        key = id(circuit)
+        plan = self._garble_plans.get(key)
+        if plan is not None:
+            self.plan_hits += 1
+            return plan
+        self.plan_misses += 1
+        plan = make_garble_plan(circuit)
+        self._garble_plans[key] = plan
+        return plan
 
     # -- Beneš switching networks ----------------------------------------
 
@@ -88,6 +112,9 @@ class RunCache:
             "topology_hits": self.topology_hits,
             "topology_misses": self.topology_misses,
             "topologies": len(self._topologies),
+            "plan_hits": self.plan_hits,
+            "plan_misses": self.plan_misses,
+            "garble_plans": len(self._garble_plans),
         }
 
     def __repr__(self) -> str:  # pragma: no cover

@@ -22,12 +22,14 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
+import numpy as np
+
 from .circuits.circuit import Circuit
 from .circuits.garbling import (
     LABEL_BYTES,
     ROWS_PER_AND,
-    evaluate_garbled,
-    garble,
+    evaluate_batch,
+    garble_batch,
 )
 from .context import ALICE, BOB, Context
 from .ot import SimulatedOT
@@ -49,7 +51,7 @@ def charge_ot(
         return
     kappa = ctx.params.kappa
     if isinstance(ot, SimulatedOT) and not ot._base_charged:
-        elem = 2048 // 8
+        elem = ot.group_bits // 8
         ctx.send(ALICE, elem, "ot/ext/base/A")
         ctx.send(BOB, elem * kappa, "ot/ext/base/B")
         ctx.send(ALICE, 32 * kappa, "ot/ext/base/ciphertexts")
@@ -67,60 +69,82 @@ def run_garbled_batch(
 ) -> List[List[int]]:
     """REAL mode: garble and evaluate ``circuit`` once per instance,
     batching all of Alice's input-label OTs into a single extension call.
-    Returns each instance's output bits (known to Alice)."""
+    Returns each instance's output bits (known to Alice).
+
+    The whole batch runs instance-parallel: the template's
+    :class:`~repro.mpc.circuits.garbling.GarblePlan` comes from the run
+    cache, inputs/outputs are marshalled as bit matrices, and Alice's
+    label OTs move as one contiguous matrix through the extension
+    (:mod:`repro.mpc._reference` keeps the scalar original)."""
     if len(alice_bits_list) != len(bob_bits_list):
         raise ValueError("need matching numbers of Alice/Bob input vectors")
     n = len(alice_bits_list)
     if n == 0:
         return []
+    plan = ctx.cache.garble_plan(circuit)
+    n_alice = len(circuit.alice_inputs)
+    n_bob = len(circuit.bob_inputs)
+    a_bits = _bit_matrix(alice_bits_list, n_alice)
+    b_bits = _bit_matrix(bob_bits_list, n_bob)
 
-    garblings = []
-    tables_bytes = 0
-    bob_label_bytes = 0
-    label_pairs = []
-    choice_bits: List[int] = []
-    for alice_bits, bob_bits in zip(alice_bits_list, bob_bits_list):
-        g = garble(circuit, ctx.random_bytes)
-        garblings.append(g)
-        tables_bytes += g.tables.n_bytes
-        bob_label_bytes += LABEL_BYTES * (
-            len(circuit.bob_inputs) + len(circuit.const_wires)
-        )
-        for w, bit in zip(circuit.alice_inputs, alice_bits):
-            pair = (
-                g.label(w, 0).to_bytes(LABEL_BYTES, "little"),
-                g.label(w, 1).to_bytes(LABEL_BYTES, "little"),
-            )
-            label_pairs.append(pair)
-            choice_bits.append(int(bit) & 1)
-    ctx.send(BOB, tables_bytes, "gc/tables")
-    ctx.send(BOB, bob_label_bytes, "gc/bob_labels")
+    g = garble_batch(plan, n, ctx.random_bytes)
+    ctx.send(BOB, g.tables_bytes, "gc/tables")
+    ctx.send(
+        BOB,
+        LABEL_BYTES * (n_bob + len(circuit.const_wires)) * n,
+        "gc/bob_labels",
+    )
     with ctx.section("gc/alice_labels"):
-        alice_labels = ot.transfer(label_pairs, choice_bits)
+        if n_alice:
+            zeros = g.zero[plan.alice_wires].transpose(1, 0, 2)
+            m0 = zeros.reshape(n * n_alice, LABEL_BYTES)
+            m1 = (zeros ^ g.delta[:, None, :]).reshape(
+                n * n_alice, LABEL_BYTES
+            )
+            alice_labels = _ot_matrix(ot, m0, m1, a_bits.reshape(-1))
 
-    outputs: List[List[int]] = []
-    decode_bytes = 0
-    cursor = 0
-    for g, bob_bits in zip(garblings, bob_bits_list):
-        input_labels = {}
-        for w in circuit.alice_inputs:
-            input_labels[w] = int.from_bytes(alice_labels[cursor], "little")
-            cursor += 1
-        for w, bit in zip(circuit.bob_inputs, bob_bits):
-            input_labels[w] = g.label(w, int(bit) & 1)
-        for w, bit in circuit.const_wires:
-            input_labels[w] = g.label(w, bit)
-        active = evaluate_garbled(circuit, g.tables, input_labels)
-        permute = g.output_permute_bits()
-        decode_bytes += (len(circuit.outputs) + 7) // 8
-        outputs.append(
-            [
-                (active[w] & 1) ^ p
-                for w, p in zip(circuit.outputs, permute)
-            ]
+    active = np.zeros((plan.n_wires, n, LABEL_BYTES), dtype=np.uint8)
+    if n_alice:
+        active[plan.alice_wires] = alice_labels.reshape(
+            n, n_alice, LABEL_BYTES
+        ).transpose(1, 0, 2)
+    if n_bob:
+        active[plan.bob_wires] = g.labels(plan.bob_wires, b_bits)
+    if len(plan.const_wires):
+        active[plan.const_wires] = g.labels(
+            plan.const_wires,
+            np.broadcast_to(plan.const_bits, (n, len(plan.const_bits))),
         )
-    ctx.send(BOB, decode_bytes, "gc/decode")
-    return outputs
+    select = evaluate_batch(plan, g.tables, active)
+    out_bits = select ^ g.output_permute_bits()
+    ctx.send(BOB, ((len(circuit.outputs) + 7) // 8) * n, "gc/decode")
+    return out_bits.astype(int).tolist()
+
+
+def _bit_matrix(
+    bits_list: Sequence[Sequence[int]], n_wires: int
+) -> np.ndarray:
+    """Stack per-instance bit lists into an ``(n, n_wires)`` matrix,
+    ignoring trailing extra bits like the scalar path's ``zip`` did."""
+    mat = np.asarray(bits_list, dtype=np.uint8) & 1
+    if mat.ndim == 1:  # zero-width inputs
+        mat = mat.reshape(len(bits_list), 0)
+    return mat[:, :n_wires]
+
+
+def _ot_matrix(ot, m0, m1, choices) -> np.ndarray:
+    """Label-pair OT through the matrix fast path when the back-end has
+    one, else through the generic ``bytes`` interface."""
+    tm = getattr(ot, "transfer_matrix", None)
+    if tm is not None:
+        return tm(m0, m1, choices)
+    got = ot.transfer(
+        [(a.tobytes(), b.tobytes()) for a, b in zip(m0, m1)],
+        [int(c) for c in choices],
+    )
+    return np.frombuffer(b"".join(got), dtype=np.uint8).reshape(
+        len(got), m0.shape[1]
+    )
 
 
 def charge_garbled_batch(

@@ -1,0 +1,375 @@
+"""Differential tests: vectorised batch kernels vs the retained scalar
+reference implementations (`repro.mpc._reference`).
+
+Every hot path rewritten in PR 3 is pinned here against the legacy
+loop it replaced: identical outputs and byte-identical transcript
+fingerprints, in REAL and SIMULATED modes.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mpc import ALICE, BOB, Context, Engine, Mode
+from repro.mpc import _reference as ref
+from repro.mpc import batch
+from repro.mpc.gadgets import bits_of, int_of, nonzero_circuit
+from repro.mpc.ot import (
+    IknpExtension,
+    SimulatedOT,
+    _prg_bits,
+    _stream_xor,
+    make_ot,
+)
+from repro.mpc.yao import run_garbled_batch
+
+from .conftest import TEST_GROUP_BITS
+
+
+# ----------------------------------------------------------------------
+# Marshalling kernels vs int.to_bytes / bits_of loops
+# ----------------------------------------------------------------------
+
+
+@given(
+    st.lists(st.integers(0, 2**64 - 1), min_size=1, max_size=40),
+    st.integers(1, 8),
+)
+def test_words_to_le_bytes_matches_int_to_bytes(vals, width):
+    words = np.asarray(vals, dtype=np.uint64)
+    mat = batch.words_to_le_bytes(words, width)
+    for v, row in zip(vals, mat):
+        assert bytes(row) == (v & ((1 << (8 * width)) - 1)).to_bytes(
+            width, "little"
+        )
+    back = batch.le_bytes_to_words(mat)
+    assert (back == (words & np.uint64((1 << (8 * width)) - 1 & (2**64 - 1)))).all() or (
+        width == 8 and (back == words).all()
+    )
+
+
+@given(
+    st.lists(st.integers(0, 2**63 - 1), min_size=1, max_size=40),
+    st.integers(1, 63),
+)
+def test_words_to_bits_matches_bits_of(vals, ell):
+    words = np.asarray(vals, dtype=np.uint64)
+    bits = batch.words_to_bits(words, ell)
+    for v, row in zip(vals, bits):
+        assert list(row) == bits_of(v, ell)
+    assert [int_of(list(row)) for row in bits] == list(
+        batch.bits_to_words(bits)
+    )
+
+
+@given(st.binary(min_size=0, max_size=90), st.integers(1, 6))
+def test_sha256_rows_matches_hashlib(blob, m):
+    rows = np.frombuffer(blob.ljust(m * 13, b"\0")[: m * 13], dtype=np.uint8)
+    rows = rows.reshape(m, 13)
+    out = batch.sha256_rows(rows)
+    for row, digest in zip(rows, out):
+        assert bytes(digest) == hashlib.sha256(bytes(row)).digest()
+
+
+@given(
+    st.binary(min_size=32, max_size=32),
+    st.binary(min_size=0, max_size=200),
+)
+def test_stream_xor_rows_matches_reference(key, data):
+    legacy = ref.stream_xor(key, data)
+    assert _stream_xor(key, data) == legacy
+    got = batch.stream_xor_rows(
+        np.frombuffer(key, dtype=np.uint8)[None, :],
+        np.frombuffer(data, dtype=np.uint8).reshape(1, len(data)),
+    )
+    assert got.tobytes() == legacy
+
+
+@given(
+    st.binary(min_size=16, max_size=16),
+    st.integers(0, 300),
+    st.binary(min_size=8, max_size=8),
+)
+def test_prg_bits_matches_reference(seed, n_bits, salt):
+    if n_bits == 0:
+        return
+    assert (_prg_bits(seed, n_bits, salt) == ref.prg_bits(seed, n_bits, salt)).all()
+
+
+# ----------------------------------------------------------------------
+# IKNP extension vs the scalar per-pair loop
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.real
+class TestOtDifferential:
+    def _pairs(self, widths, seed=3):
+        rng = np.random.default_rng(seed)
+        pairs = [(rng.bytes(w), rng.bytes(w)) for w in widths]
+        choices = [int(c) for c in rng.integers(0, 2, len(widths))]
+        return pairs, choices
+
+    def _run(self, cls, pairs, choices, seed=17):
+        ctx = Context(Mode.REAL, seed=seed)
+        ot = cls(ctx, TEST_GROUP_BITS)
+        out = ot.transfer(pairs, choices)
+        out += ot.transfer(pairs[:3], choices[:3])  # second batch, new salt
+        return out, ctx.transcript.fingerprint()
+
+    def test_uniform_width_batch(self):
+        pairs, choices = self._pairs([16] * 120)
+        new = self._run(IknpExtension, pairs, choices)
+        old = self._run(ref.ReferenceIknpExtension, pairs, choices)
+        assert new == old
+        assert new[0][:120] == [p[c] for p, c in zip(pairs, choices)]
+
+    def test_mixed_width_batch(self):
+        pairs, choices = self._pairs([2, 40, 4, 4, 40, 2, 33, 1])
+        new = self._run(IknpExtension, pairs, choices)
+        old = self._run(ref.ReferenceIknpExtension, pairs, choices)
+        assert new == old
+
+    def test_chou_orlandi_differential(self):
+        pairs, choices = self._pairs([16, 16, 16])
+
+        def run(cls):
+            ctx = Context(Mode.REAL, seed=5)
+            ot = cls(ctx, TEST_GROUP_BITS)
+            return ot.transfer(pairs, choices), ctx.transcript.fingerprint()
+
+        from repro.mpc.ot import ChouOrlandiOT
+
+        new = run(ChouOrlandiOT)
+        old = run(ref.ReferenceChouOrlandiOT)
+        assert new[0] == old[0] == [p[c] for p, c in zip(pairs, choices)]
+        assert new[1] == old[1]
+
+    def test_real_and_simulated_fingerprints_agree(self):
+        pairs, choices = self._pairs([8] * 50)
+        ctx_r = Context(Mode.REAL, seed=1)
+        IknpExtension(ctx_r, TEST_GROUP_BITS).transfer(pairs, choices)
+        ctx_s = Context(Mode.SIMULATED, seed=1)
+        SimulatedOT(ctx_s, TEST_GROUP_BITS).transfer(pairs, choices)
+        assert (
+            ctx_r.transcript.fingerprint() == ctx_s.transcript.fingerprint()
+        )
+
+    def test_transfer_matrix_equals_transfer(self):
+        rng = np.random.default_rng(2)
+        m0 = np.frombuffer(rng.bytes(60 * 5), dtype=np.uint8).reshape(60, 5)
+        m1 = np.frombuffer(rng.bytes(60 * 5), dtype=np.uint8).reshape(60, 5)
+        choices = rng.integers(0, 2, 60)
+
+        ctx_a = Context(Mode.REAL, seed=8)
+        got_a = IknpExtension(ctx_a, TEST_GROUP_BITS).transfer_matrix(
+            m0, m1, choices
+        )
+        ctx_b = Context(Mode.REAL, seed=8)
+        got_b = IknpExtension(ctx_b, TEST_GROUP_BITS).transfer(
+            [(a.tobytes(), b.tobytes()) for a, b in zip(m0, m1)],
+            [int(c) for c in choices],
+        )
+        assert [r.tobytes() for r in got_a] == got_b
+        assert (
+            ctx_a.transcript.fingerprint() == ctx_b.transcript.fingerprint()
+        )
+
+
+# ----------------------------------------------------------------------
+# Gilboa cross-multiplication and the garbled batch vs scalar staging
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.real
+class TestGilboaDifferential:
+    def test_products_and_fingerprints_match_reference(self):
+        rng = np.random.default_rng(4)
+        u = rng.integers(0, 2**31, 17).astype(np.uint64)
+        v = rng.integers(0, 2**31, 17).astype(np.uint64)
+
+        ctx_new = Context(Mode.REAL, seed=23)
+        ot_new = make_ot(ctx_new, TEST_GROUP_BITS)
+        eng = Engine(ctx_new, TEST_GROUP_BITS)
+        eng.ot = ot_new
+        sv_new = eng._gilboa_cross(ALICE, u, v, "cross")
+
+        ctx_old = Context(Mode.REAL, seed=23)
+        ot_old = make_ot(ctx_old, TEST_GROUP_BITS)
+        with ctx_old.section("cross"):
+            sv_old = ref.gilboa_cross(ctx_old, ot_old, u, v)
+
+        mask = ctx_new.mask
+        assert (sv_new.reconstruct() == (u * v) & mask).all()
+        assert (sv_new.reconstruct() == sv_old.reconstruct()).all()
+        assert (
+            ctx_new.transcript.fingerprint()
+            == ctx_old.transcript.fingerprint()
+        )
+
+
+@pytest.mark.real
+class TestGarbledBatchDifferential:
+    def _inputs(self, circuit, n, seed=6):
+        rng = np.random.default_rng(seed)
+        na, nb = len(circuit.alice_inputs), len(circuit.bob_inputs)
+        alice = [[int(x) for x in rng.integers(0, 2, na)] for _ in range(n)]
+        bob = [[int(x) for x in rng.integers(0, 2, nb)] for _ in range(n)]
+        return alice, bob
+
+    def _run(self, fn, circuit, alice, bob, mode=Mode.REAL):
+        ctx = Context(mode, seed=31)
+        ot = make_ot(ctx, TEST_GROUP_BITS)
+        outs = fn(ctx, ot, circuit, alice, bob)
+        outs += fn(ctx, ot, circuit, alice[:2], bob[:2])
+        return (
+            [[int(b) for b in o] for o in outs],
+            ctx.transcript.fingerprint(),
+        )
+
+    def test_outputs_and_fingerprints_match_reference(self):
+        circuit = nonzero_circuit(20)
+        alice, bob = self._inputs(circuit, 21)
+        new = self._run(run_garbled_batch, circuit, alice, bob)
+        old = self._run(ref.run_garbled_batch, circuit, alice, bob)
+        assert new == old
+        for a, b, o in zip(alice, bob, new[0]):
+            assert o == circuit.evaluate(a, b)
+
+    def test_plan_cache_reuses_template(self):
+        circuit = nonzero_circuit(12)
+        alice, bob = self._inputs(circuit, 3)
+        ctx = Context(Mode.REAL, seed=2)
+        ot = make_ot(ctx, TEST_GROUP_BITS)
+        run_garbled_batch(ctx, ot, circuit, alice, bob)
+        run_garbled_batch(ctx, ot, circuit, alice, bob)
+        stats = ctx.cache.stats()
+        assert stats["plan_misses"] == 1
+        assert stats["plan_hits"] == 1
+
+
+# ----------------------------------------------------------------------
+# Whole-engine parity at a non-byte-aligned ring width (the rb bugfix)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.real
+class TestNonByteAlignedRing:
+    def test_real_vs_simulated_transcripts_at_ell_20(self):
+        from repro.mpc.params import SecurityParams
+
+        params = SecurityParams(ell=20)
+
+        def run(mode):
+            ctx = Context(mode, params=params, seed=13)
+            eng = Engine(ctx, TEST_GROUP_BITS)
+            x = eng.share(ALICE, [5, 0, 901, 2**19])
+            y = eng.share(BOB, [3, 77, 0, 2**19 - 1])
+            z = eng.mul_shared(x, y)
+            return (
+                list(z.reconstruct()),
+                ctx.transcript.fingerprint(),
+            )
+
+        vals_r, fp_r = run(Mode.REAL)
+        vals_s, fp_s = run(Mode.SIMULATED)
+        mask = (1 << 20) - 1
+        expect = [(5 * 3) & mask, 0, 0, (2**19 * (2**19 - 1)) & mask]
+        assert vals_r == vals_s == expect
+        assert fp_r == fp_s
+
+
+# ----------------------------------------------------------------------
+# Exponent sampling (the narrow-exponent bugfix)
+# ----------------------------------------------------------------------
+
+
+class TestExponentWidth:
+    def test_random_exponent_is_full_width(self):
+        """Exponents must be uniform in [1, q), not 62-124-bit: over 200
+        draws, all lie in range, the top bit region is populated, and no
+        draw is suspiciously short."""
+        import secrets
+
+        from repro.mpc.modp import modp_group
+
+        g = modp_group(1536)
+        qbits = g.q.bit_length()
+        draws = [g.random_exponent(secrets.token_bytes) for _ in range(200)]
+        assert all(1 <= x < g.q for x in draws)
+        lengths = [x.bit_length() for x in draws]
+        # P[bit_length <= qbits - 20] ~ 2^-20 per draw.
+        assert min(lengths) > qbits - 20
+        # Roughly half the draws should have the top bit set.
+        top = sum(1 for L in lengths if L == qbits)
+        assert 40 < top < 160
+
+    def test_random_exponent_deterministic_under_seeded_source(self):
+        from repro.mpc.modp import modp_group
+
+        g = modp_group(1536)
+        ctx1 = Context(Mode.REAL, seed=7)
+        ctx2 = Context(Mode.REAL, seed=7)
+        assert g.random_exponent(ctx1.random_bytes) == g.random_exponent(
+            ctx2.random_bytes
+        )
+
+    def test_openssl_pow_matches_builtin(self):
+        import secrets
+
+        from repro.mpc.modp import modp_group
+
+        g = modp_group(1536)
+        for _ in range(5):
+            base = g.pow(g.g, g.random_exponent(secrets.token_bytes))
+            exp = g.random_exponent(secrets.token_bytes)
+            assert g.pow(base, exp) == pow(base, exp, g.p)
+
+
+# ----------------------------------------------------------------------
+# Cuckoo max_bin_load Chernoff-scan boundary (the log-domain bugfix)
+# ----------------------------------------------------------------------
+
+
+class TestMaxBinLoad:
+    def test_scan_starts_above_mean(self):
+        """With a tiny tail target the Chernoff scan runs; the returned
+        load must exceed the binomial mean (below it the bound is
+        vacuous and, pre-fix, log(mean/load) could pick a spurious L)."""
+        import math
+
+        from repro.mpc.cuckoo import max_bin_load
+
+        for n_items, n_bins, sigma in [
+            (10_000, 13, 128),
+            (5_000, 7, 200),
+            (100_000, 127, 160),
+        ]:
+            load = max_bin_load(n_items, n_bins, sigma=sigma)
+            mean = n_items * 3 / n_bins
+            assert load > mean
+            # And the Chernoff tail at the returned load really is below
+            # the per-bin budget.
+            target = 2.0 ** (-sigma) / n_bins
+            log_tail = -mean + load * (1 + math.log(mean / load))
+            assert log_tail < math.log(target)
+
+    def test_monotone_in_sigma(self):
+        from repro.mpc.cuckoo import max_bin_load
+
+        loads = [
+            max_bin_load(1000, 1270, sigma=s) for s in (20, 40, 80, 160, 320)
+        ]
+        assert loads == sorted(loads)
+        assert all(l >= 1 for l in loads)
+
+    def test_no_exceptions_over_grid(self):
+        from repro.mpc.cuckoo import max_bin_load
+
+        for n_items in (0, 1, 2, 17, 400):
+            for n_bins in (1, 2, 13, 512):
+                for sigma in (1, 40, 300):
+                    load = max_bin_load(n_items, n_bins, sigma=sigma)
+                    assert 1 <= load <= max(1, n_items * 3)

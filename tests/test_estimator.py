@@ -42,7 +42,11 @@ def run_and_estimate(owners, n1, n2, output=("b",), seed=0):
     }
     result, stats = secure_yannakakis(engine, sec, plan)
     est = estimate_plan_cost(
-        plan, {"R1": n1, "R2": n2}, owners, out_size=len(result)
+        plan,
+        {"R1": n1, "R2": n2},
+        owners,
+        out_size=len(result),
+        group_bits=TEST_GROUP_BITS,
     )
     return stats.total_bytes, est
 
