@@ -7,6 +7,7 @@
     python -m repro trace Q3 --scale 1 [--policy stages] [-o trace.json]
     python -m repro estimate Q3 --scale 10
     python -m repro fuzz --seed 0 --iterations 50
+    python -m repro lint src/
     python -m repro demo
 
 ``figures`` regenerates the paper's evaluation series; ``tpch`` runs a
@@ -15,8 +16,9 @@ single benchmark query end to end and prints results + costs;
 per-operator ExecutionTrace as JSON; ``estimate`` prints the analytic
 cost prediction without running the protocol; ``fuzz`` runs the
 differential query fuzzer and obliviousness transcript audit (see
-docs/TESTING.md); ``demo`` runs the Example 1.1 quickstart with REAL
-cryptography.
+docs/TESTING.md); ``lint`` runs the obliviousness & channel-discipline
+static analyzer (see docs/LINTING.md); ``demo`` runs the Example 1.1
+quickstart with REAL cryptography.
 """
 
 from __future__ import annotations
@@ -305,6 +307,15 @@ def main(argv=None) -> int:
         help="replay every corpus file (default: tests/corpus)",
     )
     p.set_defaults(fn=_cmd_fuzz)
+
+    p = sub.add_parser(
+        "lint",
+        help="obliviousness & channel-discipline static analysis",
+    )
+    from .lint.runner import add_lint_arguments, cmd_lint
+
+    add_lint_arguments(p)
+    p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser("demo", help="run the quickstart example")
     p.set_defaults(fn=_cmd_demo)

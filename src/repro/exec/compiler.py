@@ -9,7 +9,7 @@ tie-break) replays the legacy transcript byte-for-byte.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Any, Dict, Optional, Sequence, Type
 
 from ..yannakakis.plan import ReduceAggregate, ReduceFold, YannakakisPlan
 from .ir import (
@@ -53,7 +53,7 @@ def compile_plan(
     steps = []
     next_id = 0
 
-    def emit(cls, **kwargs):
+    def emit(cls: Type[Any], **kwargs: Any) -> Any:
         nonlocal next_id
         step = cls(id=next_id, **kwargs)
         next_id += 1
@@ -63,7 +63,7 @@ def compile_plan(
     for n in names:
         emit(ShareStep, relation=n, owner=owners[n])
 
-    def emit_semijoins():
+    def emit_semijoins() -> None:
         for s in plan.semijoin_steps:
             emit(SemijoinStep, target=s.target, filter=s.filter)
 

@@ -22,7 +22,10 @@ exactly (``reduce``, ``semijoin``, ``full_join/oblivious_join``).
 from __future__ import annotations
 
 import heapq
-from typing import Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..mpc.engine import Engine
 
 from ..mpc.context import ALICE
 from ..mpc.sharing import reveal_vector
@@ -66,10 +69,10 @@ class Scheduler:
 
     def __init__(
         self,
-        engine,
+        engine: "Engine",
         policy: Optional[str] = None,
         trace: Optional[ExecutionTrace] = None,
-    ):
+    ) -> None:
         self.engine = engine
         self.policy = policy or getattr(engine, "exec_policy", "program")
         if self.policy not in POLICIES:

@@ -15,7 +15,11 @@ import json
 import time
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..mpc.engine import Engine
+    from ..mpc.transcript import Message, Transcript
 
 __all__ = ["NodeTrace", "ExecutionTrace", "traced"]
 
@@ -38,7 +42,7 @@ class NodeTrace:
         return asdict(self)
 
 
-def _slice_rounds(messages) -> int:
+def _slice_rounds(messages: Sequence["Message"]) -> int:
     """Communication rounds within a message slice: maximal runs of a
     single sender (mirrors ``Transcript.slice_rounds``, duplicated here
     to keep this module dependency-free)."""
@@ -61,14 +65,14 @@ class ExecutionTrace:
     @contextmanager
     def node(
         self,
-        transcript,
+        transcript: "Transcript",
         *,
         id: int,
         kind: str,
         label: str,
         section: Optional[str] = None,
         stage: int = -1,
-    ):
+    ) -> Iterator[None]:
         """Measure one node: wall time plus the transcript delta
         (bytes, messages, rounds) produced while the block runs."""
         start_msgs = len(transcript.messages)
@@ -122,12 +126,12 @@ class ExecutionTrace:
 
 @contextmanager
 def traced(
-    engine,
+    engine: "Engine",
     kind: str,
     label: str,
     section: Optional[str] = None,
     stage: int = -1,
-):
+) -> Iterator[None]:
     """Record a block against ``engine.tracer`` when one is attached;
     otherwise a no-op.  Lets operator code outside the scheduler (e.g.
     composition circuits) contribute trace nodes."""

@@ -84,6 +84,9 @@ class FuzzFailure:
     policy: Optional[str] = None
     mode: str = "simulated"
     instance: Optional[QueryInstance] = None
+    #: Exception class name for ``kind == "crash"`` (persisted in the
+    #: failure file so crash classes can be triaged without replaying).
+    exc_type: Optional[str] = None
 
     def replay_hint(self) -> str:
         master, index = self.seed
@@ -200,12 +203,14 @@ def run_differential(
     )
     try:
         plan = _plan_for(instance)
+    except (KeyboardInterrupt, SystemExit):
+        raise
     except Exception as exc:  # pragma: no cover - generator guarantees
         return [
             FuzzFailure(
                 "crash", instance.seed,
                 f"planner failed: {exc!r}", mode=mode.value,
-                instance=instance,
+                instance=instance, exc_type=type(exc).__name__,
             )
         ]
     plain = execute_plan(plan, instance.relations).nonzero()
@@ -223,12 +228,15 @@ def run_differential(
             result, _ = _run_secure(
                 instance, plan, mode, policy, fault=fault
             )
+        except (KeyboardInterrupt, SystemExit):
+            raise
         except Exception as exc:
             failures.append(
                 FuzzFailure(
                     "crash", instance.seed,
                     f"secure run raised {exc!r}",
                     policy=policy, mode=mode.value, instance=instance,
+                    exc_type=type(exc).__name__,
                 )
             )
             continue
@@ -434,7 +442,11 @@ def minimize_instance(
                         rel = candidate_rel
                         shrunk = True
                         continue
+                except (KeyboardInterrupt, SystemExit):
+                    raise
                 except Exception:
+                    # The check itself crashed on the candidate — a
+                    # crash still reproduces the failure, so keep it.
                     current = candidate
                     rel = candidate_rel
                     shrunk = True
@@ -455,6 +467,7 @@ def save_failure(failure: FuzzFailure, directory: str) -> Path:
             "detail": failure.detail,
             "policy": failure.policy,
             "mode": failure.mode,
+            "exc_type": failure.exc_type,
             "replay": failure.replay_hint(),
         },
     }

@@ -1,0 +1,42 @@
+"""``repro lint`` — obliviousness & channel-discipline static analysis.
+
+An AST-based framework with repo-specific rules enforcing, at author
+time, the structural invariants the transcript auditor (PR 2) checks
+dynamically:
+
+* **OBL001 secret-taint** — no secret-dependent control flow, indexing,
+  or early returns in protocol modules.
+* **OBL002 channel-discipline** — every cross-party byte flow goes
+  through labelled ``Context.send``/``Transcript.send``, with an
+  untainted byte count (no length leakage).
+* **OBL003 randomness-discipline** — protocol randomness comes from the
+  context RNG, never global ``random``/``np.random``/OS entropy.
+* **OBL004 label-determinism** — no wall-clock, set-order, or ``id()``
+  values in transcript labels or trace fingerprints.
+* **OBL005 mode-parity** — REAL and SIMULATED back-ends emit the same
+  transcript label literals.
+
+See docs/LINTING.md for the rule catalogue, the suppression policy
+(``# oblint: disable=RULE — reason``), and the baseline workflow.
+"""
+
+from .registry import Rule, all_rules, register
+from .runner import discover_files, lint_sources, run_lint
+from .suppress import parse_directives
+from .taint import NONDET_CONFIG, SECRET_CONFIG, FunctionTaint
+from .violations import LintResult, Violation
+
+__all__ = [
+    "Rule",
+    "register",
+    "all_rules",
+    "run_lint",
+    "lint_sources",
+    "discover_files",
+    "parse_directives",
+    "FunctionTaint",
+    "SECRET_CONFIG",
+    "NONDET_CONFIG",
+    "Violation",
+    "LintResult",
+]

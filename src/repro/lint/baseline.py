@@ -1,0 +1,79 @@
+"""Committed-baseline support.
+
+The baseline file records fingerprints of *known, grandfathered*
+violations so ``repro lint`` can gate on "no NEW violations" while the
+backlog is worked off.  Entries are counted: if the tree grows a second
+occurrence of a baselined finding, the new one still fails the run.
+
+The file is plain JSON, sorted, and meant to be committed; regenerate
+with ``repro lint --write-baseline`` (and justify the entries in the
+accompanying PR — see docs/LINTING.md for the policy).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from .violations import Violation
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: Path) -> Counter:
+    """Fingerprint -> allowed occurrence count.  Missing file = empty."""
+    if not path.exists():
+        return Counter()
+    blob = json.loads(path.read_text())
+    counts: Counter = Counter()
+    for entry in blob.get("entries", []):
+        counts[entry["fingerprint"]] += int(entry.get("count", 1))
+    return counts
+
+
+def write_baseline(path: Path, violations: Sequence[Violation]) -> None:
+    """Serialise the given violations as the new baseline."""
+    grouped: Dict[str, dict] = {}
+    for v in violations:
+        fp = v.fingerprint()
+        if fp in grouped:
+            grouped[fp]["count"] += 1
+        else:
+            grouped[fp] = {
+                "fingerprint": fp,
+                "rule": v.rule,
+                "path": v.path,
+                "snippet": v.snippet,
+                "count": 1,
+            }
+    blob = {
+        "version": BASELINE_VERSION,
+        "entries": sorted(
+            grouped.values(),
+            key=lambda e: (e["path"], e["rule"], e["fingerprint"]),
+        ),
+    }
+    path.write_text(json.dumps(blob, indent=2) + "\n")
+
+
+def apply_baseline(
+    violations: Sequence[Violation], counts: Counter
+) -> Tuple[List[Violation], int]:
+    """Split findings into (new, n_baselined).
+
+    Occurrences are consumed in file order: the first ``count`` matches
+    of a fingerprint are baselined, any excess is new.
+    """
+    remaining = Counter(counts)
+    fresh: List[Violation] = []
+    matched = 0
+    for v in violations:
+        fp = v.fingerprint()
+        if remaining.get(fp, 0) > 0:
+            remaining[fp] -= 1
+            matched += 1
+        else:
+            fresh.append(v)
+    return fresh, matched

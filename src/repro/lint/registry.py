@@ -1,0 +1,58 @@
+"""Rule registry.
+
+A rule is a class with ``code``/``name``/``description`` and a
+``check_file(src, project)`` generator of :class:`Violation`.  Register
+with the :func:`register` decorator; the runner instantiates every
+registered rule once per run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Type
+
+from .project import Project, SourceFile
+from .violations import Violation
+
+
+class Rule:
+    """Base class for lint rules."""
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check_file(
+        self, src: SourceFile, project: Project
+    ) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def make(
+        self, src: SourceFile, line: int, col: int, message: str
+    ) -> Violation:
+        return Violation(
+            rule=self.code,
+            path=src.path,
+            line=line,
+            col=col,
+            message=message,
+            snippet=src.snippet(line),
+        )
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    if not cls.code:
+        raise ValueError(f"rule {cls.__name__} has no code")
+    if cls.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    _REGISTRY[cls.code] = cls
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, in code order."""
+    from . import rules  # noqa: F401  — importing registers the rules
+
+    return [_REGISTRY[code]() for code in sorted(_REGISTRY)]

@@ -1,0 +1,46 @@
+"""Text and JSON reporters for lint results."""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from .registry import Rule
+from .violations import LintResult
+
+
+def text_report(result: LintResult, rules: List[Rule]) -> str:
+    lines = [v.format() for v in result.violations]
+    by_rule: dict = {}
+    for v in result.violations:
+        by_rule[v.rule] = by_rule.get(v.rule, 0) + 1
+    summary = (
+        f"{len(result.violations)} violation"
+        f"{'s' if len(result.violations) != 1 else ''} "
+        f"({result.files_checked} files, "
+        f"{result.suppressed} suppressed, "
+        f"{result.baselined} baselined)"
+    )
+    if by_rule:
+        summary += "  [" + ", ".join(
+            f"{code}: {n}" for code, n in sorted(by_rule.items())
+        ) + "]"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def json_report(result: LintResult, rules: List[Rule]) -> str:
+    return json.dumps(
+        {
+            "ok": result.ok,
+            "files_checked": result.files_checked,
+            "suppressed": result.suppressed,
+            "baselined": result.baselined,
+            "violations": [v.to_json() for v in result.violations],
+            "rules": {
+                r.code: {"name": r.name, "description": r.description}
+                for r in rules
+            },
+        },
+        indent=2,
+    )

@@ -1,0 +1,3 @@
+"""Rule implementations — importing this package registers them all."""
+
+from . import determinism, parity, randomness, taint_rules  # noqa: F401

@@ -1,0 +1,241 @@
+"""Lint orchestration: file discovery, rule dispatch, suppressions,
+baseline, and the ``repro lint`` CLI entry point.
+
+The run pipeline is::
+
+    discover .py files -> parse (AST + directives) -> run every rule
+    -> drop violations with a justified inline suppression
+       (an UNjustified suppression becomes an OBL000 finding)
+    -> subtract the committed baseline
+    -> report; exit 1 on any remaining finding
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .baseline import apply_baseline, load_baseline, write_baseline
+from .project import Project, SourceFile, parse_source
+from .registry import all_rules
+from .reporters import json_report, text_report
+from .violations import LintResult, Violation
+
+DEFAULT_BASELINE = "lint-baseline.json"
+
+#: Directory names never descended into.
+_SKIP_DIRS = {
+    ".git",
+    "__pycache__",
+    ".mypy_cache",
+    ".pytest_cache",
+    "build",
+    "dist",
+}
+
+
+def discover_files(paths: Sequence[str]) -> List[Path]:
+    out: List[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            out.extend(
+                f
+                for f in sorted(p.rglob("*.py"))
+                if not _SKIP_DIRS & set(part for part in f.parts)
+            )
+        elif p.suffix == ".py":
+            out.append(p)
+    return out
+
+
+def load_sources(
+    files: Iterable[Path], root: Optional[Path] = None
+) -> Tuple[List[SourceFile], List[Violation]]:
+    """Parse every file; unparseable files become OBL000 findings."""
+    root = root or Path.cwd()
+    sources: List[SourceFile] = []
+    errors: List[Violation] = []
+    for f in files:
+        try:
+            rel = f.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            rel = f.as_posix()
+        try:
+            text = f.read_text(encoding="utf-8")
+            sources.append(parse_source(rel, text))
+        except (OSError, SyntaxError, UnicodeDecodeError) as exc:
+            errors.append(
+                Violation(
+                    rule="OBL000",
+                    path=rel,
+                    line=getattr(exc, "lineno", None) or 1,
+                    col=0,
+                    message=f"cannot analyse file: {exc}",
+                    snippet="",
+                )
+            )
+    return sources, errors
+
+
+def lint_sources(
+    sources: List[SourceFile],
+    extra_violations: Sequence[Violation] = (),
+    select: Optional[Sequence[str]] = None,
+) -> Tuple[List[Violation], int]:
+    """Run every (selected) rule; returns (violations, n_suppressed).
+
+    Inline ``# oblint: disable`` directives are honoured here; a
+    suppression without a justification is converted into an OBL000
+    finding so silencing a rule always costs an explicit reason.
+    """
+    project = Project(sources)
+    rules = all_rules()
+    if select:
+        wanted = set(select)
+        rules = [r for r in rules if r.code in wanted]
+    raw: List[Violation] = list(extra_violations)
+    for src in sources:
+        for rule in rules:
+            raw.extend(rule.check_file(src, project))
+
+    kept: List[Violation] = []
+    suppressed = 0
+    flagged_missing_reason = set()
+    by_path = {s.path: s for s in sources}
+    for v in sorted(raw, key=lambda v: (v.path, v.line, v.rule)):
+        src = by_path.get(v.path)
+        if src is not None and src.directives.suppresses(v.line, v.rule):
+            if src.directives.reason_for(v.line):
+                suppressed += 1
+                continue
+            key = (v.path, v.line)
+            if key not in flagged_missing_reason:
+                flagged_missing_reason.add(key)
+                kept.append(
+                    Violation(
+                        rule="OBL000",
+                        path=v.path,
+                        line=v.line,
+                        col=v.col,
+                        message=(
+                            "suppression without a justification "
+                            "(write '# oblint: disable=RULE — why')"
+                        ),
+                        snippet=src.snippet(v.line),
+                    )
+                )
+            continue
+        kept.append(v)
+    return kept, suppressed
+
+
+def run_lint(
+    paths: Sequence[str],
+    baseline_path: Optional[Path] = None,
+    update_baseline: bool = False,
+    select: Optional[Sequence[str]] = None,
+    root: Optional[Path] = None,
+) -> LintResult:
+    """The full pipeline over ``paths``; see module docstring."""
+    files = discover_files(paths)
+    sources, parse_errors = load_sources(files, root=root)
+    violations, suppressed = lint_sources(
+        sources, extra_violations=parse_errors, select=select
+    )
+    result = LintResult(
+        suppressed=suppressed, files_checked=len(sources)
+    )
+    if update_baseline and baseline_path is not None:
+        write_baseline(baseline_path, violations)
+        result.baselined = len(violations)
+        return result
+    if baseline_path is not None:
+        fresh, matched = apply_baseline(
+            violations, load_baseline(baseline_path)
+        )
+        result.violations = fresh
+        result.baselined = matched
+    else:
+        result.violations = violations
+    return result
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+def add_lint_arguments(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    p.add_argument(
+        "--format", choices=["text", "json"], default="text",
+    )
+    p.add_argument(
+        "--baseline", default=DEFAULT_BASELINE, metavar="FILE",
+        help="committed baseline of grandfathered findings",
+    )
+    p.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline (report every finding)",
+    )
+    p.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline from the current findings",
+    )
+    p.add_argument(
+        "--select", default=None, metavar="RULES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    p.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+
+def cmd_lint(args) -> int:
+    rules = all_rules()
+    if args.list_rules:
+        for r in rules:
+            print(f"{r.code} [{r.name}] {r.description}")
+        return 0
+    baseline = None if args.no_baseline else Path(args.baseline)
+    select = (
+        [s.strip() for s in args.select.split(",") if s.strip()]
+        if args.select
+        else None
+    )
+    result = run_lint(
+        args.paths,
+        baseline_path=baseline,
+        update_baseline=args.write_baseline,
+        select=select,
+    )
+    if args.write_baseline:
+        print(
+            f"baseline written to {args.baseline} "
+            f"({result.baselined} entries)"
+        )
+        return 0
+    if args.format == "json":
+        print(json_report(result, rules))
+    else:
+        print(text_report(result, rules))
+    return 0 if result.ok else 1
+
+
+def main(argv=None) -> int:  # pragma: no cover - thin wrapper
+    parser = argparse.ArgumentParser(
+        prog="repro lint", description=__doc__
+    )
+    add_lint_arguments(parser)
+    return cmd_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

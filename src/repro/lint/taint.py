@@ -1,0 +1,390 @@
+"""Intra-procedural taint propagation over the AST.
+
+One engine serves two rule families with different seeds:
+
+* OBL001/OBL002 seed from *secret* sources (share arrays, OT outputs,
+  ``# oblint: secret`` markers) and ask "does a secret reach a branch,
+  an index, or a metered byte count?".
+* OBL004 seeds from *nondeterminism* sources (wall clock, ``id()``,
+  set-iteration order) and asks "does nondeterminism reach a transcript
+  label?".
+
+The analysis is a flow-insensitive fixpoint over local variable names —
+deliberately conservative and simple (a name tainted anywhere in the
+function stays tainted) with three escape hatches that keep the false-
+positive rate workable: shape-reading attributes (``.shape``,
+``.nbytes``) are clean, declassifier calls (``reveal*``, designated
+reveals) are clean, and ``# oblint: public`` clears the assigned names.
+
+Code dominated by an ``if ctx.mode == Mode.SIMULATED:`` test is exempt
+from *control-flow* sinks: the simulated back-end legitimately computes
+the functionality on cleartext while the transcript is charged from
+public shapes only (see DESIGN.md, "Execution modes").
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Set, Tuple
+
+from .project import SourceFile, call_name
+
+__all__ = [
+    "TaintConfig",
+    "FunctionTaint",
+    "SECRET_CONFIG",
+    "NONDET_CONFIG",
+    "dotted_name",
+    "mode_branch_kind",
+    "simulated_exempt_ranges",
+]
+
+
+def dotted_name(expr: ast.expr) -> Optional[str]:
+    """``a.b.c`` for an attribute chain rooted at a Name, else None."""
+    parts: List[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@dataclass(frozen=True)
+class TaintConfig:
+    """What seeds, propagates, and clears taint."""
+
+    #: bare call names producing tainted values
+    source_calls: FrozenSet[str] = frozenset()
+    #: dotted call names (``time.time``) producing tainted values
+    source_dotted: FrozenSet[str] = frozenset()
+    #: attribute loads that ARE the secret (``x.alice`` share arrays)
+    source_attrs: FrozenSet[str] = frozenset()
+    #: calls whose result is clean even on tainted input
+    declassifier_calls: FrozenSet[str] = frozenset()
+    #: attribute reads that expose only public shape
+    shape_attrs: FrozenSet[str] = frozenset(
+        {"shape", "size", "nbytes", "ndim", "dtype"}
+    )
+    #: honour ``# oblint: secret`` / ``public`` / ``secret-params``
+    use_markers: bool = False
+    #: iterating a set literal / ``set()`` taints the loop target
+    set_iteration_is_source: bool = False
+
+
+#: Seeds for the obliviousness rules: secret-shared payloads, OT
+#: outputs, and explicit annotations.  ``reconstruct`` is a source (the
+#: cleartext of shared data); the ``reveal*`` family and the decoded
+#: outputs of a garbled batch are *designated reveals* — public by
+#: protocol design — hence declassifiers.
+SECRET_CONFIG = TaintConfig(
+    source_calls=frozenset(
+        {
+            "to_shared",
+            "reconstruct",
+            "transfer",
+            "transfer_matrix",
+            "transfer_segments",
+        }
+    ),
+    source_attrs=frozenset({"alice", "bob"}),
+    declassifier_calls=frozenset(
+        {
+            "len",
+            "reveal",
+            "reveal_vector",
+            "reveal_nonzero_flags",
+            "divide_reveal",
+            "run_garbled_batch",
+        }
+    ),
+    use_markers=True,
+)
+
+#: Seeds for the determinism rule: wall-clock, object identity, OS
+#: entropy, and hash/set-iteration order.  ``sorted`` restores a
+#: deterministic order, so it declassifies.
+NONDET_CONFIG = TaintConfig(
+    source_calls=frozenset({"id", "hash", "urandom", "getpid"}),
+    source_dotted=frozenset(
+        {
+            "time.time",
+            "time.time_ns",
+            "time.monotonic",
+            "time.monotonic_ns",
+            "time.perf_counter",
+            "time.perf_counter_ns",
+            "datetime.now",
+            "datetime.utcnow",
+            "datetime.today",
+            "datetime.datetime.now",
+            "datetime.datetime.utcnow",
+            "os.urandom",
+            "os.getpid",
+            "uuid.uuid1",
+            "uuid.uuid4",
+        }
+    ),
+    declassifier_calls=frozenset({"sorted", "len", "min", "max", "sum"}),
+    set_iteration_is_source=True,
+)
+
+
+def mode_branch_kind(test: ast.expr) -> Optional[str]:
+    """``"simulated"`` / ``"real"`` when ``test`` compares an execution
+    mode against ``Mode.SIMULATED`` / ``Mode.REAL`` with ``==``."""
+    if not (
+        isinstance(test, ast.Compare)
+        and len(test.ops) == 1
+        and isinstance(test.ops[0], ast.Eq)
+    ):
+        return None
+    for side in (test.left, test.comparators[0]):
+        name = dotted_name(side)
+        if name is not None and name.startswith("Mode."):
+            kind = name.split(".", 1)[1].lower()
+            if kind in ("simulated", "real"):
+                return kind
+    return None
+
+
+def simulated_exempt_ranges(fn: ast.AST) -> List[Tuple[int, int]]:
+    """Line ranges dominated by a SIMULATED-mode test (functionality
+    simulation on cleartext — exempt from control-flow sinks)."""
+    ranges: List[Tuple[int, int]] = []
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.If):
+            continue
+        kind = mode_branch_kind(node.test)
+        stmts: List[ast.stmt] = []
+        if kind == "simulated":
+            stmts = node.body
+        elif kind == "real":
+            stmts = node.orelse
+        if stmts:
+            ranges.append(
+                (stmts[0].lineno, max(s.end_lineno or s.lineno for s in stmts))
+            )
+    return ranges
+
+
+def _is_set_expr(expr: ast.expr) -> bool:
+    if isinstance(expr, ast.Set) or isinstance(expr, ast.SetComp):
+        return True
+    if isinstance(expr, ast.Call):
+        return call_name(expr) in ("set", "frozenset")
+    return False
+
+
+@dataclass
+class FunctionTaint:
+    """Taint facts for one function definition."""
+
+    fn: ast.AST
+    src: SourceFile
+    config: TaintConfig
+    tainted: Set[str] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        self._seed_params()
+        self._fixpoint()
+
+    # -- seeding --------------------------------------------------------
+
+    def _seed_params(self) -> None:
+        if not self.config.use_markers:
+            return
+        lo = self.fn.lineno
+        hi = self.fn.end_lineno or lo
+        for line, names in self.src.directives.secret_params.items():
+            if lo <= line <= hi:
+                self.tainted.update(names)
+
+    # -- propagation ----------------------------------------------------
+
+    def _fixpoint(self) -> None:
+        for _ in range(10):
+            before = len(self.tainted)
+            for stmt in self._statements():
+                self._transfer(stmt)
+            if len(self.tainted) == before:
+                break
+
+    def _statements(self):
+        stack: List[ast.AST] = list(
+            ast.iter_child_nodes(self.fn)
+        )
+        while stack:
+            node = stack.pop()
+            if isinstance(
+                node,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            ):
+                continue
+            if isinstance(node, ast.stmt):
+                yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _transfer(self, stmt: ast.stmt) -> None:
+        cfg = self.config
+        markers = cfg.use_markers
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (
+                stmt.targets
+                if isinstance(stmt, ast.Assign)
+                else [stmt.target]
+            )
+            names = set()
+            for t in targets:
+                names |= _target_names(t)
+            if markers and stmt.lineno in self.src.directives.public_lines:
+                self.tainted -= names
+                return
+            value = getattr(stmt, "value", None)
+            seeded = (
+                markers
+                and stmt.lineno in self.src.directives.secret_lines
+            )
+            if seeded or (value is not None and self.is_tainted(value)):
+                self.tainted |= names
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            if self.is_tainted(stmt.iter) or (
+                cfg.set_iteration_is_source and _is_set_expr(stmt.iter)
+            ):
+                self.tainted |= _target_names(stmt.target)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if item.optional_vars is not None and self.is_tainted(
+                    item.context_expr
+                ):
+                    self.tainted |= _target_names(item.optional_vars)
+
+    # -- expression taint ----------------------------------------------
+
+    def is_tainted(self, expr: ast.expr) -> bool:
+        cfg = self.config
+        if isinstance(expr, ast.Name):
+            return expr.id in self.tainted
+        if isinstance(expr, ast.Attribute):
+            if expr.attr in cfg.shape_attrs:
+                return False
+            if expr.attr in cfg.source_attrs:
+                return True
+            return self.is_tainted(expr.value)
+        if isinstance(expr, ast.Call):
+            name = call_name(expr)
+            dotted = dotted_name(expr.func)
+            if name in cfg.declassifier_calls:
+                return False
+            if name in cfg.source_calls or (
+                dotted is not None and dotted in cfg.source_dotted
+            ):
+                return True
+            if any(self.is_tainted(a) for a in expr.args):
+                return True
+            if any(
+                self.is_tainted(k.value) for k in expr.keywords
+            ):
+                return True
+            if isinstance(expr.func, ast.Attribute):
+                return self.is_tainted(expr.func.value)
+            return False
+        if isinstance(expr, ast.Subscript):
+            return self.is_tainted(expr.value) or self.is_tainted(
+                expr.slice
+            )
+        if isinstance(expr, ast.BinOp):
+            return self.is_tainted(expr.left) or self.is_tainted(
+                expr.right
+            )
+        if isinstance(expr, ast.BoolOp):
+            return any(self.is_tainted(v) for v in expr.values)
+        if isinstance(expr, ast.UnaryOp):
+            return self.is_tainted(expr.operand)
+        if isinstance(expr, ast.Compare):
+            return self.is_tainted(expr.left) or any(
+                self.is_tainted(c) for c in expr.comparators
+            )
+        if isinstance(expr, ast.IfExp):
+            return (
+                self.is_tainted(expr.test)
+                or self.is_tainted(expr.body)
+                or self.is_tainted(expr.orelse)
+            )
+        if isinstance(expr, ast.JoinedStr):
+            return any(self.is_tainted(v) for v in expr.values)
+        if isinstance(expr, ast.FormattedValue):
+            return self.is_tainted(expr.value)
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            return any(self.is_tainted(e) for e in expr.elts)
+        if isinstance(expr, ast.Dict):
+            return any(
+                self.is_tainted(v)
+                for v in list(expr.values)
+                + [k for k in expr.keys if k is not None]
+            )
+        if isinstance(expr, ast.Starred):
+            return self.is_tainted(expr.value)
+        if isinstance(expr, ast.NamedExpr):
+            return self.is_tainted(expr.value)
+        if isinstance(expr, ast.Slice):
+            return any(
+                p is not None and self.is_tainted(p)
+                for p in (expr.lower, expr.upper, expr.step)
+            )
+        if isinstance(
+            expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp)
+        ):
+            return self._comprehension_tainted(
+                [expr.elt], expr.generators
+            )
+        if isinstance(expr, ast.DictComp):
+            return self._comprehension_tainted(
+                [expr.key, expr.value], expr.generators
+            )
+        return False
+
+    def _comprehension_tainted(self, elts, generators) -> bool:
+        added: Set[str] = set()
+        try:
+            for gen in generators:
+                if self.is_tainted(gen.iter) or (
+                    self.config.set_iteration_is_source
+                    and _is_set_expr(gen.iter)
+                ):
+                    fresh = _target_names(gen.target) - self.tainted
+                    self.tainted |= fresh
+                    added |= fresh
+                if any(self.is_tainted(i) for i in gen.ifs):
+                    return True
+            return any(self.is_tainted(e) for e in elts)
+        finally:
+            self.tainted -= added
+
+
+def _target_names(target: ast.expr) -> Set[str]:
+    """Names bound (or mutated through) by an assignment target.
+
+    Only the *container* is tainted, never the coordinates used to
+    address into it: ``recv[j] = secret`` taints ``recv``, not ``j``.
+    """
+    out: Set[str] = set()
+    if isinstance(target, ast.Name):
+        out.add(target.id)
+    elif isinstance(target, (ast.Attribute, ast.Subscript)):
+        # ``x.attr = tainted`` / ``x[i] = tainted`` taints ``x``.
+        base = target.value
+        while isinstance(base, (ast.Attribute, ast.Subscript)):
+            base = base.value
+        if isinstance(base, ast.Name):
+            out.add(base.id)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            out |= _target_names(elt)
+    elif isinstance(target, ast.Starred):
+        out |= _target_names(target.value)
+    return out

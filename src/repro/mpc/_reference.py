@@ -23,9 +23,10 @@ from typing import List, Sequence
 import numpy as np
 
 from .context import ALICE, BOB, Context
+from .circuits.circuit import Circuit
 from .circuits.garbling import LABEL_BYTES, evaluate_garbled, garble
 from .modp import modp_group
-from .ot import ChouOrlandiOT, IknpExtension, Pair, _int_bytes, _kdf
+from .ot import OT, ChouOrlandiOT, IknpExtension, Pair, _int_bytes, _kdf
 from .sharing import SharedVector
 
 __all__ = [
@@ -174,7 +175,7 @@ class ReferenceIknpExtension(IknpExtension):
 
 
 def gilboa_cross(
-    ctx: Context, ot, u: np.ndarray, v: np.ndarray
+    ctx: Context, ot: OT, u: np.ndarray, v: np.ndarray
 ) -> SharedVector:
     """The legacy scalar staging of ``Engine._gilboa_cross`` (REAL mode,
     Alice-holds-bits orientation), with the ``(ell+7)//8`` width fix:
@@ -207,8 +208,8 @@ def gilboa_cross(
 
 def run_garbled_batch(
     ctx: Context,
-    ot,
-    circuit,
+    ot: OT,
+    circuit: Circuit,
     alice_bits_list: Sequence[Sequence[int]],
     bob_bits_list: Sequence[Sequence[int]],
 ) -> List[List[int]]:

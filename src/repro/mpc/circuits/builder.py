@@ -31,7 +31,7 @@ Word = List[int]
 class CircuitBuilder:
     """Incrementally builds a :class:`Circuit`."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._n_wires = 0
         self._gates: List[Gate] = []
         self._alice: List[int] = []
@@ -133,7 +133,8 @@ class CircuitBuilder:
                 hi = acc[i:]
                 summed = self.add(hi, masked)
                 acc = acc[:i] + summed
-        assert acc is not None
+        if acc is None:
+            raise ValueError("mul requires non-empty operand words")
         return acc
 
     def eq(self, xs: Word, ys: Word) -> Wire:

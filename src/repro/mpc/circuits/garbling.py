@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Tuple
 
 import numpy as np
 
@@ -87,7 +87,9 @@ class GarblingResult:
         return [self.zero_labels[w] & 1 for w in self.circuit.outputs]
 
 
-def garble(circuit: Circuit, rand_bytes) -> GarblingResult:
+def garble(
+    circuit: Circuit, rand_bytes: Callable[[int], bytes]
+) -> GarblingResult:
     """Garble ``circuit``.  ``rand_bytes(n)`` supplies randomness (kept
     as a parameter so tests can be deterministic)."""
 
@@ -255,7 +257,7 @@ def _hash_rows(labels: np.ndarray, index_bytes: np.ndarray) -> np.ndarray:
 
 
 def garble_batch(
-    plan: GarblePlan, n: int, rand_bytes
+    plan: GarblePlan, n: int, rand_bytes: Callable[[int], bytes]
 ) -> BatchGarbling:
     """Garble ``n`` instances of the plan's template at once; instance
     ``k``'s garbling is an independent sample of :func:`garble`."""

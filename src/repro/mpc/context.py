@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import enum
 from contextlib import contextmanager
-from typing import Optional
+from typing import ContextManager, Iterator, Optional
 
 import numpy as np
 
@@ -45,7 +45,7 @@ class Context:
         mode: Mode = Mode.SIMULATED,
         params: SecurityParams = DEFAULT_PARAMS,
         seed: Optional[int] = None,
-    ):
+    ) -> None:
         self.mode = mode
         self.params = params
         self.transcript = Transcript()
@@ -77,11 +77,11 @@ class Context:
             sender = other_party(sender)
         self.transcript.send(sender, n_bytes, label)
 
-    def section(self, label: str):
+    def section(self, label: str) -> ContextManager[None]:
         return self.transcript.section(label)
 
     @contextmanager
-    def swapped_roles(self):
+    def swapped_roles(self) -> Iterator[None]:
         """Mirror the protocol roles: inside this block, code written for
         "Alice evaluates / Bob garbles" runs with the physical parties
         exchanged.  Operators use this so that the relation *owner* always

@@ -134,7 +134,7 @@ class CuckooTable:
         seed: int = 0,
         max_relocations: int = 500,
         max_rehashes: int = 32,
-    ):
+    ) -> None:
         unique = list(items)
         if len(set(unique)) != len(unique):
             raise ValueError("cuckoo hashing requires distinct items")
@@ -154,7 +154,9 @@ class CuckooTable:
             f"({len(unique)} items, {self.n_bins} bins)"
         )
 
-    def _try_build(self, rng, max_relocations: int) -> bool:
+    def _try_build(
+        self, rng: np.random.Generator, max_relocations: int
+    ) -> bool:
         #: bins[i] = item index or -1
         bins = np.full(self.n_bins, -1, dtype=np.int64)
         for idx in range(len(self.items)):

@@ -16,7 +16,11 @@ Yao-to-arithmetic conversion described in Section 5.2.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..exec.trace import ExecutionTrace
+    from .circuits.circuit import Circuit
 
 import numpy as np
 
@@ -39,9 +43,9 @@ class Engine:
         self,
         ctx: Context,
         ot_group_bits: int = 2048,
-        tracer=None,
+        tracer: Optional["ExecutionTrace"] = None,
         exec_policy: str = "program",
-    ):
+    ) -> None:
         self.ctx = ctx
         self.ot = make_ot(ctx, ot_group_bits)
         # A second extension instance for OTs in the reverse direction
@@ -56,13 +60,18 @@ class Engine:
         #: "stages" batches independent DAG nodes stage by stage).
         self.exec_policy = exec_policy
 
-    def _gadget(self, builder, *shape):
+    def _gadget(
+        self, builder: Callable[..., "Circuit"], *shape: int
+    ) -> "Circuit":
         """Fetch a circuit template through the run-scoped cache."""
         return self.ctx.cache.circuit(builder, *shape)
 
     # -- sharing ----------------------------------------------------------
 
-    def share(self, owner: str, values, label: str = "share") -> SharedVector:
+    def share(
+        self, owner: str, values: Sequence[int] | np.ndarray,
+        label: str = "share",
+    ) -> SharedVector:
         return share_vector(self.ctx, owner, values, label)
 
     def reveal(self, sv: SharedVector, to: str = ALICE,
@@ -169,7 +178,7 @@ class Engine:
             semantics=lambda: (x.reconstruct() * y.reconstruct()),
         )
 
-    def mul_alice_plain(self, plain, y: SharedVector,
+    def mul_alice_plain(self, plain: Sequence[int] | np.ndarray, y: SharedVector,
                         label: str = "mul_plain") -> SharedVector:
         """``z_i = a_i * y_i`` where Alice knows ``a`` in the clear:
         ``a*y1`` is local to Alice, ``a*y2`` is one Gilboa batch."""
@@ -309,7 +318,7 @@ class Engine:
     def reveal_nonzero_flags(
         self, v: SharedVector, payload_bits_list: Optional[List[List[int]]] = None,
         label: str = "reveal_nonzero",
-    ):
+    ) -> Tuple[np.ndarray, Optional[List[List[int]]]]:
         """Section 6.3 step 1: for each shared annotation, reveal to Alice
         whether it is nonzero, and — when ``payload_bits_list`` carries
         Bob's encoded tuples — the tuple payload for nonzero entries.
@@ -397,7 +406,9 @@ class Engine:
 
     # -- internals -----------------------------------------------------------
 
-    def _charge_chain(self, make_circuit, n: int) -> None:
+    def _charge_chain(
+        self, make_circuit: Callable[[int], "Circuit"], n: int
+    ) -> None:
         """Charge a length-``n`` merge chain exactly: the chain circuit is
         structurally linear in ``n``, so its gate/input counts extrapolate
         exactly from the n=2 and n=3 template builds."""
@@ -453,12 +464,12 @@ class Engine:
 
     def _run_masked(
         self,
-        circuit,
+        circuit: "Circuit",
         label: str,
         n: int,
         alice_words: Sequence[np.ndarray],
         bob_words: Sequence[np.ndarray],
-        semantics,
+        semantics: Callable[[], np.ndarray],
     ) -> SharedVector:
         """Run one masked-output circuit per element: Bob's inputs are his
         words plus a fresh mask ``r``; Alice's share is the output."""

@@ -14,8 +14,9 @@ per bit-length.
 from __future__ import annotations
 
 import functools
-import random
+import random  # oblint: disable=OBL003 — only used with a fixed seed in _is_probable_prime, a public-parameter sanity check; no protocol randomness is drawn here
 from dataclasses import dataclass
+from typing import Callable
 
 try:  # OpenSSL-backed modular exponentiation (~10x CPython's pow).
     from cryptography.hazmat.primitives.asymmetric import dh as _dh
@@ -104,7 +105,9 @@ class ModpGroup:
     def inv(self, x: int) -> int:
         return self.pow(x % self.p, self.p - 2)
 
-    def random_exponent(self, random_bytes) -> int:
+    def random_exponent(
+        self, random_bytes: Callable[[int], bytes]
+    ) -> int:
         """Uniform secret exponent in ``[1, q)`` by rejection sampling.
 
         ``random_bytes(n)`` supplies the randomness (the protocol
@@ -138,7 +141,7 @@ def _openssl_pow(base: int, exp: int, p: int) -> int:
 
 
 @functools.lru_cache(maxsize=8)
-def _dh_param_numbers(p: int):
+def _dh_param_numbers(p: int) -> "_dh.DHParameterNumbers":
     return _dh.DHParameterNumbers(p, 2)
 
 

@@ -31,6 +31,7 @@ import numpy as np
 
 from .batch import le_bytes_to_words, words_to_le_bytes
 from .context import Context, Mode
+from .ot import OT
 from .sharing import SharedVector
 from .waksman import pad_permutation, switch_count
 from .yao import charge_ot
@@ -43,7 +44,7 @@ def _ring_bytes(ctx: Context) -> int:
 
 
 def oblivious_permutation(
-    ctx: Context, ot, perm: Sequence[int], values: SharedVector,
+    ctx: Context, ot: OT, perm: Sequence[int], values: SharedVector,
     label: str = "oep/perm",
 ) -> SharedVector:
     """Permute a shared vector by Alice's private bijection:
@@ -58,7 +59,13 @@ def oblivious_permutation(
             inv[np.asarray(perm, dtype=np.int64)] = np.arange(n)
             out_plain = values.reconstruct()[inv]
             n_switches = switch_count(n)
-            charge_ot(ctx, ot, n_switches, 2 * 2 * _ring_bytes(ctx) * n_switches)
+            # Same section as the REAL path's transfer_segments call, so
+            # both modes spell the labels ``<label>/switches/ot/...``.
+            with ctx.section("switches"):
+                charge_ot(
+                    ctx, ot, n_switches,
+                    2 * 2 * _ring_bytes(ctx) * n_switches,
+                )
             return _fresh_shares(ctx, out_plain)
         layers = ctx.cache.benes_network(pad_permutation(perm))
         padded = values.concat(
@@ -70,7 +77,7 @@ def oblivious_permutation(
 
 
 def oblivious_extended_permutation(
-    ctx: Context, ot, xi: Sequence[int], values: SharedVector, n_out: int,
+    ctx: Context, ot: OT, xi: Sequence[int], values: SharedVector, n_out: int,
     label: str = "oep/ext",
 ) -> SharedVector:
     """``y_i = x_{xi(i)}`` for ``i in [n_out]`` with fresh shares; ``xi``
@@ -87,11 +94,14 @@ def oblivious_extended_permutation(
             n_work = _padded_size(max(m, n_out, 1))
             n_switches = 2 * switch_count(n_work)
             rb = _ring_bytes(ctx)
-            charge_ot(
-                ctx, ot,
-                n_switches + (n_work - 1),
-                2 * 2 * rb * n_switches + 2 * rb * (n_work - 1),
-            )
+            # Same section as the REAL path's transfer_segments call, so
+            # both modes spell the labels ``<label>/switches/ot/...``.
+            with ctx.section("switches"):
+                charge_ot(
+                    ctx, ot,
+                    n_switches + (n_work - 1),
+                    2 * 2 * rb * n_switches + 2 * rb * (n_work - 1),
+                )
             return _fresh_shares(ctx, out_plain)
         return _oep_real(ctx, ot, xi, values, n_out)
 
@@ -114,7 +124,7 @@ def _fresh_shares(ctx: Context, plain: np.ndarray) -> SharedVector:
 
 
 def _oep_real(
-    ctx: Context, ot, xi: List[int], values: SharedVector, n_out: int
+    ctx: Context, ot: OT, xi: List[int], values: SharedVector, n_out: int
 ) -> SharedVector:
     m = len(values)
     n_work = _padded_size(max(m, n_out, 1))

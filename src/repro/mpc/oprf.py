@@ -74,7 +74,7 @@ class BatchedOprf:
         ctx: Context,
         alice_fps: Sequence[int],
         group_bits: int = 2048,
-    ):
+    ) -> None:
         self.ctx = ctx
         self._salt = b"oprf-session"
         m = len(alice_fps)

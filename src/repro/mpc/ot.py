@@ -30,7 +30,7 @@ All message sizes are metered through the shared :class:`Context`.
 from __future__ import annotations
 
 import hashlib
-from typing import List, Sequence, Tuple
+from typing import List, Protocol, Sequence, Tuple
 
 import numpy as np
 
@@ -38,13 +38,27 @@ from .batch import kdf_rows, sha256_rows, stream_xor_rows, words_to_le_bytes
 from .context import ALICE, BOB, Context
 from .modp import ModpGroup, modp_group
 
-__all__ = ["ChouOrlandiOT", "IknpExtension", "SimulatedOT", "make_ot"]
+__all__ = ["OT", "ChouOrlandiOT", "IknpExtension", "SimulatedOT", "make_ot"]
 
 Pair = Tuple[bytes, bytes]
 
 #: One staged batch of same-width OT message pairs:
 #: ``(m0_matrix, m1_matrix, choice_bits)``.
 Segment = Tuple[np.ndarray, np.ndarray, np.ndarray]
+
+
+class OT(Protocol):
+    """Structural interface shared by every OT back-end.
+
+    Only scalar :meth:`transfer` is universal; the vectorised
+    ``transfer_matrix`` / ``transfer_segments`` entry points exist on
+    the extension and simulated back-ends and are discovered with
+    ``getattr`` by callers that can exploit them.
+    """
+
+    def transfer(
+        self, pairs: Sequence[Pair], choices: Sequence[int]
+    ) -> List[bytes]: ...
 
 
 def _kdf(*parts: bytes) -> bytes:
@@ -70,7 +84,7 @@ class ChouOrlandiOT:
     """1-out-of-2 OT where Bob is the sender (he garbles, so he owns the
     label pairs) and Alice the receiver."""
 
-    def __init__(self, ctx: Context, group_bits: int = 2048):
+    def __init__(self, ctx: Context, group_bits: int = 2048) -> None:
         self.ctx = ctx
         self.group = modp_group(group_bits)
         self.group_bits = group_bits
@@ -166,7 +180,7 @@ class IknpExtension:
     extension-receiver Alice owns both seeds per column.
     """
 
-    def __init__(self, ctx: Context, group_bits: int = 2048):
+    def __init__(self, ctx: Context, group_bits: int = 2048) -> None:
         self.ctx = ctx
         self.kappa = ctx.params.kappa
         self._base_done = False
@@ -212,7 +226,9 @@ class IknpExtension:
         self._seeds_bob = received
         self._base_done = True
 
-    def _column_phase(self, m: int, r: np.ndarray):
+    def _column_phase(
+        self, m: int, r: np.ndarray
+    ) -> Tuple[bytes, np.ndarray, np.ndarray, np.ndarray]:
         """One extension batch's column correlation: Alice's ``T`` rows,
         Bob's ``Q`` rows, and the batch salt.  Sends the ``u``
         correction columns."""
@@ -359,7 +375,7 @@ class SimulatedOT:
     """Functionally-identical OT that skips the crypto but charges the
     transcript what :class:`IknpExtension` would send."""
 
-    def __init__(self, ctx: Context, group_bits: int = 2048):
+    def __init__(self, ctx: Context, group_bits: int = 2048) -> None:
         self.ctx = ctx
         self.group_bits = group_bits
         self._base_charged = False
@@ -402,7 +418,7 @@ class SimulatedOT:
         return np.where(r[:, None], m1, m0)
 
 
-def make_ot(ctx: Context, group_bits: int = 2048):
+def make_ot(ctx: Context, group_bits: int = 2048) -> OT:
     """The OT back-end matching the context's execution mode."""
     from .context import Mode
 

@@ -38,6 +38,7 @@ from .cuckoo import (
 )
 from .gadgets import bits_of, int_of, psi_bin_circuit
 from .oprf import OPPRF_PRIME, BatchedOprf, poly_eval, poly_interpolate
+from .ot import OT
 from .sharing import SharedVector
 from .yao import charge_garbled_batch, run_garbled_batch
 
@@ -79,7 +80,7 @@ class PsiResult:
 
 def psi_with_payloads(
     ctx: Context,
-    ot,
+    ot: OT,
     alice_items: Sequence[Hashable],
     bob_items: Sequence[Hashable],
     bob_payloads: Sequence[int],
@@ -152,7 +153,7 @@ def psi_with_payloads(
 
 def _psi_real(
     ctx: Context,
-    ot,
+    ot: OT,
     table: CuckooTable,
     n_bins: int,
     alice_fps: List[int],
@@ -244,7 +245,7 @@ def _psi_real(
 
 def _psi_simulated(
     ctx: Context,
-    ot,
+    ot: OT,
     table: CuckooTable,
     n_bins: int,
     alice_fps: List[int],

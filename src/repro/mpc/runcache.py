@@ -18,7 +18,11 @@ byte-identical.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .circuits.circuit import Circuit
+    from .circuits.garbling import GarblePlan
 
 from . import waksman
 
@@ -29,10 +33,10 @@ class RunCache:
     """Memoises circuit templates (keyed ``(gadget, *shape)``) and Beneš
     network topologies (keyed by size) for one protocol run."""
 
-    def __init__(self):
-        self._circuits: Dict[Tuple, object] = {}
-        self._topologies: Dict[int, Tuple] = {}
-        self._garble_plans: Dict[int, object] = {}
+    def __init__(self) -> None:
+        self._circuits: Dict[Tuple, "Circuit"] = {}
+        self._topologies: Dict[int, Tuple[waksman.TopologyLayer, ...]] = {}
+        self._garble_plans: Dict[int, "GarblePlan"] = {}
         self.circuit_hits = 0
         self.circuit_misses = 0
         self.topology_hits = 0
@@ -42,7 +46,7 @@ class RunCache:
 
     # -- garbled-circuit gadget templates --------------------------------
 
-    def circuit(self, builder: Callable, *shape):
+    def circuit(self, builder: Callable[..., "Circuit"], *shape: int) -> "Circuit":
         """The circuit template ``builder(*shape)``, built once per run.
 
         ``builder`` is one of the :mod:`repro.mpc.gadgets` constructors;
@@ -58,7 +62,7 @@ class RunCache:
         self._circuits[key] = template
         return template
 
-    def garble_plan(self, circuit):
+    def garble_plan(self, circuit: "Circuit") -> "GarblePlan":
         """The precompiled :class:`~repro.mpc.circuits.garbling.GarblePlan`
         for a circuit template, built once per run.
 
@@ -81,7 +85,7 @@ class RunCache:
 
     # -- Beneš switching networks ----------------------------------------
 
-    def benes_topology(self, n: int):
+    def benes_topology(self, n: int) -> Tuple[waksman.TopologyLayer, ...]:
         """The size-``n`` Beneš wire-pair layers (permutation-independent)."""
         if n in self._topologies:
             self.topology_hits += 1

@@ -23,7 +23,7 @@ from .transcript import other_party
 __all__ = ["SharedVector", "share_vector", "reveal_vector"]
 
 
-def _to_ring(values, modulus: int) -> np.ndarray:
+def _to_ring(values: Sequence[int] | np.ndarray, modulus: int) -> np.ndarray:
     arr = np.asarray(values)
     if arr.size == 0:
         return np.zeros(0, dtype=np.uint64)
@@ -40,7 +40,9 @@ class SharedVector:
 
     __slots__ = ("alice", "bob", "modulus")
 
-    def __init__(self, alice: np.ndarray, bob: np.ndarray, modulus: int):
+    def __init__(
+        self, alice: np.ndarray, bob: np.ndarray, modulus: int
+    ) -> None:
         alice = np.asarray(alice, dtype=np.uint64)
         bob = np.asarray(bob, dtype=np.uint64)
         if alice.shape != bob.shape:
@@ -81,7 +83,9 @@ class SharedVector:
             (-self.alice) & self._mask, (-self.bob) & self._mask, self.modulus
         )
 
-    def add_public(self, values, holder: str = ALICE) -> "SharedVector":
+    def add_public(
+        self, values: Sequence[int] | np.ndarray, holder: str = ALICE
+    ) -> "SharedVector":
         """Add a public (or ``holder``-known) vector: only the holder's
         share changes, no communication."""
         vals = _to_ring(values, self.modulus)
@@ -93,7 +97,7 @@ class SharedVector:
             self.alice, (self.bob + vals) & self._mask, self.modulus
         )
 
-    def mul_public(self, values) -> "SharedVector":
+    def mul_public(self, values: Sequence[int] | np.ndarray) -> "SharedVector":
         """Multiply elementwise by a *public* vector (both parties know it,
         so each scales their own share — no communication)."""
         vals = _to_ring(values, self.modulus)
@@ -111,7 +115,7 @@ class SharedVector:
             self.modulus,
         )
 
-    def take(self, indices) -> "SharedVector":
+    def take(self, indices: Sequence[int] | np.ndarray) -> "SharedVector":
         """Sub-vector by position.
 
         NOTE: a plain ``take`` exposes *which* positions are selected; the
@@ -160,7 +164,7 @@ class SharedVector:
 
 
 def share_vector(
-    ctx: Context, owner: str, values, label: str = "share"
+    ctx: Context, owner: str, values: Sequence[int] | np.ndarray, label: str = "share"
 ) -> SharedVector:
     """``owner`` secret-shares a vector it holds: it samples its own share
     uniformly and sends the complement to the other party."""

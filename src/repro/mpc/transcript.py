@@ -50,7 +50,7 @@ class Transcript:
     attributed to sub-protocols (e.g. ``"semijoin/psi/ot"``).
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.messages: List[Message] = []
         self._labels: List[str] = []
         self._last_sender: Optional[str] = None
@@ -60,6 +60,8 @@ class Transcript:
 
     def send(self, sender: str, n_bytes: int, label: str = "") -> None:
         """Record ``n_bytes`` sent by ``sender``."""
+        if sender not in (ALICE, BOB):
+            raise ValueError(f"unknown party {sender!r}")
         if n_bytes < 0:
             raise ValueError("cannot send a negative number of bytes")
         full = "/".join(self._labels + ([label] if label else []))

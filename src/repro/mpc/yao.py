@@ -32,7 +32,7 @@ from .circuits.garbling import (
     garble_batch,
 )
 from .context import ALICE, BOB, Context
-from .ot import SimulatedOT
+from .ot import OT, SimulatedOT
 
 __all__ = [
     "run_garbled_batch",
@@ -42,7 +42,7 @@ __all__ = [
 
 
 def charge_ot(
-    ctx: Context, ot, n_transfers: int, total_pair_bytes: int
+    ctx: Context, ot: OT, n_transfers: int, total_pair_bytes: int
 ) -> None:
     """Charge the transcript what an IKNP batch of ``n_transfers`` OTs
     costs, where ``total_pair_bytes`` is the summed length of *both*
@@ -132,7 +132,9 @@ def _bit_matrix(
     return mat[:, :n_wires]
 
 
-def _ot_matrix(ot, m0, m1, choices) -> np.ndarray:
+def _ot_matrix(
+    ot: OT, m0: np.ndarray, m1: np.ndarray, choices: np.ndarray
+) -> np.ndarray:
     """Label-pair OT through the matrix fast path when the back-end has
     one, else through the generic ``bytes`` interface."""
     tm = getattr(ot, "transfer_matrix", None)
@@ -148,7 +150,7 @@ def _ot_matrix(ot, m0, m1, choices) -> np.ndarray:
 
 
 def charge_garbled_batch(
-    ctx: Context, ot, circuit: Circuit, n_instances: int
+    ctx: Context, ot: OT, circuit: Circuit, n_instances: int
 ) -> None:
     """SIMULATED mode: charge exactly what :func:`run_garbled_batch`
     would send for ``n_instances`` of ``circuit``."""

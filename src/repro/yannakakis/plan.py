@@ -93,7 +93,11 @@ class YannakakisPlan:
     def __post_init__(self):
         if not self.root:
             roots = [n for n, p in self.reduced_parent.items() if p is None]
-            assert len(roots) == 1
+            if len(roots) != 1:
+                raise ValueError(
+                    "reduced_parent must describe a single-rooted tree; "
+                    f"found roots {roots!r}"
+                )
             self.root = roots[0]
 
     @property

@@ -1,0 +1,19 @@
+"""OBL002 fixtures that MUST be flagged (linted as if under repro/mpc)."""
+
+
+def unlabelled_send(ctx, n):
+    ctx.send("alice", n)  # no label
+
+
+def empty_label(ctx, n):
+    ctx.send("alice", n, "")  # empty label
+
+
+def tainted_byte_count(ctx, sv):
+    plain = sv.reconstruct()
+    n = int(plain.sum())
+    ctx.send("alice", n, "leaky")  # message length depends on secrets
+
+
+def channel_bypass(transcript, n):
+    transcript.messages.append(Message("alice", n, "x"))  # noqa: F821

@@ -1,0 +1,13 @@
+"""OBL002 fixtures that must NOT be flagged (linted as if under repro/mpc)."""
+
+
+def labelled_send(ctx, sv):
+    ctx.send("alice", len(sv) * 4, "share")
+
+
+def keyword_label(ctx, sv):
+    ctx.send("bob", n_bytes=len(sv) * 4, label="reveal")
+
+
+def shape_based_count(ctx, arr):
+    ctx.send("alice", arr.nbytes, "matrix")  # shapes are public

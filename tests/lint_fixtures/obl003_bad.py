@@ -1,0 +1,17 @@
+"""OBL003 fixtures that MUST be flagged (linted as if under repro/mpc)."""
+
+import random  # unsanctioned global randomness
+
+import os
+
+
+def global_numpy_draw(np):
+    return np.random.rand(4)  # unseeded global generator
+
+
+def unseeded_default_rng(np):
+    return np.random.default_rng()  # no seed: not replayable
+
+
+def os_entropy():
+    return os.urandom(16)  # bypasses the context RNG

@@ -1,0 +1,18 @@
+"""OBL004 fixtures that MUST be flagged (linted as if under repro/mpc)."""
+
+import time
+
+
+def wall_clock_label(ctx, n):
+    stamp = time.time()
+    ctx.send("alice", n, f"batch/{stamp}")  # label varies run to run
+
+
+def id_in_section(ctx, obj):
+    with ctx.section(f"node/{id(obj)}"):  # identity is nondeterministic
+        pass
+
+
+def set_order_label(ctx, names, n):
+    for name in set(names):  # iteration order is not deterministic
+        ctx.send("alice", n, name)

@@ -1,0 +1,15 @@
+"""OBL004 fixtures that must NOT be flagged (linted as if under repro/mpc)."""
+
+
+def literal_label(ctx, n):
+    ctx.send("alice", n, "share")
+
+
+def counter_label(ctx, n):
+    for i in range(3):
+        ctx.send("alice", n, f"round/{i}")  # deterministic counter
+
+
+def sorted_set_label(ctx, names, n):
+    for name in sorted(set(names)):  # sorted() restores determinism
+        ctx.send("alice", n, name)

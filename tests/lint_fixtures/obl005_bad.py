@@ -1,0 +1,8 @@
+"""OBL005 fixtures that MUST be flagged (linted as if under repro/mpc)."""
+
+
+def mismatched_labels(ctx, n):
+    if ctx.mode == Mode.SIMULATED:  # noqa: F821 - fixture
+        ctx.send("alice", n, "sim_only_label")
+        return
+    ctx.send("alice", n, "real_only_label")

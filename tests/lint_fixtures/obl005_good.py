@@ -1,0 +1,19 @@
+"""OBL005 fixtures that must NOT be flagged (linted as if under repro/mpc)."""
+
+
+def matched_labels(ctx, n):
+    if ctx.mode == Mode.SIMULATED:  # noqa: F821 - fixture
+        ctx.send("alice", n, "payload")
+        return
+    ctx.send("alice", 2 * n, "payload")  # same label, different cost math
+
+
+def shared_helper(ctx, n):
+    if ctx.mode == Mode.SIMULATED:  # noqa: F821 - fixture
+        charge(ctx, n)  # noqa: F821 - fixture
+        return
+    charge(ctx, n)  # noqa: F821 - fixture
+
+
+def charge(ctx, n):
+    ctx.send("alice", n, "ot/ciphertexts")

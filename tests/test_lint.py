@@ -1,0 +1,215 @@
+"""Tests for the ``repro lint`` obliviousness static analyzer.
+
+Three layers:
+
+* fixture tests — each rule's good/bad snippets under
+  ``tests/lint_fixtures/`` flag (or stay silent) as documented;
+* framework tests — suppression accounting, baseline roundtrip, and
+  the full run over the real tree staying clean;
+* a mutation test — injecting a secret-dependent branch into a real
+  sharing gadget and asserting OBL001 catches it.
+"""
+
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import all_rules, lint_sources, run_lint
+from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
+from repro.lint.project import parse_source
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+RULES = ("OBL001", "OBL002", "OBL003", "OBL004", "OBL005")
+
+
+def lint_fixture(name, select, path_prefix="repro/mpc"):
+    text = (FIXTURES / name).read_text(encoding="utf-8")
+    src = parse_source(f"{path_prefix}/{name}", text)
+    violations, suppressed = lint_sources([src], select=list(select))
+    return violations, suppressed
+
+
+# ----------------------------------------------------------------------
+# fixtures
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("rule", RULES)
+def test_bad_fixture_flags(rule):
+    violations, _ = lint_fixture(f"{rule.lower()}_bad.py", [rule])
+    assert violations, f"{rule} bad fixture produced no findings"
+    assert all(v.rule == rule for v in violations)
+
+
+@pytest.mark.parametrize("rule", RULES)
+def test_good_fixture_clean(rule):
+    violations, _ = lint_fixture(f"{rule.lower()}_good.py", [rule])
+    assert violations == []
+
+
+def test_obl001_flags_every_bad_gadget():
+    """Each function in the OBL001 bad fixture exercises a distinct
+    sink (branch, index, loop bound, comprehension filter, share
+    attribute) — all five must fire."""
+    violations, _ = lint_fixture("obl001_bad.py", ["OBL001"])
+    assert len(violations) >= 5
+
+
+def test_rules_only_fire_in_protocol_dirs():
+    violations, _ = lint_fixture(
+        "obl001_bad.py", ["OBL001"], path_prefix="repro/bench"
+    )
+    assert violations == []
+
+
+# ----------------------------------------------------------------------
+# framework: suppressions, baseline, full-tree run
+# ----------------------------------------------------------------------
+
+_SUPPRESSIBLE = (
+    "import random"
+    "  # oblint: disable=OBL003 — fixed-seed public sanity check\n"
+)
+
+
+def test_justified_suppression_is_counted_not_reported():
+    src = parse_source("repro/mpc/supp.py", _SUPPRESSIBLE)
+    violations, suppressed = lint_sources([src], select=["OBL003"])
+    assert violations == []
+    assert suppressed == 1
+
+
+def test_unjustified_suppression_becomes_obl000():
+    text = "import random  # oblint: disable=OBL003\n"
+    src = parse_source("repro/mpc/supp.py", text)
+    violations, suppressed = lint_sources([src], select=["OBL003"])
+    assert suppressed == 0
+    assert [v.rule for v in violations] == ["OBL000"]
+    assert "justification" in violations[0].message
+
+
+def test_suppression_of_other_rule_does_not_apply():
+    text = "import random  # oblint: disable=OBL001 — wrong rule\n"
+    src = parse_source("repro/mpc/supp.py", text)
+    violations, _ = lint_sources([src], select=["OBL003"])
+    assert [v.rule for v in violations] == ["OBL003"]
+
+
+def test_baseline_roundtrip(tmp_path):
+    text = "import random\nimport secrets\n"
+    src = parse_source("repro/mpc/base.py", text)
+    violations, _ = lint_sources([src], select=["OBL003"])
+    assert len(violations) == 2
+
+    path = tmp_path / "baseline.json"
+    write_baseline(path, violations)
+    counts = load_baseline(path)
+    fresh, matched = apply_baseline(violations, counts)
+    assert fresh == [] and matched == 2
+
+    # A NEW occurrence of a baselined fingerprint is still reported.
+    grown = parse_source("repro/mpc/base.py", text + "import random\n")
+    more, _ = lint_sources([grown], select=["OBL003"])
+    fresh, matched = apply_baseline(more, counts)
+    assert matched == 2
+    assert [v.rule for v in fresh] == ["OBL003"]
+
+
+def test_missing_baseline_file_is_empty(tmp_path):
+    assert load_baseline(tmp_path / "nope.json") == {}
+
+
+def test_repo_tree_is_lint_clean():
+    """The committed tree must pass its own linter with the committed
+    baseline — the same gate CI runs."""
+    result = run_lint(
+        [str(REPO_ROOT / "src")],
+        baseline_path=REPO_ROOT / "lint-baseline.json",
+        root=REPO_ROOT,
+    )
+    assert result.ok, "\n".join(
+        f"{v.path}:{v.line} {v.rule} {v.message}"
+        for v in result.violations
+    )
+    assert result.files_checked > 50
+
+
+def test_rule_catalogue_complete():
+    codes = {r.code for r in all_rules()}
+    assert set(RULES) <= codes
+
+
+# ----------------------------------------------------------------------
+# mutation test: OBL001 catches an injected secret-dependent branch
+# ----------------------------------------------------------------------
+
+GADGET = REPO_ROOT / "src" / "repro" / "mpc" / "sharing.py"
+_ANCHOR = "    sender = other_party(to)\n"
+_MUTATION = (
+    "    if sv.reconstruct()[0] > 0:  # MUTATION: secret-dependent\n"
+    '        label = label + "/nz"\n'
+)
+
+
+def test_mutation_secret_branch_is_caught():
+    pristine = GADGET.read_text(encoding="utf-8")
+    src = parse_source("repro/mpc/sharing.py", pristine)
+    before, _ = lint_sources([src], select=["OBL001"])
+    assert before == [], "pristine gadget must be OBL001-clean"
+
+    assert pristine.count(_ANCHOR) == 1, "mutation anchor moved"
+    mutant_text = pristine.replace(_ANCHOR, _ANCHOR + _MUTATION)
+    mutant = parse_source("repro/mpc/sharing.py", mutant_text)
+    after, _ = lint_sources([mutant], select=["OBL001"])
+    assert any(
+        v.rule == "OBL001" and "branch" in v.message for v in after
+    ), "injected secret-dependent branch was not flagged"
+
+
+# ----------------------------------------------------------------------
+# CLI + typing gate
+# ----------------------------------------------------------------------
+
+
+def _run_cli(*argv):
+    env_src = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "lint", *argv],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env={"PYTHONPATH": env_src, "PATH": "/usr/bin:/bin"},
+    )
+
+
+def test_cli_list_rules():
+    proc = _run_cli("--list-rules")
+    assert proc.returncode == 0
+    for rule in RULES:
+        assert rule in proc.stdout
+
+
+def test_cli_json_report_on_clean_tree():
+    proc = _run_cli("src", "--format", "json")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    blob = json.loads(proc.stdout)
+    assert blob["violations"] == []
+
+
+@pytest.mark.skipif(
+    shutil.which("mypy") is None,
+    reason="mypy not installed (optional [lint] extra)",
+)
+def test_mypy_strict_gate():
+    proc = subprocess.run(
+        ["mypy", "--no-error-summary"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
