@@ -29,7 +29,24 @@ from ..mpc.psi import _token_bits
 from ..mpc.waksman import switch_count
 from ..yannakakis.plan import ReduceAggregate, ReduceFold, YannakakisPlan
 
-__all__ = ["CostEstimate", "estimate_plan_cost"]
+__all__ = [
+    "CostEstimate",
+    "estimate_plan_cost",
+    "session_framing_overhead",
+]
+
+
+def session_framing_overhead(n_messages: int) -> int:
+    """Extra bytes the fault-tolerant session layer meters on top of a
+    plain run: one fixed-size frame header (magic, sequence number,
+    length, checksum) per wire message.  The session is accounting-
+    neutral otherwise — a session run's total is exactly the plain
+    run's total plus this overhead — so callers with a message count
+    (from a metered run or an :class:`~repro.exec.trace.ExecutionTrace`)
+    can reconcile estimates against session-enabled executions."""
+    from ..runtime.framing import FRAME_HEADER_BYTES
+
+    return int(n_messages) * FRAME_HEADER_BYTES
 
 
 @dataclass
@@ -43,6 +60,13 @@ class CostEstimate:
         n_bytes = int(n_bytes)
         self.total += n_bytes
         self.by_part[part] = self.by_part.get(part, 0) + n_bytes
+
+    def with_session(self, n_messages: int) -> "CostEstimate":
+        """A copy of this estimate with the session layer's framing
+        overhead added as its own ``session_framing`` part."""
+        out = CostEstimate(total=self.total, by_part=dict(self.by_part))
+        out.add("session_framing", session_framing_overhead(n_messages))
+        return out
 
 
 class _Estimator:

@@ -7,6 +7,7 @@
     python -m repro trace Q3 --scale 1 [--policy stages] [-o trace.json]
     python -m repro estimate Q3 --scale 10
     python -m repro fuzz --seed 0 --iterations 50
+    python -m repro chaos --query q3 --scale tiny --sweep all
     python -m repro lint src/
     python -m repro demo
 
@@ -16,9 +17,12 @@ single benchmark query end to end and prints results + costs;
 per-operator ExecutionTrace as JSON; ``estimate`` prints the analytic
 cost prediction without running the protocol; ``fuzz`` runs the
 differential query fuzzer and obliviousness transcript audit (see
-docs/TESTING.md); ``lint`` runs the obliviousness & channel-discipline
-static analyzer (see docs/LINTING.md); ``demo`` runs the Example 1.1
-quickstart with REAL cryptography.
+docs/TESTING.md); ``chaos`` sweeps a deterministic fault point across
+every wire message and plan node of a query execution and requires
+every run to end completed-correct or clean-abort (see
+docs/ROBUSTNESS.md); ``lint`` runs the obliviousness &
+channel-discipline static analyzer (see docs/LINTING.md); ``demo``
+runs the Example 1.1 quickstart with REAL cryptography.
 """
 
 from __future__ import annotations
@@ -131,11 +135,35 @@ def _cmd_estimate(args) -> int:
     return 0
 
 
+def _make_fault_plan(kind, at, ticks):
+    """One-spec FaultPlan from the fuzz CLI's fault options."""
+    from .runtime import (
+        DEFAULT_NODE_BUDGET,
+        FaultPlan,
+        FaultSpec,
+        MESSAGE_FAULT_KINDS,
+    )
+    from .mpc.transcript import BOB
+
+    if kind == "perturb_share":
+        spec = FaultSpec("perturb_share")
+    elif kind == "crash":
+        spec = FaultSpec("crash", node=at, party=BOB)
+    elif kind in MESSAGE_FAULT_KINDS:
+        spec = FaultSpec(
+            kind,
+            message_index=at,
+            ticks=ticks if ticks else DEFAULT_NODE_BUDGET + 1,
+        )
+    else:  # pragma: no cover - argparse choices guard this
+        raise ValueError(f"unknown fault kind {kind!r}")
+    return FaultPlan([spec])
+
+
 def _cmd_fuzz(args) -> int:
     from .fuzz import (
         fuzz,
         iter_corpus,
-        perturb_one_share,
         replay_file,
     )
 
@@ -164,7 +192,13 @@ def _cmd_fuzz(args) -> int:
         print(f"corpus: {n} instances, {bad} failures")
         return 1 if bad else 0
 
-    fault = perturb_one_share if args.inject_fault else None
+    fault = (
+        _make_fault_plan(
+            args.inject_fault, args.fault_at, args.fault_ticks
+        )
+        if args.inject_fault
+        else None
+    )
 
     def progress(i, report):
         if (i + 1 - args.start) % 10 == 0:
@@ -196,6 +230,85 @@ def _cmd_fuzz(args) -> int:
         )
         return 0 if caught else 1
     return 0 if report.ok else 1
+
+
+def _cmd_chaos(args) -> int:
+    import json
+
+    from .runtime import (
+        MESSAGE_FAULT_KINDS,
+        FaultPlan,
+        build_specs,
+        classify_fault,
+        make_tpch_runner,
+        sweep,
+    )
+
+    scale = 0.1 if args.scale == "tiny" else float(args.scale)
+    kinds = (
+        tuple(args.kinds)
+        if args.kinds
+        else MESSAGE_FAULT_KINDS + ("crash",)
+    )
+    stride = 1 if args.sweep == "all" else args.stride
+    policies = (
+        ["program", "stages"] if args.policy == "both"
+        else [args.policy]
+    )
+
+    def progress(i, n, outcome):
+        if args.verbose or outcome.classification == "VIOLATION":
+            print(f"  [{i}/{n}] {outcome}")
+
+    ok = True
+    payload = {"query": args.query, "scale_mb": scale, "policies": {}}
+    for policy in policies:
+        run = make_tpch_runner(
+            args.query, scale_mb=scale, policy=policy, seed=args.seed
+        )
+        report = sweep(run, kinds=kinds, stride=stride,
+                       on_progress=progress)
+        report.meta.update(
+            query=args.query, scale_mb=scale, policy=policy,
+            mode="simulated", stride=stride,
+        )
+        print(
+            f"chaos {args.query} scale={scale} policy={policy} "
+            f"[simulated]: {report.summary()}"
+        )
+        payload["policies"][policy] = report.to_json()
+        ok = ok and report.ok
+
+    if args.real_sample:
+        # REAL-mode spot check: the identical session/fault machinery
+        # over genuine cryptography, at a handful of evenly spaced
+        # fault points (REAL runs cost ~20s each at tiny scale).
+        run = make_tpch_runner(
+            args.query, scale_mb=scale, real=True,
+            policy=policies[0], seed=args.seed,
+        )
+        baseline = run(FaultPlan())
+        specs = build_specs(baseline, kinds=kinds)
+        step = max(1, len(specs) // args.real_sample)
+        sample = specs[::step][: args.real_sample]
+        outcomes = [
+            classify_fault(run, baseline, spec) for spec in sample
+        ]
+        bad = [o for o in outcomes if o.classification == "VIOLATION"]
+        for o in outcomes:
+            print(f"  real: {o}")
+        print(
+            f"chaos {args.query} [real]: {len(outcomes)} sampled "
+            f"fault points, {len(bad)} violations"
+        )
+        payload["real_sample"] = [o.to_json() for o in outcomes]
+        ok = ok and not bad
+
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(json.dumps(payload, indent=2) + "\n")
+        print(f"report -> {args.output}")
+    return 0 if ok else 1
 
 
 def _cmd_demo(args) -> int:
@@ -289,9 +402,27 @@ def main(argv=None) -> int:
         help="skip the obliviousness transcript audit",
     )
     p.add_argument(
-        "--inject-fault", action="store_true",
-        help="self-test: perturb one share and require the fuzzer "
-        "to catch it (exit 0 iff caught)",
+        "--inject-fault", nargs="?", const="perturb_share",
+        default=None, metavar="KIND",
+        choices=[
+            "perturb_share", "corrupt", "truncate", "drop",
+            "duplicate", "reorder", "hang", "crash",
+        ],
+        help="self-test: inject one deterministic fault (default "
+        "kind: perturb_share; channel kinds are injected by the "
+        "session layer) and require the fuzzer to catch it — as an "
+        "oracle mismatch or a typed protocol abort (exit 0 iff "
+        "caught)",
+    )
+    p.add_argument(
+        "--fault-at", type=int, default=3, metavar="N",
+        help="wire-message index (message faults) or plan-node id "
+        "(crash) the injected fault targets",
+    )
+    p.add_argument(
+        "--fault-ticks", type=int, default=0, metavar="T",
+        help="hang duration in virtual ticks (0 = just past the "
+        "node deadline budget)",
     )
     p.add_argument("--max-failures", type=int, default=10)
     p.add_argument(
@@ -307,6 +438,56 @@ def main(argv=None) -> int:
         help="replay every corpus file (default: tests/corpus)",
     )
     p.set_defaults(fn=_cmd_fuzz)
+
+    p = sub.add_parser(
+        "chaos",
+        help="fault-injection sweep: every message is a fault point",
+    )
+    p.add_argument(
+        "--query", type=lambda s: s.upper(), default="Q3",
+        choices=["Q3", "Q10", "Q18", "Q8", "Q9"],
+        help="TPC-H query to sweep (case-insensitive)",
+    )
+    p.add_argument(
+        "--scale", default="tiny",
+        help='dataset scale in MB, or "tiny" (= 0.1)',
+    )
+    p.add_argument(
+        "--sweep", choices=["all", "quick"], default="all",
+        help='"all" faults every wire-message index; "quick" '
+        "strides (see --stride)",
+    )
+    p.add_argument(
+        "--stride", type=int, default=5,
+        help="message-index stride for --sweep quick",
+    )
+    p.add_argument(
+        "--policy", choices=["program", "stages", "both"],
+        default="program", help="scheduler dispatch policy to sweep",
+    )
+    p.add_argument(
+        "--kinds", nargs="+", default=None,
+        choices=[
+            "corrupt", "truncate", "drop", "duplicate", "reorder",
+            "hang", "crash",
+        ],
+        help="fault kinds to sweep (default: all)",
+    )
+    p.add_argument(
+        "--real-sample", type=int, default=0, metavar="N",
+        help="additionally spot-check N fault points in REAL mode "
+        "(slow: ~20s per run at tiny scale)",
+    )
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument(
+        "--verbose", action="store_true",
+        help="print every fault point's classification",
+    )
+    p.add_argument(
+        "-o", "--output", default=None,
+        help="write the JSON report here",
+    )
+    p.set_defaults(fn=_cmd_chaos)
 
     p = sub.add_parser(
         "lint",

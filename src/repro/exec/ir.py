@@ -68,6 +68,17 @@ class Step:
         return None
 
     @property
+    def restartable(self) -> bool:
+        """Whether the runtime supervisor may retry this step from its
+        node-granular checkpoint after a retryable
+        :class:`~repro.runtime.aborts.ProtocolAbort`.  Every current
+        step kind is a pure function of the (checkpointed) slot
+        environment, engine state and context RNG, so all are
+        restartable; a future operator with external side effects
+        overrides this to opt out."""
+        return True
+
+    @property
     def reads(self) -> Tuple[str, ...]:
         return ()
 

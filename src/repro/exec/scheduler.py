@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..mpc.engine import Engine
+    from ..runtime.supervisor import Supervisor
 
 from ..mpc.context import ALICE
 from ..mpc.sharing import reveal_vector
@@ -120,22 +121,38 @@ class Scheduler:
         relations: Dict[str, SecureRelation],
     ) -> Dict[str, Any]:
         """Execute the DAG; returns the final slot environment.  The
-        caller reads ``plan.result_slot`` out of it."""
+        caller reads ``plan.result_slot`` out of it.
+
+        When the context carries a runtime session
+        (:func:`repro.runtime.session.enable_session`), every step runs
+        under the :class:`~repro.runtime.supervisor.Supervisor`:
+        checkpointed, deadline-supervised, and retried on retryable
+        :class:`~repro.runtime.aborts.ProtocolAbort` faults.  Protocol
+        code never catches broader exception types here — operator bugs
+        must propagate untouched."""
         ctx = self.engine.ctx
+        supervisor = self._make_supervisor()
         env: Dict[str, Any] = {}
         for step in self.execution_order(plan):
-            if self.trace is not None:
-                with self.trace.node(
-                    ctx.transcript,
-                    id=step.id,
-                    kind=step.kind,
-                    label=step.label,
-                    section=step.section,
-                    stage=plan.stage_of[step.id],
-                ):
+
+            def thunk(step: Step = step) -> None:
+                if self.trace is not None:
+                    with self.trace.node(
+                        ctx.transcript,
+                        id=step.id,
+                        kind=step.kind,
+                        label=step.label,
+                        section=step.section,
+                        stage=plan.stage_of[step.id],
+                    ):
+                        self._dispatch(step, env, relations)
+                else:
                     self._dispatch(step, env, relations)
+
+            if supervisor is not None:
+                supervisor.run_step(step, env, thunk)
             else:
-                self._dispatch(step, env, relations)
+                thunk()
         if self.trace is not None:
             self.trace.meta["policy"] = self.policy
             self.trace.meta["plan"] = plan.name
@@ -143,6 +160,16 @@ class Scheduler:
             self.trace.meta["n_stages"] = len(plan.stages)
             self.trace.meta["cache"] = ctx.cache.stats()
         return env
+
+    def _make_supervisor(self) -> Optional["Supervisor"]:
+        """A step supervisor when the context has a session attached
+        (imported lazily: the runtime layer is optional at run time)."""
+        session = getattr(self.engine.ctx, "session", None)
+        if session is None:
+            return None
+        from ..runtime.supervisor import Supervisor
+
+        return Supervisor(session, self.engine, trace=self.trace)
 
     def _dispatch(
         self,

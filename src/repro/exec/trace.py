@@ -61,6 +61,13 @@ class ExecutionTrace:
 
     nodes: List[NodeTrace] = field(default_factory=list)
     meta: Dict[str, Any] = field(default_factory=dict)
+    #: Runtime-supervisor events (aborts, checkpoint retries).  A
+    #: failed attempt's :class:`NodeTrace` is truncated on retry; its
+    #: event record here is the durable log of what happened.
+    events: List[Dict[str, Any]] = field(default_factory=list)
+
+    def record_event(self, event: Dict[str, Any]) -> None:
+        self.events.append(dict(event))
 
     @contextmanager
     def node(
@@ -113,12 +120,17 @@ class ExecutionTrace:
         return out
 
     def to_json(self) -> Dict[str, Any]:
-        return {
+        blob: Dict[str, Any] = {
             "meta": dict(self.meta),
             "total_seconds": self.total_seconds,
             "total_bytes": self.total_bytes,
             "nodes": [n.to_json() for n in self.nodes],
         }
+        # Only present when the runtime supervisor recorded something:
+        # fault-free traces keep the golden-pinned schema unchanged.
+        if self.events:
+            blob["events"] = [dict(e) for e in self.events]
+        return blob
 
     def dumps(self, indent: int = 2) -> str:
         return json.dumps(self.to_json(), indent=indent)

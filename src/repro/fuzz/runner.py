@@ -21,9 +21,18 @@ instance's ``(master_seed, index)`` so any finding replays from two
 integers; :func:`fuzz` drives whole campaigns and can persist failing
 instances as corpus JSON for regression replay.
 
-The ``fault`` hook deliberately breaks the protocol (it perturbs one
-party's share of one annotation before the run) — used by tests and
-``repro fuzz --inject-fault`` to prove the oracle actually has teeth.
+The ``fault`` hook deliberately breaks the protocol — used by tests
+and ``repro fuzz --inject-fault`` to prove the detectors actually have
+teeth.  Faults are specified as a replayable
+:class:`repro.runtime.faults.FaultPlan`: semantic faults (perturb one
+input share) must be caught by the differential oracle, channel faults
+(corrupt/truncate/drop/duplicate/reorder/hang/crash, injected by the
+session layer) must surface as a typed
+:class:`~repro.runtime.aborts.ProtocolAbort` — reported as failure
+kind ``"abort"`` and persisted, fault spec included, in the failure
+file.  Fuzz runs disable checkpoint retries (one attempt) so detection
+itself is what gets tested; resilience under retries is the chaos
+harness's job (``repro chaos``).
 """
 
 from __future__ import annotations
@@ -32,7 +41,16 @@ import json
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -42,6 +60,11 @@ from ..mpc.context import Context, Mode
 from ..mpc.engine import Engine
 from ..mpc.params import SecurityParams
 from ..query.planner import choose_plan
+from ..runtime.aborts import ProtocolAbort
+from ..runtime.faults import FaultPlan
+from ..runtime.faults import perturb_share as _perturb_share
+from ..runtime.session import enable_session
+from ..runtime.supervisor import RetryPolicy
 from ..relalg.relation import AnnotatedRelation
 from ..yannakakis.naive import naive_join_aggregate
 from ..yannakakis.plain import execute_plan
@@ -73,20 +96,29 @@ POLICIES = ("program", "stages")
 #: production default; REAL-mode iterations are per-bit OTs).
 FUZZ_GROUP_BITS = 1536
 
+#: A fault is either a :class:`FaultPlan` (the replayable form) or a
+#: legacy ``(engine, inputs) -> None`` callable hook.
+Fault = Union[FaultPlan, Callable[..., None]]
+
 
 @dataclass
 class FuzzFailure:
     """One confirmed divergence, replayable from the instance seed."""
 
-    kind: str  # "mismatch" | "transcript" | "crash"
+    kind: str  # "mismatch" | "transcript" | "crash" | "abort"
     seed: Tuple[int, int]
     detail: str
     policy: Optional[str] = None
     mode: str = "simulated"
     instance: Optional[QueryInstance] = None
-    #: Exception class name for ``kind == "crash"`` (persisted in the
-    #: failure file so crash classes can be triaged without replaying).
+    #: Exception class name for ``kind in ("crash", "abort")``
+    #: (persisted in the failure file so crash classes can be triaged
+    #: without replaying).
     exc_type: Optional[str] = None
+    #: The injected fault plan (``FaultPlan.to_json()``), when the run
+    #: was deliberately faulted — persisted so the failure file replays
+    #: the identical fault.
+    fault: Optional[List[Dict[str, Any]]] = None
 
     def replay_hint(self) -> str:
         master, index = self.seed
@@ -155,19 +187,10 @@ def _secure_inputs(
 def perturb_one_share(
     engine: Engine, inputs: Dict[str, SecureRelation]
 ) -> None:
-    """The injected fault: secret-share the first relation's annotations
-    and add 1 to Alice's share of entry 0.  The sharing itself is
-    transcript-neutral in accounting terms, but the reconstructed
-    annotation is now wrong — the oracle comparison must catch it."""
-    name = sorted(inputs)[0]
-    rel = inputs[name]
-    if len(rel) == 0:  # pragma: no cover - generator emits >=1 tuple
-        return
-    from ..core.relation import SecureAnnotations
-
-    shares = rel.annotations.to_shared(engine, label="fault")
-    shares.alice[0] = (int(shares.alice[0]) + 1) % engine.ctx.modulus
-    rel.annotations = SecureAnnotations.shared(shares)
+    """Legacy callable form of the semantic fault; the implementation
+    lives in :func:`repro.runtime.faults.perturb_share` (the
+    ``perturb_share`` fault kind of a :class:`FaultPlan`)."""
+    _perturb_share(engine, inputs)
 
 
 def _run_secure(
@@ -176,24 +199,41 @@ def _run_secure(
     mode: Mode,
     policy: str,
     engine_seed: int = 7,
-    fault: Optional[Callable] = None,
+    fault: Optional[Fault] = None,
 ) -> Tuple[AnnotatedRelation, Context]:
     ctx = Context(
         mode, SecurityParams(ell=instance.ell), seed=engine_seed
     )
     engine = Engine(ctx, FUZZ_GROUP_BITS, exec_policy=policy)
     inputs = _secure_inputs(instance)
-    if fault is not None:
+    if isinstance(fault, FaultPlan):
+        # Replayable path: a fresh (un-fired) copy per run, injected by
+        # the session layer.  One attempt only — the fuzzer tests
+        # *detection*; retry resilience is the chaos harness's job.
+        plan_copy = fault.fresh()
+        session = enable_session(ctx, plan_copy, seed=engine_seed)
+        session.retry_policy = RetryPolicy(max_attempts=1)
+        for _ in plan_copy.input_faults():
+            _perturb_share(engine, inputs)
+    elif fault is not None:
         fault(engine, inputs)
     result, _ = secure_yannakakis(engine, inputs, plan)
+    if ctx.session is not None:
+        ctx.session.finish()
     return result, ctx
+
+
+def _fault_json(
+    fault: Optional[Fault],
+) -> Optional[List[Dict[str, Any]]]:
+    return fault.to_json() if isinstance(fault, FaultPlan) else None
 
 
 def run_differential(
     instance: QueryInstance,
     mode: Mode = Mode.SIMULATED,
     policies: Sequence[str] = POLICIES,
-    fault: Optional[Callable] = None,
+    fault: Optional[Fault] = None,
 ) -> List[FuzzFailure]:
     """Differential check of one instance: oracle vs plaintext plan vs
     the secure protocol under each scheduler policy."""
@@ -230,6 +270,20 @@ def run_differential(
             )
         except (KeyboardInterrupt, SystemExit):
             raise
+        except ProtocolAbort as abort:
+            # The session layer detected an injected (or genuine)
+            # channel fault and failed closed — distinct from "crash"
+            # so triage can tell a clean abort from a protocol bug.
+            failures.append(
+                FuzzFailure(
+                    "abort", instance.seed,
+                    f"secure run aborted: {abort}",
+                    policy=policy, mode=mode.value, instance=instance,
+                    exc_type=type(abort).__name__,
+                    fault=_fault_json(fault),
+                )
+            )
+            continue
         except Exception as exc:
             failures.append(
                 FuzzFailure(
@@ -237,6 +291,7 @@ def run_differential(
                     f"secure run raised {exc!r}",
                     policy=policy, mode=mode.value, instance=instance,
                     exc_type=type(exc).__name__,
+                    fault=_fault_json(fault),
                 )
             )
             continue
@@ -247,6 +302,7 @@ def run_differential(
                     f"secure({policy}) != oracle "
                     f"({result.to_dict()} vs {oracle.to_dict()})",
                     policy=policy, mode=mode.value, instance=instance,
+                    fault=_fault_json(fault),
                 )
             )
     return failures
@@ -311,7 +367,7 @@ def check_instance(
     instance: QueryInstance,
     mode: Mode = Mode.SIMULATED,
     audit: bool = True,
-    fault: Optional[Callable] = None,
+    fault: Optional[Fault] = None,
 ) -> List[FuzzFailure]:
     """Everything the fuzzer asserts about one instance."""
     failures = run_differential(instance, mode=mode, fault=fault)
@@ -326,7 +382,7 @@ def check_instance(
 
 
 def _refails(
-    failure: FuzzFailure, fault: Optional[Callable]
+    failure: FuzzFailure, fault: Optional[Fault]
 ) -> Callable[[QueryInstance], bool]:
     """A predicate for :func:`minimize_instance`: does a shrunk instance
     still exhibit the same kind of failure?"""
@@ -348,7 +404,7 @@ def fuzz(
     config: GeneratorConfig = GeneratorConfig(),
     real_every: int = 10,
     audit: bool = True,
-    fault: Optional[Callable] = None,
+    fault: Optional[Fault] = None,
     max_failures: int = 10,
     on_progress: Optional[Callable[[int, "FuzzReport"], None]] = None,
     save_failures_to: Optional[str] = None,
@@ -468,6 +524,7 @@ def save_failure(failure: FuzzFailure, directory: str) -> Path:
             "policy": failure.policy,
             "mode": failure.mode,
             "exc_type": failure.exc_type,
+            "fault": failure.fault,
             "replay": failure.replay_hint(),
         },
     }
@@ -481,8 +538,14 @@ def save_failure(failure: FuzzFailure, directory: str) -> Path:
 def replay_file(path: str, audit: bool = True) -> List[FuzzFailure]:
     """Re-check a saved instance file (corpus entry or failure repro).
 
-    Accepts either a bare instance JSON (``QueryInstance.to_json``) or a
-    failure file produced by :func:`save_failure`."""
+    Accepts either a bare instance JSON (``QueryInstance.to_json``) or
+    a failure file produced by :func:`save_failure`.  A persisted fault
+    spec is re-applied, so a deliberately-faulted failure replays with
+    the identical fault."""
     blob = json.loads(Path(path).read_text())
     instance = QueryInstance.from_json(blob.get("instance", blob))
-    return check_instance(instance, audit=audit)
+    fault_blob = blob.get("failure", {}).get("fault")
+    fault = (
+        FaultPlan.from_json(fault_blob) if fault_blob else None
+    )
+    return check_instance(instance, audit=audit, fault=fault)

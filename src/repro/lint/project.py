@@ -30,7 +30,12 @@ from .suppress import Directives, parse_directives
 
 #: Directories (as posix path fragments) whose modules carry the
 #: protocol's obliviousness obligations.
-PROTOCOL_DIRS = ("repro/mpc", "repro/core", "repro/exec")
+PROTOCOL_DIRS = (
+    "repro/mpc",
+    "repro/core",
+    "repro/exec",
+    "repro/runtime",
+)
 
 #: Argument positions of transcript-label parameters, per callee name.
 #: ``send(sender, n_bytes, label)`` / ``section(label)``.

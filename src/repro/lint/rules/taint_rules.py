@@ -14,8 +14,12 @@ protocol directories.
   shapes only).
 * **OBL002** flags channel-discipline breaks: a metered ``send`` whose
   byte count is tainted (length leakage), a send without a non-empty
-  label, and any message-construction that bypasses the metered
-  ``Context.send``/``Transcript.send`` path.
+  label, any message-construction that bypasses the metered
+  ``Context.send``/``Transcript.send`` path, and — outside the
+  sanctioned channel implementations — any direct
+  ``*.transcript.send(...)`` call, which would skip the session
+  framing layer (:mod:`repro.runtime.session`) that supplies sequence
+  numbers, checksums and fault handling.
 """
 
 from __future__ import annotations
@@ -131,13 +135,26 @@ class SecretTaintRule(Rule):
                         break
 
 
+#: Modules allowed to touch the raw channel: the metered transcript
+#: itself, the context router (which hands off to the session when one
+#: is enabled), and the session framing layer — the single sanctioned
+#: wrapper around ``Transcript.send``.  Everything else must call
+#: ``ctx.send`` so framed delivery cannot be bypassed.
+SANCTIONED_CHANNEL_IMPLS = (
+    "mpc/transcript.py",
+    "mpc/context.py",
+    "runtime/session.py",
+)
+
+
 @register
 class ChannelDisciplineRule(Rule):
     code = "OBL002"
     name = "channel-discipline"
     description = (
         "All cross-party bytes go through labelled Context.send / "
-        "Transcript.send with an untainted byte count."
+        "Transcript.send with an untainted byte count; only the "
+        "sanctioned channel implementations touch the raw transcript."
     )
 
     def check_file(
@@ -145,7 +162,7 @@ class ChannelDisciplineRule(Rule):
     ) -> Iterator[Violation]:
         if not src.in_protocol_dirs:
             return
-        is_transcript_impl = src.path.endswith("mpc/transcript.py")
+        sanctioned = src.path.endswith(SANCTIONED_CHANNEL_IMPLS)
         for fn, taint in _protocol_functions(src):
             for node in ast.walk(fn):
                 if not isinstance(node, ast.Call):
@@ -153,15 +170,34 @@ class ChannelDisciplineRule(Rule):
                 name = call_name(node)
                 if name == "send":
                     yield from self._check_send(src, node, taint)
-                elif (
-                    not is_transcript_impl
-                    and self._bypasses_channel(node)
-                ):
+                    if not sanctioned and self._is_raw_transcript_send(
+                        node
+                    ):
+                        yield self.make(
+                            src, node.lineno, node.col_offset,
+                            "direct Transcript.send bypasses the "
+                            "session framing layer (sequence numbers, "
+                            "checksums, fault handling); call "
+                            "ctx.send instead",
+                        )
+                elif not sanctioned and self._bypasses_channel(node):
                     yield self.make(
                         src, node.lineno, node.col_offset,
                         "message constructed outside the metered "
                         "Context.send/Transcript.send channel",
                     )
+
+    @staticmethod
+    def _is_raw_transcript_send(node: ast.Call) -> bool:
+        """``transcript.send(...)`` or ``<expr>.transcript.send(...)``."""
+        if not isinstance(node.func, ast.Attribute):
+            return False
+        recv = node.func.value
+        if isinstance(recv, ast.Name):
+            return recv.id == "transcript"
+        return isinstance(recv, ast.Attribute) and (
+            recv.attr == "transcript"
+        )
 
     def _check_send(self, src, node: ast.Call, taint):
         label = label_arg_of(node)

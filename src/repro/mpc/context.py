@@ -12,13 +12,16 @@ from __future__ import annotations
 
 import enum
 from contextlib import contextmanager
-from typing import ContextManager, Iterator, Optional
+from typing import TYPE_CHECKING, ContextManager, Iterator, Optional
 
 import numpy as np
 
 from .params import DEFAULT_PARAMS, SecurityParams
 from .runcache import RunCache
 from .transcript import ALICE, BOB, Transcript, other_party
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.session import Session
 
 __all__ = ["Mode", "Context", "ALICE", "BOB"]
 
@@ -52,6 +55,11 @@ class Context:
         self.rng = np.random.default_rng(seed)
         self.cache = RunCache()
         self._roles_swapped = False
+        #: Optional fault-tolerant session layer
+        #: (:func:`repro.runtime.session.enable_session` attaches one);
+        #: when set, every :meth:`send` is framed, checksummed and
+        #: deadline-supervised before it is metered.
+        self.session: Optional["Session"] = None
 
     # -- convenience ----------------------------------------------------
 
@@ -75,7 +83,10 @@ class Context:
     def send(self, sender: str, n_bytes: int, label: str = "") -> None:
         if self._roles_swapped:
             sender = other_party(sender)
-        self.transcript.send(sender, n_bytes, label)
+        if self.session is not None:
+            self.session.send(sender, n_bytes, label)
+        else:
+            self.transcript.send(sender, n_bytes, label)
 
     def section(self, label: str) -> ContextManager[None]:
         return self.transcript.section(label)
@@ -108,7 +119,9 @@ class Context:
         The role orientation carries over: a sub-protocol measured inside
         a :meth:`swapped_roles` block must keep attributing bytes to the
         correct physical party.  The run cache is shared — setup material
-        is public and per-run, not per-transcript."""
+        is public and per-run, not per-transcript.  The session layer is
+        deliberately **not** inherited: an isolated measurement meters
+        its private transcript unframed."""
         child = Context(self.mode, self.params)
         child.rng = self.rng
         child.cache = self.cache

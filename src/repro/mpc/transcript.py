@@ -17,7 +17,14 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
-__all__ = ["Message", "Transcript", "ALICE", "BOB", "other_party"]
+__all__ = [
+    "Message",
+    "Transcript",
+    "TranscriptState",
+    "ALICE",
+    "BOB",
+    "other_party",
+]
 
 #: Party identifiers.  Alice is, per the paper's convention, the designated
 #: receiver of the query results.
@@ -41,6 +48,16 @@ class Message:
     sender: str
     n_bytes: int
     label: str
+
+
+@dataclass(frozen=True)
+class TranscriptState:
+    """A transcript position for checkpoint/rollback (the session
+    layer's node-granular retries truncate back to one of these)."""
+
+    n_messages: int
+    last_sender: Optional[str]
+    rounds: int
 
 
 class Transcript:
@@ -69,6 +86,29 @@ class Transcript:
         if sender != self._last_sender:
             self._rounds += 1
             self._last_sender = sender
+
+    # -- checkpointing --------------------------------------------------
+
+    def state(self) -> TranscriptState:
+        """The current position, for a later :meth:`rollback`."""
+        return TranscriptState(
+            n_messages=len(self.messages),
+            last_sender=self._last_sender,
+            rounds=self._rounds,
+        )
+
+    def rollback(self, state: TranscriptState) -> None:
+        """Truncate back to a previously captured position: messages
+        recorded since are discarded and the round counter rewound, so
+        a retried node re-meters from a clean slate."""
+        if state.n_messages > len(self.messages):
+            raise ValueError(
+                "cannot roll a transcript forward "
+                f"({state.n_messages} > {len(self.messages)} messages)"
+            )
+        del self.messages[state.n_messages:]
+        self._last_sender = state.last_sender
+        self._rounds = state.rounds
 
     @contextmanager
     def section(self, label: str) -> Iterator[None]:

@@ -1,0 +1,76 @@
+"""Fault-tolerant session layer for the secure pipeline.
+
+Framed, sequence-numbered, checksummed messaging over the metered
+channel; deterministic fault injection; typed protocol aborts;
+node-granular checkpoint/retry; and the chaos-sweep harness.  See
+``docs/ROBUSTNESS.md``.
+"""
+
+from .aborts import (
+    REASONS,
+    IntegrityAbort,
+    PeerCrash,
+    ProtocolAbort,
+    SequenceAbort,
+    TimeoutAbort,
+)
+from .chaos import (
+    CLASSIFICATIONS,
+    ChaosOutcome,
+    ChaosReport,
+    RunProfile,
+    build_specs,
+    classify_fault,
+    make_tpch_runner,
+    profile_run,
+    sweep,
+)
+from .clock import VirtualClock
+from .faults import (
+    FAULT_KINDS,
+    MESSAGE_FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    perturb_share,
+)
+from .framing import FRAME_HEADER_BYTES, FRAME_MAGIC, Frame
+from .session import (
+    DEFAULT_NODE_BUDGET,
+    Session,
+    SessionState,
+    enable_session,
+)
+from .supervisor import RetryPolicy, Supervisor
+
+__all__ = [
+    "REASONS",
+    "ProtocolAbort",
+    "IntegrityAbort",
+    "SequenceAbort",
+    "TimeoutAbort",
+    "PeerCrash",
+    "VirtualClock",
+    "FAULT_KINDS",
+    "MESSAGE_FAULT_KINDS",
+    "FaultSpec",
+    "FaultPlan",
+    "perturb_share",
+    "FRAME_MAGIC",
+    "FRAME_HEADER_BYTES",
+    "Frame",
+    "DEFAULT_NODE_BUDGET",
+    "Session",
+    "SessionState",
+    "enable_session",
+    "RetryPolicy",
+    "Supervisor",
+    "CLASSIFICATIONS",
+    "RunProfile",
+    "ChaosOutcome",
+    "ChaosReport",
+    "profile_run",
+    "build_specs",
+    "classify_fault",
+    "sweep",
+    "make_tpch_runner",
+]

@@ -1,0 +1,148 @@
+"""The typed protocol-abort taxonomy.
+
+Every fault the session layer can *detect* maps to exactly one
+:class:`ProtocolAbort` subclass, and every abort is built from a fixed
+vocabulary of **public** fields: reason codes, sequence numbers,
+transcript labels, byte counts, virtual-clock ticks and party names.
+No constructor accepts free-form payloads, so no abort path can ever
+surface reconstructed plaintext — the chaos harness and the unit tests
+assert :meth:`ProtocolAbort.is_sanitized` on every abort they observe.
+
+The supervisor's retry decision is a class attribute: transient channel
+faults (integrity, sequencing, deadline) are ``retryable``; a peer
+crash is terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "REASONS",
+    "ProtocolAbort",
+    "IntegrityAbort",
+    "SequenceAbort",
+    "TimeoutAbort",
+    "PeerCrash",
+]
+
+#: The closed vocabulary of abort reasons.  ``reason`` must be one of
+#: these strings; anything else is a programming error, not a fault.
+REASONS = (
+    "checksum-mismatch",
+    "length-mismatch",
+    "sequence-gap",
+    "sequence-replay",
+    "deadline-expired",
+    "peer-crashed",
+    "retries-exhausted",
+)
+
+
+class ProtocolAbort(RuntimeError):
+    """Base of the abort taxonomy.
+
+    Fields are restricted to public channel metadata; see the module
+    docstring.  ``retryable`` tells the supervisor whether a
+    node-granular checkpoint retry is permitted.
+    """
+
+    retryable = False
+
+    def __init__(
+        self,
+        reason: str,
+        *,
+        node: Optional[int] = None,
+        label: str = "",
+        seq: Optional[int] = None,
+        expected: Optional[int] = None,
+        party: Optional[str] = None,
+        n_bytes: Optional[int] = None,
+        tick: Optional[int] = None,
+        deadline: Optional[int] = None,
+        attempts: Optional[int] = None,
+    ) -> None:
+        if reason not in REASONS:
+            raise ValueError(f"unknown abort reason {reason!r}")
+        self.reason = reason
+        self.node = node
+        self.label = label
+        self.seq = seq
+        self.expected = expected
+        self.party = party
+        self.n_bytes = n_bytes
+        self.tick = tick
+        self.deadline = deadline
+        self.attempts = attempts
+        super().__init__(self._describe())
+
+    def _describe(self) -> str:
+        parts = [self.reason]
+        if self.node is not None:
+            parts.append(f"node={self.node}")
+        if self.label:
+            parts.append(f"label={self.label}")
+        if self.seq is not None:
+            parts.append(f"seq={self.seq}")
+        if self.expected is not None:
+            parts.append(f"expected={self.expected}")
+        if self.party is not None:
+            parts.append(f"party={self.party}")
+        if self.n_bytes is not None:
+            parts.append(f"n_bytes={self.n_bytes}")
+        if self.tick is not None:
+            parts.append(f"tick={self.tick}")
+        if self.deadline is not None:
+            parts.append(f"deadline={self.deadline}")
+        if self.attempts is not None:
+            parts.append(f"attempts={self.attempts}")
+        return " ".join(parts)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "type": type(self).__name__,
+            "reason": self.reason,
+            "retryable": self.retryable,
+            "node": self.node,
+            "label": self.label,
+            "seq": self.seq,
+            "expected": self.expected,
+            "party": self.party,
+            "n_bytes": self.n_bytes,
+            "tick": self.tick,
+            "deadline": self.deadline,
+            "attempts": self.attempts,
+        }
+
+    def is_sanitized(self) -> bool:
+        """The structural no-leak check: the reason code is from the
+        closed vocabulary and the message is exactly the canonical
+        rendering of the public fields (nothing smuggled in)."""
+        return self.reason in REASONS and str(self) == self._describe()
+
+
+class IntegrityAbort(ProtocolAbort):
+    """A frame failed verification: checksum or length mismatch."""
+
+    retryable = True
+
+
+class SequenceAbort(ProtocolAbort):
+    """A frame arrived out of order: gap (lost/held frame ahead of it)
+    or replay (sequence number already delivered)."""
+
+    retryable = True
+
+
+class TimeoutAbort(ProtocolAbort):
+    """The virtual-clock deadline of the current plan node expired, or
+    the node ended with sent-but-undelivered frames outstanding."""
+
+    retryable = True
+
+
+class PeerCrash(ProtocolAbort):
+    """The remote party crashed; no retry can help."""
+
+    retryable = False

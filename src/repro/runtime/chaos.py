@@ -1,0 +1,302 @@
+"""The chaos-sweep harness: every message is a fault point.
+
+A sweep first runs the query **unfaulted** (session enabled, no fault
+plan) to obtain the baseline :class:`RunProfile` — canonical output
+rows, per-section byte/round accounting and the full transcript
+fingerprint — then re-runs it once per fault point and classifies each
+run:
+
+* ``completed-correct`` — the run finished and its profile is
+  byte-equal to the baseline (retried-after-fault runs must land here:
+  same output, same accounting, same fingerprint);
+* ``clean-abort`` — the run raised a sanitized
+  :class:`~repro.runtime.aborts.ProtocolAbort`;
+* ``VIOLATION`` — anything else: a wrong answer, a profile drift, an
+  uncaught exception, or an abort carrying non-public payload.
+
+The acceptance gate (``repro chaos --query q3 --scale tiny --sweep
+all``) requires zero VIOLATIONs over the full cross product of message
+indices × message-fault kinds, plus a party crash at every plan node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..mpc.transcript import ALICE, BOB
+from .aborts import ProtocolAbort
+from .faults import MESSAGE_FAULT_KINDS, FaultPlan, FaultSpec
+from .session import DEFAULT_NODE_BUDGET, Session, enable_session
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..mpc.context import Context
+
+__all__ = [
+    "CLASSIFICATIONS",
+    "RunProfile",
+    "ChaosOutcome",
+    "ChaosReport",
+    "profile_run",
+    "classify_fault",
+    "sweep",
+    "make_tpch_runner",
+]
+
+CLASSIFICATIONS = ("completed-correct", "clean-abort", "VIOLATION")
+
+#: A runner executes the query once under the given fault plan and
+#: returns the run's profile (raising whatever the run raises).
+Runner = Callable[[FaultPlan], "RunProfile"]
+
+
+@dataclass(frozen=True)
+class RunProfile:
+    """Everything two runs must agree on to be 'the same run'."""
+
+    rows: Tuple[Tuple[str, int], ...]
+    bytes_by_section: Tuple[Tuple[str, int], ...]
+    rounds_by_section: Tuple[Tuple[str, int], ...]
+    fingerprint: Tuple[Tuple[str, int, str], ...]
+    n_messages: int
+    nodes_seen: Tuple[int, ...]
+    n_retries: int
+
+    def diff(self, other: "RunProfile") -> str:
+        """First material difference against a baseline ("" if equal;
+        retry counts and wire indices are run-local, not compared)."""
+        if self.rows != other.rows:
+            return "output rows differ"
+        if self.bytes_by_section != other.bytes_by_section:
+            return "per-section byte accounting differs"
+        if self.rounds_by_section != other.rounds_by_section:
+            return "per-section round accounting differs"
+        if self.fingerprint != other.fingerprint:
+            return "transcript fingerprint differs"
+        return ""
+
+
+def profile_run(
+    ctx: "Context", session: Session, result: Iterable[Tuple[Any, Any]]
+) -> RunProfile:
+    rows = tuple(
+        sorted((str(row), int(value)) for row, value in result)
+    )
+    t = ctx.transcript
+    return RunProfile(
+        rows=rows,
+        bytes_by_section=tuple(sorted(t.bytes_by_section().items())),
+        rounds_by_section=tuple(sorted(t.rounds_by_section().items())),
+        fingerprint=t.fingerprint(),
+        n_messages=len(t.messages),
+        nodes_seen=tuple(session.nodes_seen),
+        n_retries=session.n_retries,
+    )
+
+
+@dataclass
+class ChaosOutcome:
+    """Classification of one faulted run."""
+
+    fault: FaultSpec
+    classification: str
+    detail: str = ""
+    abort: Optional[Dict[str, Any]] = None
+    retried: bool = False
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "fault": self.fault.to_json(),
+            "classification": self.classification,
+            "detail": self.detail,
+            "abort": self.abort,
+            "retried": self.retried,
+        }
+
+    def __str__(self) -> str:
+        extra = f": {self.detail}" if self.detail else ""
+        retried = " [retried]" if self.retried else ""
+        return f"{self.fault} -> {self.classification}{retried}{extra}"
+
+
+@dataclass
+class ChaosReport:
+    """One sweep's outcomes plus the baseline it judged against."""
+
+    outcomes: List[ChaosOutcome] = field(default_factory=list)
+    baseline_messages: int = 0
+    baseline_nodes: int = 0
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        out = {c: 0 for c in CLASSIFICATIONS}
+        for o in self.outcomes:
+            out[o.classification] += 1
+        return out
+
+    @property
+    def violations(self) -> List[ChaosOutcome]:
+        return [
+            o for o in self.outcomes if o.classification == "VIOLATION"
+        ]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        c = self.counts
+        status = "OK" if self.ok else f"{len(self.violations)} VIOLATIONS"
+        return (
+            f"{status}: {len(self.outcomes)} fault points over "
+            f"{self.baseline_messages} messages / "
+            f"{self.baseline_nodes} nodes — "
+            f"{c['completed-correct']} completed-correct, "
+            f"{c['clean-abort']} clean-abort, "
+            f"{c['VIOLATION']} violations"
+        )
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "meta": dict(self.meta),
+            "baseline_messages": self.baseline_messages,
+            "baseline_nodes": self.baseline_nodes,
+            "counts": self.counts,
+            "ok": self.ok,
+            "outcomes": [o.to_json() for o in self.outcomes],
+        }
+
+
+def classify_fault(
+    run: Runner, baseline: RunProfile, spec: FaultSpec
+) -> ChaosOutcome:
+    """Run once with ``spec`` injected and classify the outcome."""
+    try:
+        profile = run(FaultPlan([spec]))
+    except ProtocolAbort as abort:
+        if abort.is_sanitized():
+            return ChaosOutcome(
+                spec, "clean-abort",
+                detail=str(abort), abort=abort.to_json(),
+            )
+        return ChaosOutcome(
+            spec, "VIOLATION",
+            detail=f"unsanitized abort {type(abort).__name__}",
+            abort=abort.to_json(),
+        )
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except Exception as exc:
+        # A fault surfacing as anything but a ProtocolAbort is exactly
+        # the failure mode the session layer exists to close off.
+        return ChaosOutcome(
+            spec, "VIOLATION",
+            detail=f"uncaught {type(exc).__name__}",
+        )
+    drift = profile.diff(baseline)
+    if drift:
+        return ChaosOutcome(spec, "VIOLATION", detail=drift)
+    return ChaosOutcome(
+        spec, "completed-correct", retried=profile.n_retries > 0
+    )
+
+
+def build_specs(
+    baseline: RunProfile,
+    kinds: Sequence[str] = MESSAGE_FAULT_KINDS + ("crash",),
+    stride: int = 1,
+    hang_ticks: int = DEFAULT_NODE_BUDGET + 1,
+) -> List[FaultSpec]:
+    """The sweep's fault points: every ``stride``-th wire-message index
+    for each message-fault kind, plus a crash at every plan node (the
+    crashing party alternates with node parity)."""
+    specs: List[FaultSpec] = []
+    for kind in kinds:
+        if kind == "crash":
+            for node in baseline.nodes_seen:
+                specs.append(
+                    FaultSpec(
+                        "crash",
+                        node=node,
+                        party=ALICE if node % 2 else BOB,
+                    )
+                )
+            continue
+        for index in range(0, baseline.n_messages, max(stride, 1)):
+            specs.append(
+                FaultSpec(
+                    kind,
+                    message_index=index,
+                    ticks=hang_ticks if kind == "hang" else 0,
+                )
+            )
+    return specs
+
+
+def sweep(
+    run: Runner,
+    kinds: Sequence[str] = MESSAGE_FAULT_KINDS + ("crash",),
+    stride: int = 1,
+    hang_ticks: int = DEFAULT_NODE_BUDGET + 1,
+    on_progress: Optional[Callable[[int, int, ChaosOutcome], None]] = None,
+) -> ChaosReport:
+    """Baseline once, then classify every fault point."""
+    baseline = run(FaultPlan())
+    specs = build_specs(
+        baseline, kinds=kinds, stride=stride, hang_ticks=hang_ticks
+    )
+    report = ChaosReport(
+        baseline_messages=baseline.n_messages,
+        baseline_nodes=len(baseline.nodes_seen),
+    )
+    for i, spec in enumerate(specs):
+        outcome = classify_fault(run, baseline, spec)
+        report.outcomes.append(outcome)
+        if on_progress is not None:
+            on_progress(i + 1, len(specs), outcome)
+    return report
+
+
+def make_tpch_runner(
+    query: str = "Q3",
+    scale_mb: float = 0.1,
+    real: bool = False,
+    policy: str = "program",
+    seed: int = 7,
+    group_bits: int = 1536,
+    node_budget: int = DEFAULT_NODE_BUDGET,
+) -> Runner:
+    """A :data:`Runner` over one prepared TPC-H query.  The dataset and
+    query are built once; every call gets a fresh context, engine and
+    session (the prepared query rebuilds its relations per run, so runs
+    are independent)."""
+    from ..mpc.context import Mode
+    from ..mpc.engine import Engine
+    from ..tpch import PREPARED, generate
+
+    dataset = generate(scale_mb)
+    prepared = PREPARED[query.upper()](dataset)
+    mode = Mode.REAL if real else Mode.SIMULATED
+
+    def run(faults: FaultPlan) -> RunProfile:
+        ctx = prepared.make_context(mode, seed=seed)
+        engine = Engine(ctx, group_bits, exec_policy=policy)
+        session = enable_session(
+            ctx, faults, node_budget=node_budget, seed=seed
+        )
+        result, _ = prepared.run_secure(engine)
+        session.finish()
+        return profile_run(ctx, session, result)
+
+    return run

@@ -1,0 +1,184 @@
+"""Deterministic fault injection: :class:`FaultSpec` and :class:`FaultPlan`.
+
+A fault plan is pure data — *which* fault, at *which* wire-message
+index or plan node, against *which* party — so any faulted run replays
+from its JSON spec alone.  Each spec fires **once**: the session's wire
+index is monotone across checkpoint retries (rollback rewinds sequence
+counters and the metered transcript, never the wire index), so a fault
+consumed on attempt 1 does not re-fire on attempt 2.  That one-shot
+semantics is what makes "retry from checkpoint" converge.
+
+Fault kinds
+-----------
+
+=================  ====================================================
+``corrupt``        flip a checksum bit of wire message *k*
+``truncate``       drop the last payload byte of wire message *k*
+``drop``           wire message *k* never arrives
+``duplicate``      wire message *k* is delivered twice
+``reorder``        wire message *k* is held and overtaken by the next
+                   same-sender message
+``hang``           the channel stalls ``ticks`` virtual ticks at *k*
+``crash``          party ``party`` crashes entering plan node ``node``
+``perturb_share``  additively perturb one input share (semantic fault;
+                   detected by the differential oracle, not the
+                   session — see ``repro fuzz --inject-fault``)
+=================  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Set
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.relation import SecureRelation
+    from ..mpc.engine import Engine
+
+__all__ = [
+    "FAULT_KINDS",
+    "MESSAGE_FAULT_KINDS",
+    "FaultSpec",
+    "FaultPlan",
+    "perturb_share",
+]
+
+#: Kinds that target a wire-message index.
+MESSAGE_FAULT_KINDS = (
+    "corrupt",
+    "truncate",
+    "drop",
+    "duplicate",
+    "reorder",
+    "hang",
+)
+
+FAULT_KINDS = MESSAGE_FAULT_KINDS + ("crash", "perturb_share")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault, fully determined by its fields."""
+
+    kind: str
+    message_index: Optional[int] = None  #: wire index for message faults
+    node: Optional[int] = None  #: plan-node id for ``crash``
+    party: Optional[str] = None  #: crashing party for ``crash``
+    ticks: int = 0  #: stall duration for ``hang``
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.kind in MESSAGE_FAULT_KINDS and self.message_index is None:
+            raise ValueError(f"{self.kind!r} fault needs a message_index")
+        if self.kind == "crash" and self.node is None:
+            raise ValueError("crash fault needs a node id")
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "message_index": self.message_index,
+            "node": self.node,
+            "party": self.party,
+            "ticks": self.ticks,
+        }
+
+    @staticmethod
+    def from_json(d: Dict[str, Any]) -> "FaultSpec":
+        return FaultSpec(
+            kind=d["kind"],
+            message_index=d.get("message_index"),
+            node=d.get("node"),
+            party=d.get("party"),
+            ticks=int(d.get("ticks", 0)),
+        )
+
+    def __str__(self) -> str:
+        where = []
+        if self.message_index is not None:
+            where.append(f"msg={self.message_index}")
+        if self.node is not None:
+            where.append(f"node={self.node}")
+        if self.party is not None:
+            where.append(f"party={self.party}")
+        if self.ticks:
+            where.append(f"ticks={self.ticks}")
+        return f"{self.kind}({', '.join(where)})"
+
+
+class FaultPlan:
+    """A set of one-shot fault specs the session consults.
+
+    ``for_message`` / ``for_node`` return (and consume) the first
+    un-fired spec matching the probe; :meth:`fresh` returns an un-fired
+    copy for the next run of a campaign.
+    """
+
+    def __init__(self, specs: Sequence[FaultSpec] = ()) -> None:
+        self.specs: List[FaultSpec] = list(specs)
+        self._fired: Set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __str__(self) -> str:
+        return "+".join(str(s) for s in self.specs) or "(no faults)"
+
+    def fresh(self) -> "FaultPlan":
+        return FaultPlan(self.specs)
+
+    @property
+    def fired(self) -> List[FaultSpec]:
+        return [self.specs[i] for i in sorted(self._fired)]
+
+    def for_message(self, wire_index: int) -> Optional[FaultSpec]:
+        for i, spec in enumerate(self.specs):
+            if (
+                i not in self._fired
+                and spec.kind in MESSAGE_FAULT_KINDS
+                and spec.message_index == wire_index
+            ):
+                self._fired.add(i)
+                return spec
+        return None
+
+    def for_node(self, node_id: int) -> Optional[FaultSpec]:
+        for i, spec in enumerate(self.specs):
+            if (
+                i not in self._fired
+                and spec.kind == "crash"
+                and spec.node == node_id
+            ):
+                self._fired.add(i)
+                return spec
+        return None
+
+    def input_faults(self) -> List[FaultSpec]:
+        """The semantic (pre-run) faults: applied to the secret-shared
+        inputs before the protocol starts."""
+        return [s for s in self.specs if s.kind == "perturb_share"]
+
+    def to_json(self) -> List[Dict[str, Any]]:
+        return [s.to_json() for s in self.specs]
+
+    @staticmethod
+    def from_json(blobs: Sequence[Dict[str, Any]]) -> "FaultPlan":
+        return FaultPlan([FaultSpec.from_json(b) for b in blobs])
+
+
+def perturb_share(
+    engine: "Engine", inputs: Dict[str, "SecureRelation"]
+) -> None:
+    """The semantic fault: secret-share the first relation's
+    annotations and add 1 to Alice's share of entry 0.  The sharing is
+    transcript-neutral in accounting terms, but the reconstructed
+    annotation is wrong — the differential oracle must catch it."""
+    name = sorted(inputs)[0]
+    rel = inputs[name]
+    if len(rel) == 0:  # pragma: no cover - generators emit >=1 tuple
+        return
+    from ..core.relation import SecureAnnotations
+
+    shares = rel.annotations.to_shared(engine, label="fault")
+    shares.alice[0] = (int(shares.alice[0]) + 1) % engine.ctx.modulus
+    rel.annotations = SecureAnnotations.shared(shares)

@@ -17,3 +17,8 @@ def tainted_byte_count(ctx, sv):
 
 def channel_bypass(transcript, n):
     transcript.messages.append(Message("alice", n, "x"))  # noqa: F821
+
+
+def raw_transcript_send(ctx, n):
+    # Bypasses the session framing layer (no seq/checksum/faults).
+    ctx.transcript.send("alice", n, "raw")

@@ -67,6 +67,33 @@ def test_rules_only_fire_in_protocol_dirs():
     assert violations == []
 
 
+_RAW_SEND = (
+    "def f(ctx, n):\n"
+    '    ctx.transcript.send("alice", n, "raw")\n'
+)
+
+
+def test_obl002_flags_raw_transcript_send_in_runtime():
+    """repro/runtime is a protocol dir; unsanctioned modules there may
+    not touch the raw transcript either."""
+    src = parse_source("repro/runtime/helper.py", _RAW_SEND)
+    violations, _ = lint_sources([src], select=["OBL002"])
+    assert any("framing layer" in v.message for v in violations)
+
+
+def test_obl002_sanctioned_channel_impls_exempt():
+    """The transcript, the context router and the session framing
+    layer are the only modules allowed a raw Transcript.send."""
+    for path in (
+        "repro/mpc/transcript.py",
+        "repro/mpc/context.py",
+        "repro/runtime/session.py",
+    ):
+        src = parse_source(path, _RAW_SEND)
+        violations, _ = lint_sources([src], select=["OBL002"])
+        assert violations == [], path
+
+
 # ----------------------------------------------------------------------
 # framework: suppressions, baseline, full-tree run
 # ----------------------------------------------------------------------
