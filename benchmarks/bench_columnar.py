@@ -1,0 +1,211 @@
+"""Columnar data plane vs the retained tuple path — the PR 6 curve.
+
+Runs TPC-H Q3 at 0.1, 1 and 10 MB and measures, per scale:
+
+* ``ingest_columnar_ms``  — building the query's annotated relations
+  straight from the table columns (``Table.to_relation``'s zero-copy
+  columnar path);
+* ``ingest_tuple_ms``     — rebuilding the same relations from Python
+  tuple rows (what the pre-columnar seed did on every ingest);
+* ``plain_columnar_ms``   — plaintext Yannakakis over the columnar
+  operators (:mod:`repro.relalg.operators`);
+* ``plain_reference_ms``  — the same plan over the retained tuple-path
+  operators (:mod:`repro.relalg._reference`), results asserted
+  identical tuple-for-tuple;
+* ``sql_ms``              — the honest-engine baseline
+  (:mod:`repro.baselines.sql_baseline`: DuckDB if installed, stdlib
+  sqlite3 otherwise), result asserted semantically equal;
+* ``secure_bytes`` / ``n_messages`` — one SIMULATED secure run.
+  Byte accounting is deterministic and machine-independent, so the
+  committed baseline gates on *exact* equality; wall-clock numbers are
+  informational.
+
+``speedup`` is (plaintext + marshalling) tuple-path time over columnar
+time: ``(ingest_tuple + plain_reference) / (ingest_columnar +
+plain_columnar)``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_columnar.py            # print
+    PYTHONPATH=src python benchmarks/bench_columnar.py --out F    # write
+    PYTHONPATH=src python benchmarks/bench_columnar.py --check    # CI gate
+    PYTHONPATH=src python benchmarks/bench_columnar.py --quick    # small scales
+
+The ``--check`` gate verifies, against ``BENCH_PR6.json``:
+
+* secure byte counts and message counts match exactly at every scale;
+* the measured speedup at the largest scale is at least
+  ``SPEEDUP_TOLERANCE`` x the committed one (timings vary by machine;
+  bytes do not);
+* the committed curve itself records >= ``MIN_SPEEDUP_10MB`` at 10 MB.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.baselines import run_sql_baseline
+from repro.mpc import Engine, Mode
+from repro.relalg import _reference
+from repro.relalg.relation import AnnotatedRelation
+from repro.tpch import PREPARED, generate
+
+SEED = 7
+QUERY = "Q3"
+SCALES_MB = (0.1, 1, 10)
+QUICK_SCALES_MB = (0.1, 1)
+#: The committed curve must show at least this at the 10 MB point.
+MIN_SPEEDUP_10MB = 3.0
+#: Measured-vs-committed slack for wall-clock gates (bytes get none).
+SPEEDUP_TOLERANCE = 0.4
+BASELINE = Path(__file__).resolve().parent.parent / "BENCH_PR6.json"
+
+
+def _time(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - t0
+
+
+def _tuple_reingest_ms(relations) -> float:
+    """Rebuild every input relation from Python tuple rows — the
+    pre-columnar representation's ingest cost (row materialisation
+    included, exactly what the tuple path paid)."""
+    total = 0.0
+    for rel in relations.values():
+        # A fresh store, so materialisation isn't served from cache.
+        uncached = rel.store.take(np.arange(len(rel)))
+        t0 = time.perf_counter()
+        rows = uncached.materialize()
+        AnnotatedRelation(
+            rel.attributes, rows, rel.annotations, rel.semiring
+        )
+        total += time.perf_counter() - t0
+    return 1e3 * total
+
+
+def measure_scale(scale_mb: float) -> dict:
+    prepared = PREPARED[QUERY](generate(scale_mb))
+
+    query, ingest_s = _time(prepared._build)
+    relations = query.relations
+    ingest_tuple_ms = _tuple_reingest_ms(relations)
+
+    plain_col, plain_col_s = prepared.run_plain()
+    plain_ref, plain_ref_s = prepared.run_plain(operators=_reference)
+    assert plain_col.tuples == plain_ref.tuples, (
+        f"{QUERY}@{scale_mb}MB: columnar and reference operators disagree"
+    )
+    assert (plain_col.annotations == plain_ref.annotations).all()
+
+    sql = run_sql_baseline(relations, list(query.output), ell=prepared.ell)
+    assert sql.result.semantically_equal(plain_col), (
+        f"{QUERY}@{scale_mb}MB: {sql.backend} disagrees with Yannakakis"
+    )
+
+    ctx = prepared.make_context(Mode.SIMULATED, seed=SEED)
+    secure_result, stats = prepared.run_secure(Engine(ctx))
+    assert secure_result.semantically_equal(plain_col)
+
+    ingest_col_ms = 1e3 * ingest_s
+    speedup = (ingest_tuple_ms + 1e3 * plain_ref_s) / (
+        ingest_col_ms + 1e3 * plain_col_s
+    )
+    return {
+        "ingest_columnar_ms": round(ingest_col_ms, 2),
+        "ingest_tuple_ms": round(ingest_tuple_ms, 2),
+        "plain_columnar_ms": round(1e3 * plain_col_s, 2),
+        "plain_reference_ms": round(1e3 * plain_ref_s, 2),
+        "sql_ms": round(1e3 * sql.seconds, 2),
+        "sql_backend": sql.backend,
+        "speedup": round(speedup, 2),
+        "secure_bytes": stats.total_bytes,
+        "n_messages": len(ctx.transcript.messages),
+        "secure_seconds": round(stats.seconds, 3),
+    }
+
+
+def measure(scales) -> dict:
+    out = {"query": QUERY, "seed": SEED, "scales": {}}
+    for mb in scales:
+        out["scales"][str(mb)] = measure_scale(mb)
+    return out
+
+
+def check(measured: dict) -> int:
+    if not BASELINE.exists():
+        print(f"missing committed baseline {BASELINE}", file=sys.stderr)
+        return 1
+    committed = json.loads(BASELINE.read_text())
+
+    failures = []
+    ten = committed["scales"].get("10")
+    if ten is None or ten["speedup"] < MIN_SPEEDUP_10MB:
+        failures.append(
+            "committed curve does not record a >= "
+            f"{MIN_SPEEDUP_10MB}x speedup at 10 MB: {ten}"
+        )
+    for scale, got in measured["scales"].items():
+        want = committed["scales"].get(scale)
+        if want is None:
+            failures.append(f"scale {scale} MB missing from {BASELINE}")
+            continue
+        for key in ("secure_bytes", "n_messages"):
+            if got[key] != want[key]:
+                failures.append(
+                    f"{scale} MB: {key} {got[key]} != committed {want[key]}"
+                )
+    largest = max(measured["scales"], key=float)
+    got_speed = measured["scales"][largest]["speedup"]
+    want_speed = committed["scales"][largest]["speedup"]
+    if got_speed < SPEEDUP_TOLERANCE * want_speed:
+        failures.append(
+            f"{largest} MB: measured speedup {got_speed} fell below "
+            f"{SPEEDUP_TOLERANCE} x committed {want_speed}"
+        )
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print(
+        f"columnar curve matches {BASELINE.name}: byte counts exact at "
+        f"{sorted(measured['scales'])} MB, speedup {got_speed}x at "
+        f"{largest} MB (committed {want_speed}x)"
+    )
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--out", type=Path, help="write JSON to this path")
+    ap.add_argument(
+        "--check", action="store_true",
+        help="gate against the committed BENCH_PR6.json",
+    )
+    ap.add_argument(
+        "--quick", action="store_true",
+        help=f"only scales {QUICK_SCALES_MB} (CI-sized)",
+    )
+    args = ap.parse_args()
+
+    scales = QUICK_SCALES_MB if args.quick else SCALES_MB
+    measured = measure(scales)
+    text = json.dumps(measured, indent=2, sort_keys=True)
+    if args.out:
+        args.out.write_text(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    if args.check:
+        return check(measured)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

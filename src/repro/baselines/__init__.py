@@ -8,12 +8,20 @@ from .garbled_baseline import (
     run_cartesian_gc,
 )
 from .nonprivate import NonPrivateResult, run_nonprivate
+from .sql_baseline import (
+    SqlBaselineResult,
+    run_sql_baseline,
+    sql_backend_name,
+)
 
 __all__ = [
     "GcBaselineCost",
     "NonPrivateResult",
+    "SqlBaselineResult",
     "cartesian_gc_cost",
     "gc_gate_rate",
     "run_cartesian_gc",
     "run_nonprivate",
+    "run_sql_baseline",
+    "sql_backend_name",
 ]

@@ -13,6 +13,13 @@ become zero-annotated dummy tuples.  The output is therefore
 *semantically equivalent* to the true projection while its size and
 access pattern depend only on the (public) input size.
 
+The owner-local sort runs columnar: group keys become ``int64`` row
+codes (:func:`~repro.relalg.columns.joint_row_codes`) and one
+``np.argsort`` yields both the permutation and the same-as-next
+boundary flags — no per-tuple encoding.  The sort order (code order) is
+deterministic and mode-independent; only the *grouping* matters to the
+protocol, and the transcript depends only on the public size ``n``.
+
 When the annotations are plain and owner-held (Section 6.5), the whole
 operator runs locally — the output is still padded with dummies to the
 input size so no intermediate cardinality is disclosed downstream.
@@ -20,48 +27,50 @@ input size so no intermediate cardinality is disclosed downstream.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 
 from ..mpc.engine import Engine
-from .oriented import OrientedEngine
-from .relation import (
-    SecureAnnotations,
-    SecureRelation,
-    dummy_tuple,
-    sort_key,
+from ..relalg.columns import (
+    TupleStore,
+    fresh_nonces,
+    group_by_first_appearance,
+    joint_row_codes,
+    sort_with_same_flags,
 )
+from .oriented import OrientedEngine
+from .relation import SecureAnnotations, SecureRelation
 
 __all__ = ["oblivious_aggregate", "oblivious_support_projection"]
 
 
-def _sorted_groups(
-    rel: SecureRelation, attrs: Sequence[str]
-) -> Tuple[List[int], List[Tuple], List[bool]]:
-    """Owner-local: sort order over tuples by group key, the projected
-    keys in that order, and the same-as-next boundary flags."""
-    idx = rel.index_of(attrs)
-    keys = [tuple(t[i] for i in idx) for t in rel.tuples]
-    order = sorted(range(len(keys)), key=lambda j: sort_key(keys[j]))
-    sorted_keys = [keys[j] for j in order]
-    same = [
-        sorted_keys[i] == sorted_keys[i + 1]
-        for i in range(len(sorted_keys) - 1)
-    ]
-    return order, sorted_keys, same
+def _group_layout(
+    rel: SecureRelation, attrs: Tuple[str, ...]
+) -> Tuple[np.ndarray, TupleStore, np.ndarray]:
+    """Owner-local: the sort order over tuples by group key, the
+    projected store in that order, and the same-as-next boundary flags."""
+    proj = rel.store.project(attrs)
+    codes = joint_row_codes([proj])[0]
+    order, same = sort_with_same_flags(codes)
+    return order, proj.take(order), same
 
 
-def _output_tuples(
-    sorted_keys: List[Tuple], same: List[bool], arity: int
-) -> List[Tuple]:
-    """Group keys at last-of-group positions, fresh dummies elsewhere."""
-    n = len(sorted_keys)
-    out: List[Tuple] = []
-    for i in range(n):
-        last = i == n - 1 or not same[i]
-        out.append(sorted_keys[i] if last else dummy_tuple(arity))
-    return out
+def _output_store(
+    sorted_proj: TupleStore, same: np.ndarray
+) -> TupleStore:
+    """Group keys at last-of-group positions, fresh dummies elsewhere
+    (one vectorised nonce-block reservation)."""
+    n = sorted_proj.n
+    last = np.ones(n, dtype=bool)
+    if n > 1:
+        last[:-1] = ~same
+    nonce = sorted_proj.nonce.copy()
+    inner = ~last
+    nonce[inner] = fresh_nonces(int(inner.sum()))
+    return TupleStore(
+        sorted_proj.attributes, sorted_proj.columns, nonce
+    )
 
 
 def oblivious_aggregate(
@@ -81,39 +90,33 @@ def oblivious_aggregate(
 
     if rel.annotations.kind == "plain":
         # Section 6.5 fast path: entirely local to the owner.
-        idx = rel.index_of(attrs)
-        keys = [tuple(t[i] for i in idx) for t in rel.tuples]
-        totals: dict = {}
-        order: List[Tuple] = []
-        for key, v in zip(keys, rel.annotations.values):
-            if key not in totals:
-                totals[key] = int(v)
-                order.append(key)
-            else:
-                totals[key] = (totals[key] + int(v)) % (
-                    engine.ctx.modulus
-                )
-        out_tuples = list(order)
-        out_annots = [totals[k] for k in order]
-        while len(out_tuples) < n:
-            out_tuples.append(dummy_tuple(len(attrs)))
-            out_annots.append(0)
+        proj = rel.store.project(attrs)
+        codes = joint_row_codes([proj])[0]
+        gid, first = group_by_first_appearance(codes)
+        assert rel.annotations.values is not None
+        sums = np.zeros(len(first), dtype=np.uint64)
+        np.add.at(sums, gid, rel.annotations.values)
+        sums &= engine.ctx.mask
+        out_store = proj.take(first).with_dummies(n - len(first))
+        out_annots = np.zeros(n, dtype=np.uint64)
+        out_annots[: len(first)] = sums
         return SecureRelation(
             rel.owner,
             attrs,
-            out_tuples,
+            out_store,
             SecureAnnotations.plain(rel.owner, out_annots),
         )
 
     oe = OrientedEngine(engine, rel.owner)
     with engine.ctx.section(label):
-        order, sorted_keys, same = _sorted_groups(rel, attrs)
+        order, sorted_proj, same = _group_layout(rel, attrs)
+        assert rel.annotations.shares is not None
         permuted = oe.oep(order, rel.annotations.shares, n, label="oep")
         merged = oe.merge_aggregate_sum(same, permuted)
     return SecureRelation(
         rel.owner,
         attrs,
-        _output_tuples(sorted_keys, same, len(attrs)),
+        _output_store(sorted_proj, same),
         SecureAnnotations.shared(merged),
     )
 
@@ -135,32 +138,31 @@ def oblivious_support_projection(
         )
 
     if rel.annotations.kind == "plain":
-        idx = rel.index_of(attrs)
-        seen: dict = {}
-        for t, v in zip(rel.tuples, rel.annotations.values):
-            if int(v) != 0:
-                seen.setdefault(tuple(t[i] for i in idx), None)
-        out_tuples: List[Tuple] = list(seen)
-        out_annots = [1] * len(out_tuples)
-        while len(out_tuples) < n:
-            out_tuples.append(dummy_tuple(len(attrs)))
-            out_annots.append(0)
+        assert rel.annotations.values is not None
+        nz = np.flatnonzero(rel.annotations.values != 0)
+        sub = rel.store.project(attrs).take(nz)
+        codes = joint_row_codes([sub])[0]
+        _, first = group_by_first_appearance(codes)
+        out_store = sub.take(first).with_dummies(n - len(first))
+        out_annots = np.zeros(n, dtype=np.uint64)
+        out_annots[: len(first)] = 1
         return SecureRelation(
             rel.owner,
             attrs,
-            out_tuples,
+            out_store,
             SecureAnnotations.plain(rel.owner, out_annots),
         )
 
     oe = OrientedEngine(engine, rel.owner)
     with engine.ctx.section(label):
-        order, sorted_keys, same = _sorted_groups(rel, attrs)
+        order, sorted_proj, same = _group_layout(rel, attrs)
+        assert rel.annotations.shares is not None
         permuted = oe.oep(order, rel.annotations.shares, n, label="oep")
         indicators = oe.indicator_nonzero(permuted)
         merged = oe.merge_aggregate_or(same, indicators)
     return SecureRelation(
         rel.owner,
         attrs,
-        _output_tuples(sorted_keys, same, len(attrs)),
+        _output_store(sorted_proj, same),
         SecureAnnotations.shared(merged),
     )

@@ -57,7 +57,9 @@ def joint_sensitivity(
     return int(reveal_vector(engine.ctx, prod, BOB, label="dp/delta")[0])
 
 
-def discrete_laplace(rng, scale: float, n: int) -> np.ndarray:
+def discrete_laplace(
+    rng: np.random.Generator, scale: float, n: int
+) -> np.ndarray:
     """Two-sided geometric noise with the given scale (``b = scale``):
     ``P[k] ∝ exp(-|k| / b)``."""
     if scale <= 0:

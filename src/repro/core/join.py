@@ -19,6 +19,13 @@ be revealed to Alice.  Three steps:
 The annotation shares of ``J*`` are returned (the caller reveals them —
 they are the query results — or feeds them into a composition circuit).
 
+The data plane is columnar end to end: a Bob-owned relation's tuples
+are marshalled into ONE ``(n, bits)`` payload matrix
+(:func:`~repro.core.codec.encode_store_bits`), the circuit batch
+returns the revealed rows as a matrix, and Alice's local star join runs
+over :class:`~repro.relalg.columns.TupleStore` blocks with the source
+positions riding along as ordinary ``__idx_`` integer columns.
+
 The three steps are exposed as composable pieces (``reveal_relation``,
 ``local_star_join``, ``align_factor``, ``finish_join``) so that the
 :mod:`repro.exec` scheduler can run them as separate DAG nodes;
@@ -28,22 +35,24 @@ Both paths produce byte-identical transcripts.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Any, Dict, Iterator, List, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..mpc.context import ALICE, Context
 from ..mpc.engine import Engine
 from ..mpc.sharing import SharedVector
+from ..relalg.columns import Column, TupleStore, fresh_nonces, dummy_value
 from ..relalg.relation import AnnotatedRelation
 from ..relalg.operators import join as plain_join
 from ..relalg.semiring import IntegerRing
-from .codec import decode_tuple_bits, encode_tuple_bits, infer_specs
+from .codec import decode_bits_store, encode_store_bits, infer_specs_store
 from .oriented import OrientedEngine
-from .relation import SecureRelation, dummy_tuple
+from .relation import SecureRelation
 
 __all__ = [
     "ObliviousJoinResult",
+    "RevealedRelation",
     "oblivious_join",
     "reveal_relation",
     "local_star_join",
@@ -56,42 +65,67 @@ __all__ = [
 class ObliviousJoinResult:
     """Join tuples (Alice's) plus their shared annotations."""
 
+    __slots__ = ("attributes", "_store", "annotations")
+
     def __init__(
         self,
         attributes: Tuple[str, ...],
-        tuples: List[Tuple],
+        tuples: Union[TupleStore, Sequence[Tuple]],
         annotations: SharedVector,
     ):
         self.attributes = attributes
-        self.tuples = tuples
+        if isinstance(tuples, TupleStore):
+            self._store = tuples
+        else:
+            self._store = TupleStore.from_tuples(attributes, tuples)
         self.annotations = annotations
+
+    @property
+    def store(self) -> TupleStore:
+        return self._store
+
+    @property
+    def tuples(self) -> List[Tuple]:
+        return self._store.materialize()
+
+
+class RevealedRelation:
+    """Step-1 output for one relation: the nonzero rows Alice learned,
+    plus their original positions in the owner's relation."""
+
+    __slots__ = ("positions", "store")
+
+    def __init__(self, positions: np.ndarray, store: TupleStore):
+        self.positions = positions
+        self.store = store
+
+    def __iter__(self) -> Iterator[Tuple[int, Tuple[Any, ...]]]:
+        """``(position, tuple)`` pairs — the historical view."""
+        return iter(
+            zip(self.positions.tolist(), self.store.materialize())
+        )
 
 
 def _reveal_nonzero(
     engine: Engine, rel: SecureRelation, label: str
-) -> List[Tuple[int, Tuple]]:
-    """Step 1 for one relation: Alice learns the list of
-    ``(original position, tuple)`` for nonzero-annotated tuples."""
+) -> RevealedRelation:
+    """Step 1 for one relation: Alice learns the nonzero-annotated rows
+    (with their original positions)."""
     sv = rel.annotations.to_shared(engine, label=f"{label}/share")
     if rel.owner == ALICE:
         flags, _ = engine.reveal_nonzero_flags(sv, None, label=label)
-        return [
-            (i, tuple(rel.tuples[i]))
-            for i in range(len(rel))
-            if flags[i]
-        ]
-    specs = infer_specs(rel.tuples, len(rel.attributes))
-    payload_bits = [
-        encode_tuple_bits(t, specs) for t in rel.tuples
-    ]
+        keep = np.flatnonzero(np.asarray(flags, dtype=bool))
+        return RevealedRelation(keep, rel.store.take(keep))
+    specs = infer_specs_store(rel.store)
+    payload_bits = encode_store_bits(rel.store, specs)
     flags, payloads = engine.reveal_nonzero_flags(
         sv, payload_bits, label=label
     )
-    out: List[Tuple[int, Tuple]] = []
-    for i in range(len(rel)):
-        if flags[i]:
-            out.append((i, decode_tuple_bits(payloads[i], specs)))
-    return out
+    keep = np.flatnonzero(np.asarray(flags, dtype=bool))
+    revealed = decode_bits_store(
+        np.asarray(payloads, dtype=np.uint8)[keep], specs, rel.attributes
+    )
+    return RevealedRelation(keep, revealed)
 
 
 def _pad_join(
@@ -108,31 +142,37 @@ def _pad_join(
             f"true output size {len(joined)} exceeds the declared "
             f"bound {pad_out_to}"
         )
-    visible = [
-        a for a in joined.attributes if not a.startswith("__idx_")
-    ]
-    idx_cols = {
-        a: len(relations[a[len("__idx_"):]])
-        for a in joined.attributes
-        if a.startswith("__idx_")
-    }
-    rows = list(joined.tuples)
-    for _ in range(pad_out_to - len(joined)):
-        dummy = dict(zip(visible, dummy_tuple(len(visible))))
-        rows.append(
-            tuple(
-                idx_cols[a] if a.startswith("__idx_") else dummy[a]
-                for a in joined.attributes
+    pad = pad_out_to - len(joined)
+    # One dummy nonce per padding row, shared across its visible
+    # attributes (the row is a mixed dummy: real __idx_ slots, dummy
+    # data slots — exactly the tuple-path layout).
+    nonces = fresh_nonces(pad)
+    dummy_vals = [dummy_value(int(x)) for x in nonces.tolist()]
+    pad_cols = []
+    for a in joined.attributes:
+        if a.startswith("__idx_"):
+            slot = len(relations[a[len("__idx_"):]])
+            pad_cols.append(
+                Column.from_ints(np.full(pad, slot, dtype=np.int64))
             )
-        )
-    return AnnotatedRelation(joined.attributes, rows, None, ring)
+        else:
+            pad_cols.append(Column.from_objects(dummy_vals))
+    pad_store = TupleStore.from_columns(
+        joined.attributes, pad_cols, np.zeros(pad, dtype=np.int64)
+    )
+    return AnnotatedRelation(
+        joined.attributes,
+        joined.store.concat(pad_store),
+        None,
+        ring,
+    )
 
 
 def reveal_relation(
     engine: Engine, rel: SecureRelation, name: str
-) -> Tuple[SharedVector, List[Tuple[int, Tuple]]]:
+) -> Tuple[SharedVector, RevealedRelation]:
     """Step 1 for one relation: share its annotations, then reveal the
-    nonzero-annotated ``(position, tuple)`` list to Alice."""
+    nonzero-annotated rows to Alice."""
     shares = rel.annotations.to_shared(engine, label="share")
     revealed = _reveal_nonzero(engine, rel, f"reveal/{name}")
     return shares, revealed
@@ -141,7 +181,7 @@ def reveal_relation(
 def local_star_join(
     ctx: Context,
     relations: Dict[str, SecureRelation],
-    revealed: Dict[str, List[Tuple[int, Tuple]]],
+    revealed: Dict[str, RevealedRelation],
     join_steps: List[Tuple[str, str]],
     pad_out_to: int = 0,
 ) -> AnnotatedRelation:
@@ -151,12 +191,15 @@ def local_star_join(
     ring = IntegerRing(ctx.params.ell)
     star: Dict[str, AnnotatedRelation] = {}
     for name, rel in relations.items():
-        idx_attr = f"__idx_{name}"
+        rev = revealed[name]
+        star_store = rev.store.with_column(
+            f"__idx_{name}",
+            Column.from_ints(
+                np.asarray(rev.positions, dtype=np.int64)
+            ),
+        )
         star[name] = AnnotatedRelation(
-            tuple(rel.attributes) + (idx_attr,),
-            [t + (pos,) for pos, t in revealed[name]],
-            None,
-            ring,
+            star_store.attributes, star_store, None, ring
         )
     order = list(join_steps)
     if order:
@@ -181,7 +224,7 @@ def empty_join_result(
         a for a in joined.attributes if not a.startswith("__idx_")
     )
     return ObliviousJoinResult(
-        attrs, [], SharedVector.zeros(0, ctx.modulus)
+        attrs, TupleStore.empty(attrs), SharedVector.zeros(0, ctx.modulus)
     )
 
 
@@ -195,7 +238,7 @@ def align_factor(
     with the join rows via Alice's ``__idx_`` column."""
     ctx = engine.ctx
     oe = OrientedEngine(engine, ALICE)
-    xi = [int(v) for v in joined.column(f"__idx_{name}")]
+    xi = joined.column_array(f"__idx_{name}")
     # One extra zero slot receives the padding rows' indices, so
     # their annotation product is a (shared) zero.
     extended = shares.concat(SharedVector.zeros(1, ctx.modulus))
@@ -211,14 +254,10 @@ def finish_join(
     index columns."""
     oe = OrientedEngine(engine, ALICE)
     annots = oe.product_across(factors, label="prod")
-    keep = [
-        i
-        for i, a in enumerate(joined.attributes)
-        if not a.startswith("__idx_")
-    ]
-    attrs = tuple(joined.attributes[i] for i in keep)
-    tuples = [tuple(t[i] for i in keep) for t in joined.tuples]
-    return ObliviousJoinResult(attrs, tuples, annots)
+    attrs = tuple(
+        a for a in joined.attributes if not a.startswith("__idx_")
+    )
+    return ObliviousJoinResult(attrs, joined.store.project(attrs), annots)
 
 
 def oblivious_join(
@@ -241,7 +280,7 @@ def oblivious_join(
     ctx = engine.ctx
     with ctx.section(label):
         # Step 1: reveal R*_F to Alice (with original positions).
-        revealed: Dict[str, List[Tuple[int, Tuple]]] = {}
+        revealed: Dict[str, RevealedRelation] = {}
         shares: Dict[str, SharedVector] = {}
         for name, rel in relations.items():
             shares[name], revealed[name] = reveal_relation(

@@ -12,7 +12,7 @@ paper's prose.
 
 from __future__ import annotations
 
-from typing import Hashable, Optional, Sequence
+from typing import Any, Callable, Hashable, Optional, Sequence, Union
 
 import numpy as np
 
@@ -50,7 +50,9 @@ class OrientedEngine:
     def _out(self, sv: SharedVector) -> SharedVector:
         return sv.swapped() if self._swap else sv
 
-    def _call(self, fn, *args, **kwargs):
+    def _call(
+        self, fn: Callable[..., Any], *args: Any, **kwargs: Any
+    ) -> Any:
         if not self._swap:
             return fn(*args, **kwargs)
         with self.ctx.swapped_roles():
@@ -65,7 +67,8 @@ class OrientedEngine:
         )
         return self._out(out)
 
-    def mul_owner_plain(self, plain, y: SharedVector,
+    def mul_owner_plain(self, plain: Union[Sequence[int], np.ndarray],
+                        y: SharedVector,
                         label: str = "mul_plain") -> SharedVector:
         """Multiply by a vector the *owner* knows in the clear."""
         out = self._call(
@@ -80,7 +83,9 @@ class OrientedEngine:
         )
         return self._out(out)
 
-    def merge_aggregate_sum(self, same_as_next, v: SharedVector,
+    def merge_aggregate_sum(self,
+                            same_as_next: Union[Sequence[int], np.ndarray],
+                            v: SharedVector,
                             label: str = "merge_sum") -> SharedVector:
         """Merge chain whose boundary indicators the owner knows."""
         out = self._call(
@@ -88,7 +93,9 @@ class OrientedEngine:
         )
         return self._out(out)
 
-    def merge_aggregate_or(self, same_as_next, v: SharedVector,
+    def merge_aggregate_or(self,
+                           same_as_next: Union[Sequence[int], np.ndarray],
+                           v: SharedVector,
                            label: str = "merge_or") -> SharedVector:
         out = self._call(
             self.engine.merge_aggregate_or, same_as_next, self._in(v), label
@@ -113,7 +120,7 @@ class OrientedEngine:
     ) -> PsiResult:
         """PSI with the owner on the cuckoo side (protocol-Alice)."""
 
-        def run():
+        def run() -> PsiResult:
             return psi_with_payloads(
                 self.ctx,
                 self.engine.ot,
@@ -131,7 +138,8 @@ class OrientedEngine:
             res.payload = self._out(res.payload)
         return res
 
-    def oep(self, xi: Sequence[int], values: SharedVector, n_out: int,
+    def oep(self, xi: Union[Sequence[int], np.ndarray],
+            values: SharedVector, n_out: int,
             label: str = "oep/ext") -> SharedVector:
         """Extended permutation held by the owner."""
         out = self._call(
@@ -145,7 +153,8 @@ class OrientedEngine:
         )
         return self._out(out)
 
-    def permute(self, perm: Sequence[int], values: SharedVector,
+    def permute(self, perm: Union[Sequence[int], np.ndarray],
+                values: SharedVector,
                 label: str = "oep/perm") -> SharedVector:
         out = self._call(
             oblivious_permutation,

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Sequence, Tuple
 
 from ..mpc.context import ALICE, Context
 from ..mpc.engine import Engine
@@ -120,7 +120,7 @@ def _finish(
     ctx: Context,
     plan: YannakakisPlan,
     shared: ObliviousJoinResult,
-    values,
+    values: Sequence[int],
     elapsed: float,
     start_msgs: int,
 ) -> Tuple[AnnotatedRelation, ProtocolStats]:

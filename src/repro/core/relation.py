@@ -6,17 +6,19 @@ in the clear (:class:`SecureAnnotations` of kind ``plain`` — the common
 situation for protocol inputs, Section 6.5) or secret-shared between the
 parties (always the case for intermediate results).
 
-Dummy tuples (Section 4, footnote 2) are built from per-tuple nonces so
-that they are pairwise distinct, never collide with real domain values,
-and survive projection; their annotations are zero, so they contribute
+Tuples are stored columnar (:class:`~repro.relalg.columns.TupleStore`):
+per-attribute code arrays plus a row-level dummy-nonce vector, with the
+tuple-list view available through the ``.tuples`` property.  Dummy
+tuples (Section 4, footnote 2) are built from per-tuple nonces so that
+they are pairwise distinct, never collide with real domain values, and
+survive projection; their annotations are zero, so they contribute
 nothing to any aggregate.
 """
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Any, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -24,6 +26,12 @@ from ..mpc.context import Context
 from ..mpc.cuckoo import encode_item
 from ..mpc.engine import Engine
 from ..mpc.sharing import SharedVector
+from ..relalg.columns import (
+    DUMMY_MARKER,
+    TupleStore,
+    dummy_tuple,
+    is_dummy_tuple,
+)
 from ..relalg.relation import AnnotatedRelation
 
 __all__ = [
@@ -35,27 +43,8 @@ __all__ = [
     "SecureRelation",
 ]
 
-DUMMY_MARKER = "__dummy__"
-_dummy_nonce = itertools.count(1)
 
-
-def dummy_tuple(arity: int) -> Tuple:
-    """A fresh dummy tuple: every attribute carries the same unique nonce,
-    so any projection of a dummy is itself a distinct dummy value."""
-    nonce = next(_dummy_nonce)
-    return tuple((DUMMY_MARKER, nonce) for _ in range(max(arity, 1)))[
-        :arity
-    ] or ()
-
-
-def is_dummy_tuple(t: Tuple) -> bool:
-    return any(
-        isinstance(v, tuple) and len(v) == 2 and v[0] == DUMMY_MARKER
-        for v in t
-    )
-
-
-def sort_key(t: Tuple) -> bytes:
+def sort_key(t: Tuple[Any, ...]) -> bytes:
     """A total order over heterogeneous tuples (ints, strings, dummies):
     the canonical item encoding.  Owners sort locally with this key."""
     return encode_item(tuple(t))
@@ -71,7 +60,7 @@ class SecureAnnotations:
     shares: Optional[SharedVector] = None
 
     @classmethod
-    def plain(cls, owner: str, values) -> "SecureAnnotations":
+    def plain(cls, owner: str, values: Any) -> "SecureAnnotations":
         arr = np.asarray(values, dtype=np.uint64)
         return cls(kind="plain", owner=owner, values=arr)
 
@@ -81,51 +70,90 @@ class SecureAnnotations:
 
     def __len__(self) -> int:
         if self.kind == "plain":
+            assert self.values is not None
             return len(self.values)
+        assert self.shares is not None
         return len(self.shares)
 
     def to_shared(self, engine: Engine, label: str = "annot") -> SharedVector:
-        """Convert to shared form (the owner shares its vector)."""
+        """Convert to shared form (the owner shares its vector: one
+        column-level entry point, one transcript charge)."""
         if self.kind == "shared":
+            assert self.shares is not None
             return self.shares
-        return engine.share(self.owner, self.values, label)
+        assert self.owner is not None and self.values is not None
+        return engine.share_column(self.owner, self.values, label)
 
     def reconstruct(self) -> np.ndarray:
         """Test-only / designated reveals: the cleartext annotations."""
         if self.kind == "plain":
+            assert self.values is not None
             return self.values.copy()
+        assert self.shares is not None
         return self.shares.reconstruct()
 
 
-@dataclass
 class SecureRelation:
-    """Tuples held by ``owner``; annotations plain or shared."""
+    """Tuples held by ``owner`` (columnar); annotations plain or shared."""
 
-    owner: str
-    attributes: Tuple[str, ...]
-    tuples: List[Tuple]
-    annotations: SecureAnnotations
+    __slots__ = ("owner", "attributes", "_store", "annotations")
 
-    def __post_init__(self):
-        self.attributes = tuple(self.attributes)
-        if len(self.tuples) != len(self.annotations):
+    def __init__(
+        self,
+        owner: str,
+        attributes: Sequence[str],
+        tuples: Union[TupleStore, Sequence[Tuple[Any, ...]]],
+        annotations: SecureAnnotations,
+    ) -> None:
+        self.owner = owner
+        self.attributes: Tuple[str, ...] = tuple(attributes)
+        if isinstance(tuples, TupleStore):
+            if tuples.attributes != self.attributes:
+                tuples = tuples.with_attributes(self.attributes)
+            self._store = tuples
+        else:
+            self._store = TupleStore.from_tuples(self.attributes, tuples)
+        self.annotations = annotations
+        if self._store.n != len(annotations):
             raise ValueError(
-                f"{len(self.tuples)} tuples but "
-                f"{len(self.annotations)} annotations"
+                f"{self._store.n} tuples but "
+                f"{len(annotations)} annotations"
             )
 
     def __len__(self) -> int:
-        return len(self.tuples)
+        return self._store.n
+
+    def __repr__(self) -> str:
+        return (
+            f"SecureRelation(owner={self.owner!r}, "
+            f"attributes={self.attributes!r}, n={len(self)})"
+        )
+
+    @property
+    def store(self) -> TupleStore:
+        """The columnar tuple block (primary representation)."""
+        return self._store
+
+    @property
+    def tuples(self) -> List[Tuple[Any, ...]]:
+        """Tuple-list compatibility view (cached materialisation)."""
+        return self._store.materialize()
+
+    @property
+    def dummy_mask(self) -> np.ndarray:
+        """Boolean mask of dummy rows (columnar dummy representation)."""
+        return self._store.dummy_mask
 
     @classmethod
     def from_annotated(
         cls, owner: str, rel: AnnotatedRelation
     ) -> "SecureRelation":
-        """Wrap a party's plaintext input relation (annotations plain)."""
+        """Wrap a party's plaintext input relation (annotations plain) —
+        zero-copy: the columnar store is shared with the source."""
         return cls(
             owner=owner,
             attributes=rel.attributes,
-            tuples=list(rel.tuples),
+            tuples=rel.store,
             annotations=SecureAnnotations.plain(owner, rel.annotations),
         )
 
@@ -135,9 +163,12 @@ class SecureRelation:
             raise KeyError(f"attributes {missing} not in {self.attributes}")
         return [self.attributes.index(a) for a in attrs]
 
-    def project_tuples(self, attrs: Sequence[str]) -> List[Tuple]:
-        idx = self.index_of(attrs)
-        return [tuple(tup[i] for i in idx) for tup in self.tuples]
+    def project_store(self, attrs: Sequence[str]) -> TupleStore:
+        """Columnar projection onto ``attrs`` (no materialisation)."""
+        return self._store.project(attrs)
+
+    def project_tuples(self, attrs: Sequence[str]) -> List[Tuple[Any, ...]]:
+        return self._store.project(attrs).materialize()
 
     def to_annotated(self, ctx: Context) -> AnnotatedRelation:
         """Test-only: reconstruct the plaintext K-relation this secure
@@ -146,7 +177,7 @@ class SecureRelation:
 
         return AnnotatedRelation(
             self.attributes,
-            self.tuples,
+            self._store,
             self.annotations.reconstruct(),
             IntegerRing(ctx.params.ell),
         )

@@ -20,9 +20,10 @@ from __future__ import annotations
 import enum
 from typing import Callable, Optional
 
+import numpy as np
+
 from ..relalg.operators import select, select_with_dummies
 from ..relalg.relation import AnnotatedRelation
-from .relation import dummy_tuple
 
 __all__ = ["SelectionPolicy", "apply_selection"]
 
@@ -66,10 +67,12 @@ def apply_selection(
             "bound"
         )
     pad = bound - len(selected)
-    tuples = list(selected.tuples) + [
-        dummy_tuple(len(rel.attributes)) for _ in range(pad)
-    ]
-    annots = list(selected.annotations) + [0] * pad
+    annots = np.concatenate(
+        [selected.annotations, np.zeros(pad, dtype=np.uint64)]
+    )
     return AnnotatedRelation(
-        rel.attributes, tuples, annots, rel.semiring
+        rel.attributes,
+        selected.store.with_dummies(pad),
+        annots,
+        rel.semiring,
     )

@@ -22,16 +22,25 @@ Three regimes, matching the paper:
   parent tuples (a dummy slot for non-joining tuples) and one OEP plus
   the multiplication circuits refresh the shares.  Fully plain
   same-owner inputs never leave the owner at all.
+
+The owner-local alignment maps run columnar: parent keys and child
+tuples are re-encoded into one shared ``int64`` code space
+(:func:`~repro.relalg.columns.joint_row_codes`) and the position maps
+``mu``/``xi`` fall out of one sort + ``searchsorted`` (same owner) or
+one group-by (cross owner) instead of per-tuple dict probes.  Only the
+PSI input items are ever materialised as Python tuples.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Any, List, Tuple
 
 import numpy as np
 
+from ..mpc.context import Context
 from ..mpc.engine import Engine
 from ..mpc.sharing import SharedVector
+from ..relalg.columns import group_by_first_appearance, joint_row_codes
 from .aggregation import oblivious_support_projection
 from .oriented import OrientedEngine
 from .relation import SecureAnnotations, SecureRelation, dummy_tuple
@@ -63,21 +72,16 @@ def oblivious_reduce_join(
     m = len(parent)
     if m == 0:
         return parent
-    keys = parent.project_tuples(child.attributes)
 
     with ctx.section(label):
         if not child.attributes:
             new_annots = _scalar_child_payloads(engine, parent, child)
         elif parent.owner == child.owner:
-            new_annots = _same_owner_payloads(
-                engine, parent, child, keys
-            )
+            new_annots = _same_owner_payloads(engine, parent, child)
         else:
-            new_annots = _cross_owner_payloads(
-                engine, parent, child, keys
-            )
+            new_annots = _cross_owner_payloads(engine, parent, child)
     return SecureRelation(
-        parent.owner, parent.attributes, list(parent.tuples), new_annots
+        parent.owner, parent.attributes, parent.store, new_annots
     )
 
 
@@ -113,45 +117,56 @@ def _scalar_child_payloads(
     return SecureAnnotations.shared(new)
 
 
+def _child_alignment(
+    parent: SecureRelation, child: SecureRelation
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Owner-local: shared row codes for the parent's key projection and
+    the child's tuples (``(pcodes, ccodes)``)."""
+    proj = parent.store.project(child.attributes)
+    return tuple(joint_row_codes([proj, child.store]))  # type: ignore[return-value]
+
+
 def _same_owner_payloads(
     engine: Engine,
     parent: SecureRelation,
     child: SecureRelation,
-    keys: List[Tuple],
 ) -> SecureAnnotations:
     """The simplified same-party protocol (end of Section 6.2)."""
     owner = parent.owner
     ctx = engine.ctx
-    m = len(parent)
     n = len(child)
-    position = {}
-    for j, t in enumerate(child.tuples):
-        if tuple(t) in position:
-            raise ValueError(
-                "reduce-join requires distinct child tuples (run the "
-                "child through an oblivious projection-aggregation "
-                "first, as the Yannakakis plan does)"
-            )
-        position[tuple(t)] = j
-    mu = [position.get(key, n) for key in keys]  # n = the dummy slot
+    pcodes, ccodes = _child_alignment(parent, child)
+    if len(np.unique(ccodes)) != n:
+        raise ValueError(
+            "reduce-join requires distinct child tuples (run the "
+            "child through an oblivious projection-aggregation "
+            "first, as the Yannakakis plan does)"
+        )
+    if n == 0:
+        mu = np.zeros(len(pcodes), dtype=np.int64)
+    else:
+        order = np.argsort(ccodes)
+        sorted_codes = ccodes[order]
+        pos = np.searchsorted(sorted_codes, pcodes)
+        pos_c = np.minimum(pos, n - 1)
+        found = (pos < n) & (sorted_codes[pos_c] == pcodes)
+        mu = np.where(found, order[pos_c], n)  # n = the dummy slot
 
     if (
         parent.annotations.kind == "plain"
         and child.annotations.kind == "plain"
     ):
         # Both relations fully at the owner: pure local computation.
-        child_vals = child.annotations.values
-        z = np.asarray(
-            [int(child_vals[j]) if j < n else 0 for j in mu],
-            dtype=np.uint64,
+        ext = np.concatenate(
+            [child.annotations.values, np.zeros(1, dtype=np.uint64)]
         )
-        new_vals = (parent.annotations.values * z) & ctx.mask
+        new_vals = (parent.annotations.values * ext[mu]) & ctx.mask
         return SecureAnnotations.plain(owner, new_vals)
 
     oe = OrientedEngine(engine, owner)
     child_sv = child.annotations.to_shared(engine)
     extended = child_sv.concat(SharedVector.zeros(1, ctx.modulus))
-    z = oe.oep(mu, extended, m, label="oep")
+    z = oe.oep(mu, extended, len(parent), label="oep")
     if parent.annotations.kind == "plain":
         new = oe.mul_owner_plain(parent.annotations.values, z)
     else:
@@ -163,22 +178,19 @@ def _cross_owner_payloads(
     engine: Engine,
     parent: SecureRelation,
     child: SecureRelation,
-    keys: List[Tuple],
 ) -> SecureAnnotations:
     """The PSI-based protocol of Section 6.2 (different owners)."""
     owner = parent.owner
-    ctx = engine.ctx
     m = len(parent)
     oe = OrientedEngine(engine, owner)
 
     # X = pi_{F'}(parent), deduplicated, padded with dummies to M.
-    distinct: dict = {}
-    for key in keys:
-        distinct.setdefault(key, None)
-    x_items: List[Tuple] = list(distinct)
+    proj = parent.store.project(child.attributes)
+    pcodes = joint_row_codes([proj])[0]
+    gid, first = group_by_first_appearance(pcodes)
+    x_items: List[Tuple] = [proj.row(int(i)) for i in first.tolist()]
     while len(x_items) < m:
         x_items.append(dummy_tuple(len(child.attributes)))
-    x_index = {item: i for i, item in enumerate(x_items)}
 
     child_items = _psi_items(child)
     if child.annotations.kind == "plain":
@@ -194,10 +206,11 @@ def _cross_owner_payloads(
             child.annotations.shares, label="psi_shared",
         )
 
-    # Map per-bin payloads back to the parent's tuple positions.
-    item_bins = res.bin_of_item_index()
-    xi = [int(item_bins[x_index[key]]) for key in keys]
-    z = oe.oep(xi, _as_shared(res.payload, ctx), m, label="oep")
+    # Map per-bin payloads back to the parent's tuple positions: row i's
+    # key is distinct-key gid[i], which sits in bin item_bins[gid[i]].
+    item_bins = np.asarray(res.bin_of_item_index(), dtype=np.int64)
+    xi = item_bins[gid]
+    z = oe.oep(xi, _as_shared(res.payload, engine.ctx), m, label="oep")
     if parent.annotations.kind == "plain":
         new = oe.mul_owner_plain(parent.annotations.values, z)
     else:
@@ -205,7 +218,7 @@ def _cross_owner_payloads(
     return SecureAnnotations.shared(new)
 
 
-def _as_shared(payload, ctx) -> SharedVector:
+def _as_shared(payload: Any, ctx: Context) -> SharedVector:
     if isinstance(payload, SharedVector):
         return payload
     raise TypeError("expected a shared per-bin payload vector")

@@ -34,6 +34,7 @@ PROTOCOL_DIRS = (
     "repro/mpc",
     "repro/core",
     "repro/exec",
+    "repro/relalg",
     "repro/runtime",
 )
 

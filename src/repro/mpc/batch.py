@@ -90,6 +90,9 @@ def bits_to_words(bits: np.ndarray) -> np.ndarray:
     (= ``gadgets.int_of`` per row).
     """
     bits = np.asarray(bits, dtype=np.uint8) & 1
+    if bits.size == 0:
+        # An empty batch arrives as shape (0,): no rows, no words.
+        return np.zeros(0, dtype=np.uint64)
     if bits.shape[1] > 64:
         raise ValueError("at most 64 bits per word")
     packed = np.packbits(bits, axis=1, bitorder="little")

@@ -16,7 +16,15 @@ Yao-to-arithmetic conversion described in Section 5.2.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..exec.trace import ExecutionTrace
@@ -29,7 +37,12 @@ from .batch import bits_to_words, words_to_bits, words_to_le_bytes
 from .batch import le_bytes_to_words
 from .context import ALICE, BOB, Context, Mode
 from .ot import make_ot
-from .sharing import SharedVector, reveal_vector, share_vector
+from .sharing import (
+    SharedVector,
+    as_ring_column,
+    reveal_vector,
+    share_vector,
+)
 from .transcript import other_party
 from .yao import charge_garbled_batch, charge_ot, run_garbled_batch
 
@@ -80,6 +93,43 @@ class Engine:
 
     def zeros(self, n: int) -> SharedVector:
         return SharedVector.zeros(n, self.ctx.modulus)
+
+    # -- column-level entry points ----------------------------------------
+    #
+    # The oblivious phases marshal whole relation columns at once: one
+    # validated ``(n,)`` uint64 array in, one SharedVector out, one
+    # transcript charge per call.  These are thin, shape-checked fronts
+    # over the batched primitives — no per-tuple calls anywhere.
+
+    def share_column(
+        self, owner: str, column: Sequence[int] | np.ndarray,
+        label: str = "share",
+    ) -> SharedVector:
+        """``owner`` secret-shares one ``(n,)`` ring column (one send)."""
+        col = as_ring_column(column, self.ctx.modulus)
+        return share_vector(self.ctx, owner, col, label)
+
+    def reconstruct_column(
+        self, sv: SharedVector, to: str = ALICE, label: str = "reveal"
+    ) -> np.ndarray:
+        """Reveal one shared column to ``to`` (one send of the
+        complementary share); returns the ``(n,)`` cleartext array."""
+        return reveal_vector(self.ctx, sv, to, label)
+
+    def select_alice_plain(
+        self,
+        mask: Sequence[int] | np.ndarray,
+        x: SharedVector,
+        y: SharedVector,
+        label: str = "select",
+    ) -> SharedVector:
+        """Columnwise oblivious select: shares of ``x_i`` where Alice's
+        plain ``mask_i`` is 1, else ``y_i`` — computed as
+        ``y + mask * (x - y)`` with a single Gilboa batch."""
+        m = as_ring_column(mask, self.ctx.modulus)
+        if not np.isin(m, (0, 1)).all():
+            raise ValueError("selection mask must be 0/1-valued")
+        return y + self.mul_alice_plain(m, x - y, label=label)
 
     # -- element-wise products ---------------------------------------------
     #
@@ -316,25 +366,41 @@ class Engine:
         return acc
 
     def reveal_nonzero_flags(
-        self, v: SharedVector, payload_bits_list: Optional[List[List[int]]] = None,
+        self,
+        v: SharedVector,
+        payload_bits_list: Optional[
+            Union[List[List[int]], np.ndarray]
+        ] = None,
         label: str = "reveal_nonzero",
-    ) -> Tuple[np.ndarray, Optional[List[List[int]]]]:
+    ) -> Tuple[np.ndarray, Optional[Union[List[List[int]], np.ndarray]]]:
         """Section 6.3 step 1: for each shared annotation, reveal to Alice
         whether it is nonzero, and — when ``payload_bits_list`` carries
         Bob's encoded tuples — the tuple payload for nonzero entries.
 
-        Returns ``(flags, payloads)`` where ``payloads`` is ``None`` when
-        no payload was supplied.
+        ``payload_bits_list`` is either the legacy list-of-bit-lists or a
+        ``(n, pbits)`` uint8 matrix (the columnar fast path); the return
+        mirrors the input form.  Returns ``(flags, payloads)`` where
+        ``payloads`` is ``None`` when no payload was supplied.
         """
         n = len(v)
         ell = self.ctx.params.ell
         ctx = self.ctx
+        is_matrix = isinstance(payload_bits_list, np.ndarray)
+        mat: Optional[np.ndarray] = None
         if payload_bits_list is not None:
-            if len(payload_bits_list) != n:
-                raise ValueError("one payload per annotation required")
-            pbits = len(payload_bits_list[0]) if n else 0
-            if any(len(p) != pbits for p in payload_bits_list):
-                raise ValueError("payloads must be fixed-width")
+            if is_matrix:
+                mat = np.asarray(payload_bits_list, dtype=np.uint8)
+                if mat.ndim != 2 or len(mat) != n:
+                    raise ValueError(
+                        "payload matrix must be (n, pbits)"
+                    )
+                pbits = mat.shape[1]
+            else:
+                if len(payload_bits_list) != n:
+                    raise ValueError("one payload per annotation required")
+                pbits = len(payload_bits_list[0]) if n else 0
+                if any(len(p) != pbits for p in payload_bits_list):
+                    raise ValueError("payloads must be fixed-width")
         else:
             pbits = 0
         with ctx.section(label):
@@ -345,6 +411,10 @@ class Engine:
                 flags = (plain != 0).astype(bool)
                 if payload_bits_list is None:
                     return flags, None
+                if mat is not None:
+                    out = mat.copy()
+                    out[~flags] = 0
+                    return flags, out
                 payloads = [
                     payload_bits_list[i] if flags[i] else [0] * pbits
                     for i in range(n)
@@ -354,19 +424,22 @@ class Engine:
             alice_bits = words_to_bits(v.alice, ell)
             bob_bits = words_to_bits(v.bob, ell)
             if pbits:
-                bob_bits = np.concatenate(
-                    [
-                        bob_bits,
-                        np.asarray(payload_bits_list, dtype=np.uint8),
-                    ],
-                    axis=1,
+                pb = (
+                    mat
+                    if mat is not None
+                    else np.asarray(payload_bits_list, dtype=np.uint8)
                 )
+                bob_bits = np.concatenate([bob_bits, pb], axis=1)
             outs = run_garbled_batch(
                 ctx, self.ot, template, alice_bits, bob_bits
             )
             flags = np.asarray([o[0] for o in outs], dtype=bool)
             if payload_bits_list is None:
                 return flags, None
+            if mat is not None:
+                return flags, np.asarray(
+                    [o[1:] for o in outs], dtype=np.uint8
+                ).reshape(n, pbits)
             return flags, [o[1:] for o in outs]
 
     # -- division (query composition, Section 7) ----------------------------

@@ -83,14 +83,22 @@ def oblivious_extended_permutation(
     """``y_i = x_{xi(i)}`` for ``i in [n_out]`` with fresh shares; ``xi``
     is Alice's private map into the input vector's index range."""
     m = len(values)
-    xi = list(xi)
-    if len(xi) != n_out:
+    # Columnar fast path: validate ndarray maps with array ops instead
+    # of a per-element Python loop (the phases pass whole xi columns).
+    xi_arr = (
+        xi.astype(np.int64, copy=False)
+        if isinstance(xi, np.ndarray)
+        else np.asarray(list(xi), dtype=np.int64)
+    )
+    if len(xi_arr) != n_out:
         raise ValueError("xi must give one source per output position")
-    if any(not 0 <= s < m for s in xi):
+    if len(xi_arr) and (
+        int(xi_arr.min()) < 0 or int(xi_arr.max()) >= m
+    ):
         raise IndexError("xi references positions outside the input vector")
     with ctx.section(label):
         if ctx.mode == Mode.SIMULATED:
-            out_plain = values.reconstruct()[np.asarray(xi, dtype=np.int64)]
+            out_plain = values.reconstruct()[xi_arr]
             n_work = _padded_size(max(m, n_out, 1))
             n_switches = 2 * switch_count(n_work)
             rb = _ring_bytes(ctx)
@@ -103,7 +111,7 @@ def oblivious_extended_permutation(
                     2 * 2 * rb * n_switches + 2 * rb * (n_work - 1),
                 )
             return _fresh_shares(ctx, out_plain)
-        return _oep_real(ctx, ot, xi, values, n_out)
+        return _oep_real(ctx, ot, [int(s) for s in xi_arr], values, n_out)
 
 
 # ----------------------------------------------------------------------

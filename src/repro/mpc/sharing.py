@@ -13,14 +13,19 @@ constant) need no communication, exactly as in the paper.
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Sequence, Union
 
 import numpy as np
 
 from .context import ALICE, Context
 from .transcript import other_party
 
-__all__ = ["SharedVector", "share_vector", "reveal_vector"]
+__all__ = [
+    "SharedVector",
+    "share_vector",
+    "reveal_vector",
+    "as_ring_column",
+]
 
 
 def _to_ring(values: Sequence[int] | np.ndarray, modulus: int) -> np.ndarray:
@@ -29,7 +34,32 @@ def _to_ring(values: Sequence[int] | np.ndarray, modulus: int) -> np.ndarray:
         return np.zeros(0, dtype=np.uint64)
     if arr.dtype.kind == "f":
         raise TypeError("annotations must be integers, not floats")
-    return (arr.astype(np.int64, copy=False) % modulus).astype(np.uint64)
+    if arr.dtype.kind not in ("i", "u", "b"):
+        # Object arrays (Python bignums): reduce in object space.
+        return np.asarray(
+            [int(v) % modulus for v in arr.tolist()], dtype=np.uint64
+        )
+    # Reduce in uint64 space: the unsigned cast wraps mod 2^64 (exact
+    # for negatives), and the ring modulus divides 2^64, so the mask
+    # finishes the reduction.  An int64 detour would corrupt uint64
+    # inputs >= 2^63 and overflow for 2^63-moduli.
+    return arr.astype(np.uint64, copy=False) & np.uint64(modulus - 1)
+
+
+def as_ring_column(
+    values: Sequence[int] | np.ndarray, modulus: int
+) -> np.ndarray:
+    """Validate/coerce a ``(n,)`` integer vector into ring elements.
+
+    The column-level entry points (``Engine.share_column`` and friends)
+    funnel through here so every phase marshals whole columns with one
+    call and one transcript charge."""
+    arr = _to_ring(values, modulus)
+    if arr.ndim != 1:
+        raise ValueError(
+            f"expected a flat (n,) column, got shape {np.asarray(values).shape}"
+        )
+    return arr
 
 
 class SharedVector:

@@ -105,8 +105,10 @@ class JoinAggregateQuery:
 
     # -- evaluation ---------------------------------------------------------
 
-    def run_plain(self) -> AnnotatedRelation:
-        return execute_plan(self.plan(), self.relations)
+    def run_plain(self, operators=None) -> AnnotatedRelation:
+        """``operators`` selects the relational-operator module (the
+        columnar default or :mod:`repro.relalg._reference`)."""
+        return execute_plan(self.plan(), self.relations, operators)
 
     def run_naive(self) -> AnnotatedRelation:
         return naive_join_aggregate(self.relations, list(self.output))

@@ -1,6 +1,7 @@
 """Annotated relational algebra: semirings, relations, operators, and the
 structural theory (hypergraphs, join trees, free-connex) from Section 3."""
 
+from .columns import Column, TupleStore
 from .hypergraph import Hypergraph
 from .join_tree import JoinTree, find_free_connex_tree, is_free_connex
 from .operators import (
@@ -20,6 +21,8 @@ from .semiring import DEFAULT_RING, BooleanSemiring, IntegerRing, Semiring
 __all__ = [
     "AnnotatedRelation",
     "BooleanSemiring",
+    "Column",
+    "TupleStore",
     "DEFAULT_RING",
     "Hypergraph",
     "IntegerRing",

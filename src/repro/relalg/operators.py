@@ -10,16 +10,27 @@ secure protocol makes oblivious:
 * ``select``               — selection, with the dummy-tuple variant used by
                              the privacy extension in Section 7.
 
-All operators are hash-based and run in time linear in input + output size,
-matching the complexity the Yannakakis algorithm relies on.
+All operators run columnar: group-by via ``np.unique`` row codes, join
+expansion via a stable ``np.argsort`` + ``np.searchsorted`` over a
+shared code space (see :mod:`repro.relalg.columns`), in time linear (up
+to sorting) in input + output size — matching the complexity the
+Yannakakis algorithm relies on.  Output row order and duplicate
+structure are identical to the retained tuple-path reference
+(:mod:`repro.relalg._reference`): r1-major join order, dict-insertion
+group order.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from .columns import (
+    TupleStore,
+    group_by_first_appearance,
+    joint_row_codes,
+)
 from .relation import AnnotatedRelation
 
 __all__ = [
@@ -35,7 +46,9 @@ __all__ = [
 ]
 
 
-def aggregate(rel: AnnotatedRelation, attrs: Sequence[str]) -> AnnotatedRelation:
+def aggregate(
+    rel: AnnotatedRelation, attrs: Sequence[str]
+) -> AnnotatedRelation:
     """``pi_attrs^(+)(rel)``: project onto ``attrs`` and +-aggregate the
     annotations of tuples sharing each distinct projection.
 
@@ -43,20 +56,16 @@ def aggregate(rel: AnnotatedRelation, attrs: Sequence[str]) -> AnnotatedRelation
     +-aggregate of the whole relation — i.e. a scalar aggregate.
     """
     sr = rel.semiring
-    idx = rel.index_of(attrs)
-    groups: Dict[Tuple, int] = {}
-    order: List[Tuple] = []
-    for t, v in rel:
-        key = tuple(t[i] for i in idx)
-        if key not in groups:
-            groups[key] = v
-            order.append(key)
-        else:
-            groups[key] = sr.add(groups[key], v)
-    if not attrs and not rel.tuples:
+    attrs = tuple(attrs)
+    rel.index_of(attrs)  # validate
+    if not attrs and not len(rel):
         # pi_{}^(+) of an empty relation is the empty tuple annotated 0.
         return AnnotatedRelation(attrs, [()], [sr.zero], sr)
-    return AnnotatedRelation(attrs, order, [groups[k] for k in order], sr)
+    proj = rel.store.project(attrs)
+    codes = joint_row_codes([proj])[0]
+    gid, first = group_by_first_appearance(codes)
+    sums = sr.reduce_groups(rel.annotations, gid, len(first))
+    return AnnotatedRelation(attrs, proj.take(first), sums, sr)
 
 
 def support_projection(
@@ -65,13 +74,70 @@ def support_projection(
     """``pi_attrs^1(rel)``: distinct projections of *nonzero*-annotated
     tuples, all annotated with the multiplicative identity 1."""
     sr = rel.semiring
-    idx = rel.index_of(attrs)
-    seen: Dict[Tuple, None] = {}
-    for t, v in rel:
-        if v != sr.zero:
-            seen.setdefault(tuple(t[i] for i in idx), None)
-    keys = list(seen)
-    return AnnotatedRelation(attrs, keys, [sr.one] * len(keys), sr)
+    attrs = tuple(attrs)
+    rel.index_of(attrs)
+    nz = np.flatnonzero(rel.annotations != sr.zero)
+    sub = rel.store.project(attrs).take(nz)
+    codes = joint_row_codes([sub])[0]
+    _, first = group_by_first_appearance(codes)
+    ones = np.full(len(first), sr.one, dtype=np.uint64)
+    return AnnotatedRelation(attrs, sub.take(first), ones, sr)
+
+
+def _expand_matches(
+    c1: np.ndarray, c2: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """All matching row pairs between two code vectors, in r1-major
+    order with r2 matches in original r2 order (the hash-join order of
+    the tuple-path reference)."""
+    order2 = np.argsort(c2, kind="stable")
+    sorted2 = c2[order2]
+    left = np.searchsorted(sorted2, c1, side="left")
+    right = np.searchsorted(sorted2, c1, side="right")
+    counts = (right - left).astype(np.int64)
+    total = int(counts.sum())
+    out_r1 = np.repeat(np.arange(len(c1), dtype=np.int64), counts)
+    starts = np.cumsum(counts) - counts
+    pos = np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
+    out_r2 = order2[np.repeat(left, counts) + pos]
+    return out_r1, out_r2
+
+
+def _join_store(
+    s1: TupleStore,
+    extra: TupleStore,
+    out_attrs: Tuple[str, ...],
+    out_r1: np.ndarray,
+    out_r2: np.ndarray,
+) -> TupleStore:
+    """Assemble the join output store: r1's columns followed by r2's
+    extra columns.  Rows mixing a dummy side with a real side (possible
+    only via cartesian products or self-nonce collisions) fall back to
+    the tuple path so the dummy values materialise correctly."""
+    if extra.arity == 0:
+        return s1.take(out_r1)
+    if s1.arity == 0:
+        return extra.take(out_r2).with_attributes(out_attrs)
+    n1 = s1.nonce[out_r1]
+    n2 = extra.nonce[out_r2]
+    both = (n1 > 0) & (n1 == n2)
+    mixed = ((n1 > 0) | (n2 > 0)) & ~both
+    if mixed.any():
+        rows1 = s1.materialize()
+        rows2 = extra.materialize()
+        return TupleStore.from_tuples(
+            out_attrs,
+            [
+                rows1[i] + rows2[j]
+                for i, j in zip(out_r1.tolist(), out_r2.tolist())
+            ],
+        )
+    cols = tuple(c.take(out_r1) for c in s1.columns) + tuple(
+        c.take(out_r2) for c in extra.columns
+    )
+    return TupleStore(
+        out_attrs, cols, np.where(both, n1, np.int64(0))
+    )
 
 
 def join(r1: AnnotatedRelation, r2: AnnotatedRelation) -> AnnotatedRelation:
@@ -79,31 +145,27 @@ def join(r1: AnnotatedRelation, r2: AnnotatedRelation) -> AnnotatedRelation:
 
     Output attributes are ``r1``'s followed by ``r2``'s new ones; the
     annotation of each result is the ⊗-product of the contributing
-    annotations.  Hash join: O(|r1| + |r2| + |output|).
+    annotations.  Sort-merge expansion over shared row codes:
+    O((|r1| + |r2|) log + |output|).
     """
     if r1.semiring != r2.semiring:
         raise ValueError("cannot join relations over different semirings")
     sr = r1.semiring
     shared = [a for a in r1.attributes if a in r2.attributes]
     extra = [a for a in r2.attributes if a not in r1.attributes]
-    out_attrs = list(r1.attributes) + extra
+    out_attrs = tuple(r1.attributes) + tuple(extra)
 
-    r2_shared_idx = r2.index_of(shared)
-    r2_extra_idx = r2.index_of(extra)
-    table: Dict[Tuple, List[Tuple[Tuple, int]]] = {}
-    for t, v in r2:
-        key = tuple(t[i] for i in r2_shared_idx)
-        table.setdefault(key, []).append((tuple(t[i] for i in r2_extra_idx), v))
-
-    r1_shared_idx = r1.index_of(shared)
-    out_tuples: List[Tuple] = []
-    out_annots: List[int] = []
-    for t, v in r1:
-        key = tuple(t[i] for i in r1_shared_idx)
-        for extra_vals, w in table.get(key, ()):
-            out_tuples.append(t + extra_vals)
-            out_annots.append(sr.mul(v, w))
-    return AnnotatedRelation(out_attrs, out_tuples, out_annots, sr)
+    c1, c2 = joint_row_codes(
+        [r1.store.project(shared), r2.store.project(shared)]
+    )
+    out_r1, out_r2 = _expand_matches(c1, c2)
+    annots = sr.mul_vec(
+        r1.annotations[out_r1], r2.annotations[out_r2]
+    )
+    store = _join_store(
+        r1.store, r2.store.project(extra), out_attrs, out_r1, out_r2
+    )
+    return AnnotatedRelation(out_attrs, store, annots, sr)
 
 
 def semijoin(r1: AnnotatedRelation, r2: AnnotatedRelation) -> AnnotatedRelation:
@@ -117,28 +179,31 @@ def semijoin(r1: AnnotatedRelation, r2: AnnotatedRelation) -> AnnotatedRelation:
 
 
 def select(
-    rel: AnnotatedRelation, predicate: Callable[[dict], bool]
+    rel: AnnotatedRelation, predicate: Callable[[Dict[str, Any]], bool]
 ) -> AnnotatedRelation:
     """Plain selection: keep tuples whose row-dict satisfies ``predicate``.
 
     This is option (1) of Section 7 (public selectivity): the relation
     shrinks and the protocol's input size drops accordingly.
     """
-    keep = [
-        i
-        for i, t in enumerate(rel.tuples)
-        if predicate(dict(zip(rel.attributes, t)))
-    ]
+    keep = np.asarray(
+        [
+            i
+            for i, t in enumerate(rel.tuples)
+            if predicate(dict(zip(rel.attributes, t)))
+        ],
+        dtype=np.int64,
+    )
     return AnnotatedRelation(
         rel.attributes,
-        [rel.tuples[i] for i in keep],
-        rel.annotations[keep] if keep else [],
+        rel.store.take(keep),
+        rel.annotations[keep],
         rel.semiring,
     )
 
 
 def select_with_dummies(
-    rel: AnnotatedRelation, predicate: Callable[[dict], bool]
+    rel: AnnotatedRelation, predicate: Callable[[Dict[str, Any]], bool]
 ) -> AnnotatedRelation:
     """Selection with *private* selectivity — option (2) of Section 7.
 
@@ -176,16 +241,13 @@ def union(
         )
     if r1.semiring != r2.semiring:
         raise ValueError("cannot union relations over different semirings")
-    perm = [r2.attributes.index(a) for a in r1.attributes]
-    tuples = list(r1.tuples) + [
-        tuple(t[i] for i in perm) for t in r2.tuples
-    ]
-    annots = list(r1.annotations) + list(r2.annotations)
-    return AnnotatedRelation(r1.attributes, tuples, annots, r1.semiring)
+    store = r1.store.concat(r2.store.project(r1.attributes))
+    annots = np.concatenate([r1.annotations, r2.annotations])
+    return AnnotatedRelation(r1.attributes, store, annots, r1.semiring)
 
 
 def map_annotations(
-    rel: AnnotatedRelation, fn: Callable[[dict, int], int]
+    rel: AnnotatedRelation, fn: Callable[[Dict[str, Any], int], int]
 ) -> AnnotatedRelation:
     """Re-annotate every tuple via ``fn(row_dict, old_annotation)``.
 

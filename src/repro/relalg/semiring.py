@@ -15,6 +15,8 @@ Two concrete semirings cover every query in the paper:
 
 from __future__ import annotations
 
+from typing import Iterable
+
 import numpy as np
 
 __all__ = ["Semiring", "IntegerRing", "BooleanSemiring", "DEFAULT_RING"]
@@ -57,20 +59,42 @@ class Semiring:
         """Map an arbitrary integer into the semiring's ground set."""
         return value % self.modulus
 
-    def sum(self, values) -> int:
+    def normalize_vec(self, values: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`normalize` over a ``uint64`` array whose
+        entries are the inputs reduced mod 2^64 (the unsigned wrap)."""
+        return np.asarray(
+            [self.normalize(int(v)) for v in values.tolist()],
+            dtype=np.uint64,
+        )
+
+    def reduce_groups(
+        self, values: np.ndarray, gid: np.ndarray, n_groups: int
+    ) -> np.ndarray:
+        """+-fold ``values`` into ``n_groups`` buckets keyed by ``gid``
+        (the vectorised group-by kernel behind ``pi_F^(+)``)."""
+        out = np.full(n_groups, self.zero, dtype=np.uint64)
+        for g, v in zip(gid.tolist(), values.tolist()):
+            out[g] = self.add(int(out[g]), int(v))
+        return out
+
+    def sum(self, values: Iterable[int]) -> int:
         total = self.zero
         for v in values:
             total = self.add(total, v)
         return total
 
-    def product(self, values) -> int:
+    def product(self, values: Iterable[int]) -> int:
         total = self.one
         for v in values:
             total = self.mul(total, v)
         return total
 
-    def __eq__(self, other) -> bool:
-        return type(self) is type(other) and self.modulus == other.modulus
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(self) is type(other)
+            and isinstance(other, Semiring)
+            and self.modulus == other.modulus
+        )
 
     def __hash__(self) -> int:
         return hash((type(self).__name__, self.modulus))
@@ -111,6 +135,18 @@ class IntegerRing(Semiring):
     def mul_vec(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         return (a * b) & self._mask
 
+    def normalize_vec(self, values: np.ndarray) -> np.ndarray:
+        # The modulus is a power of two dividing 2^64, so masking the
+        # unsigned (mod-2^64) representation is exact reduction.
+        return values & self._mask
+
+    def reduce_groups(
+        self, values: np.ndarray, gid: np.ndarray, n_groups: int
+    ) -> np.ndarray:
+        out = np.zeros(n_groups, dtype=np.uint64)
+        np.add.at(out, gid, values)  # wraps mod 2^64; mask finishes it
+        return out & self._mask
+
     def neg(self, a: int) -> int:
         """Additive inverse — the ring structure the paper exploits for
         subtraction-of-shares (e.g. the Q9 ``amount`` aggregate)."""
@@ -141,6 +177,17 @@ class BooleanSemiring(Semiring):
 
     def normalize(self, value: int) -> int:
         return int(bool(value))
+
+    def normalize_vec(self, values: np.ndarray) -> np.ndarray:
+        return (values != 0).astype(np.uint64)
+
+    def reduce_groups(
+        self, values: np.ndarray, gid: np.ndarray, n_groups: int
+    ) -> np.ndarray:
+        # OR-fold: never use an additive fold here — two 1s must stay 1.
+        out = np.zeros(n_groups, dtype=np.uint64)
+        np.bitwise_or.at(out, gid, (values != 0).astype(np.uint64))
+        return out
 
     def __repr__(self) -> str:
         return "BooleanSemiring()"

@@ -13,13 +13,13 @@ from __future__ import annotations
 
 import datetime
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from ..relalg.columns import Column, TupleStore, fresh_nonces
 from ..relalg.relation import AnnotatedRelation
 from ..relalg.semiring import IntegerRing, Semiring
-from ..core.relation import dummy_tuple
 
 __all__ = ["Table", "date_ordinal", "year_of_ordinals"]
 
@@ -87,7 +87,6 @@ class Table:
         selectivity policy) — the relation keeps its full size.
         """
         n = self.n_rows
-        cols = [self.columns[a] for a in attrs]
         if annotation is None:
             annots = np.ones(n, dtype=np.int64)
         else:
@@ -96,21 +95,18 @@ class Table:
             )
             if annots.shape != (n,):
                 raise ValueError("annotation must be one value per row")
-        tuples: List[tuple] = []
         out_annots = annots.copy()
+        nonce = np.zeros(n, dtype=np.int64)
         if mask is not None:
             mask = np.asarray(mask, dtype=bool)
             out_annots[~mask] = 0
-        for i in range(n):
-            if mask is not None and not mask[i]:
-                tuples.append(dummy_tuple(len(attrs)))
-            else:
-                tuples.append(tuple(_pyval(c[i]) for c in cols))
-        return AnnotatedRelation(attrs, tuples, out_annots, semiring)
-
-
-def _pyval(v):
-    """numpy scalars -> plain Python (hashable, codec-friendly)."""
-    if isinstance(v, np.generic):
-        return v.item()
-    return v
+            # Masked rows become dummies in place (full-size relation,
+            # Section 7 private selectivity), one fresh nonce per row.
+            masked = np.flatnonzero(~mask)
+            nonce[masked] = fresh_nonces(len(masked))
+        store = TupleStore.from_columns(
+            attrs,
+            [Column.from_array(self.columns[a]) for a in attrs],
+            nonce,
+        )
+        return AnnotatedRelation(attrs, store, out_annots, semiring)

@@ -7,11 +7,12 @@ both execute the identical :class:`~repro.yannakakis.plan.YannakakisPlan`.
 
 from __future__ import annotations
 
+from types import ModuleType
 from typing import Dict, Optional, Sequence
 
+from ..relalg import operators as columnar_operators
 from ..relalg.join_tree import JoinTree, find_free_connex_tree
 from ..relalg.hypergraph import Hypergraph
-from ..relalg.operators import aggregate, join, semijoin
 from ..relalg.relation import AnnotatedRelation
 from .plan import (
     ReduceAggregate,
@@ -24,10 +25,20 @@ __all__ = ["execute_plan", "yannakakis"]
 
 
 def execute_plan(
-    plan: YannakakisPlan, relations: Dict[str, AnnotatedRelation]
+    plan: YannakakisPlan,
+    relations: Dict[str, AnnotatedRelation],
+    operators: Optional[ModuleType] = None,
 ) -> AnnotatedRelation:
     """Run the three phases on plaintext annotated relations and return the
-    query result with attributes ordered as ``plan.output``."""
+    query result with attributes ordered as ``plan.output``.
+
+    ``operators`` selects the relational-operator implementation: the
+    default columnar :mod:`repro.relalg.operators`, or the retained
+    tuple-path :mod:`repro.relalg._reference` (the differential-testing
+    oracle and the "tuple path" side of the columnar benchmarks).
+    """
+    ops = operators if operators is not None else columnar_operators
+    aggregate, join, semijoin = ops.aggregate, ops.join, ops.semijoin
     rels = dict(relations)
     missing = set(plan.tree.nodes) - set(rels)
     if missing:

@@ -65,6 +65,15 @@ def test_words_to_bits_matches_bits_of(vals, ell):
     )
 
 
+def test_bits_to_words_empty_batch():
+    """A zero-instance garbled batch yields a plain empty list — seen in
+    REAL-mode divide_reveal when a composed query has no output groups."""
+    out = batch.bits_to_words(np.asarray([], dtype=np.uint8))
+    assert out.shape == (0,) and out.dtype == np.uint64
+    out2 = batch.bits_to_words(np.zeros((0, 32), dtype=np.uint8))
+    assert out2.shape == (0,)
+
+
 @given(st.binary(min_size=0, max_size=90), st.integers(1, 6))
 def test_sha256_rows_matches_hashlib(blob, m):
     rows = np.frombuffer(blob.ljust(m * 13, b"\0")[: m * 13], dtype=np.uint8)
