@@ -18,7 +18,10 @@ input-plain).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..query.builder import JoinAggregateQuery
 
 from ..mpc import gadgets
 from ..mpc.circuits.garbling import LABEL_BYTES, ROWS_PER_AND
@@ -32,6 +35,7 @@ from ..yannakakis.plan import ReduceAggregate, ReduceFold, YannakakisPlan
 __all__ = [
     "CostEstimate",
     "estimate_plan_cost",
+    "estimate_query_cost",
     "session_framing_overhead",
 ]
 
@@ -51,20 +55,36 @@ def session_framing_overhead(n_messages: int) -> int:
 
 @dataclass
 class CostEstimate:
-    """Predicted bytes, broken down by mechanism."""
+    """Predicted bytes, broken down by mechanism.
+
+    ``rounds`` is a coarse upper-estimate of the communication rounds
+    (direction changes): the byte prediction is exact, but round counts
+    depend on message interleaving across operators, so the estimator
+    charges a documented constant per primitive invocation instead
+    (2 per OT batch, 2 per garbled-circuit exchange, 3 per PSI setup,
+    1 per reveal).  Admission control budgets against it; nothing
+    asserts it equals the metered round count."""
 
     total: int = 0
     by_part: Dict[str, int] = field(default_factory=dict)
+    rounds: int = 0
 
     def add(self, part: str, n_bytes: int) -> None:
         n_bytes = int(n_bytes)
         self.total += n_bytes
         self.by_part[part] = self.by_part.get(part, 0) + n_bytes
 
+    def add_rounds(self, n: int) -> None:
+        self.rounds += int(n)
+
     def with_session(self, n_messages: int) -> "CostEstimate":
         """A copy of this estimate with the session layer's framing
         overhead added as its own ``session_framing`` part."""
-        out = CostEstimate(total=self.total, by_part=dict(self.by_part))
+        out = CostEstimate(
+            total=self.total,
+            by_part=dict(self.by_part),
+            rounds=self.rounds,
+        )
         out.add("session_framing", session_framing_overhead(n_messages))
         return out
 
@@ -89,9 +109,11 @@ class _Estimator:
                 "ot_base",
                 self.group_bits // 8 * (1 + kappa) + 32 * kappa,
             )
+            self.est.add_rounds(2)
             self._ot_base_charged[reverse] = True
         self.est.add("ot_u", kappa * ((n + 7) // 8))
         self.est.add("ot_ct", pair_bytes)
+        self.est.add_rounds(2)
 
     def garbled(self, circuit, n: int) -> None:
         if n == 0:
@@ -109,6 +131,7 @@ class _Estimator:
         bits = len(circuit.alice_inputs) * n
         self.ot(bits, 2 * LABEL_BYTES * bits)
         self.est.add("gc_decode", ((len(circuit.outputs) + 7) // 8) * n)
+        self.est.add_rounds(2)
 
     def merge_chain(self, make_circuit, n: int) -> None:
         ell = self.p.ell
@@ -142,6 +165,7 @@ class _Estimator:
             "gc_decode",
             (ex(len(c2.outputs), len(c3.outputs)) + 7) // 8,
         )
+        self.est.add_rounds(2)
 
     def oep(self, m: int, n_out: int) -> None:
         n_work = 1
@@ -167,12 +191,14 @@ class _Estimator:
 
     def share(self, n: int) -> None:
         self.est.add("shares", n * ((self.p.ell + 7) // 8))
+        self.est.add_rounds(1)
 
     def psi(self, m: int, n: int, shared_payload: bool) -> None:
         b = num_bins(m, self.p.cuckoo_expansion)
         load = max_bin_load(n, b, self.p.cuckoo_hashes, self.p.sigma)
         ell = self.p.ell
         self.est.add("psi_seeds", 16 * self.p.cuckoo_hashes)
+        self.est.add_rounds(3)
         self.est.add(
             "oprf",
             2048 // 8 * (1 + OPRF_WIDTH)
@@ -297,9 +323,49 @@ def estimate_plan_cost(
             gadgets.reveal_tuple_circuit(params.ell, pbits), n[name]
         )
     e.est.add("out_size", 8)
+    e.est.add_rounds(1)
     if out_size > 0:
         for name in reduced:
             e.oep(n[name] + 1, out_size)
         e.gilboa(out_size, n_cross_terms=2 * (len(reduced) - 1))
     e.est.add("result_reveal", out_size * ell_bytes)
+    e.est.add_rounds(1)
     return e.est
+
+
+def estimate_query_cost(
+    query: "JoinAggregateQuery",
+    out_size: Optional[int] = None,
+    params: Optional[SecurityParams] = None,
+    group_bits: int = 2048,
+) -> CostEstimate:
+    """Price a whole :class:`~repro.query.builder.JoinAggregateQuery`
+    *without running it* — the admission controller's entry point.
+
+    Sizes, owners and the ring width are read off the query; the plan
+    is the one the query itself would execute.  ``out_size`` bounds the
+    full-join output: when omitted, the worst case (the product of the
+    relation sizes) is assumed, making the price an upper bound — a
+    query admitted under it can never exceed its reservation on the
+    final join.
+    """
+    sizes = {n: len(r) for n, r in query.relations.items()}
+    if out_size is None:
+        out_size = 1
+        for n_rel in sizes.values():
+            out_size *= n_rel
+    if params is None:
+        ells = {r.semiring.ell for r in query.relations.values()}
+        if len(ells) != 1:
+            raise ValueError(
+                f"relations disagree on the ring width: {sorted(ells)}"
+            )
+        params = SecurityParams(ell=ells.pop())
+    return estimate_plan_cost(
+        query.plan(),
+        sizes,
+        dict(query.owners),
+        out_size,
+        params=params,
+        group_bits=group_bits,
+    )

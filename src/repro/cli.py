@@ -8,6 +8,8 @@
     python -m repro estimate Q3 --scale 10
     python -m repro fuzz --seed 0 --iterations 50
     python -m repro chaos --query q3 --scale tiny --sweep all
+    python -m repro serve --queries Q3 Q10 --tenants 2 --check-solo
+    python -m repro serve --isolation-sweep --stride 1
     python -m repro lint src/
     python -m repro demo
 
@@ -21,8 +23,13 @@ docs/TESTING.md); ``chaos`` sweeps a deterministic fault point across
 every wire message and plan node of a query execution and requires
 every run to end completed-correct or clean-abort (see
 docs/ROBUSTNESS.md); ``lint`` runs the obliviousness &
-channel-discipline static analyzer (see docs/LINTING.md); ``demo``
-runs the Example 1.1 quickstart with REAL cryptography.
+channel-discipline static analyzer (see docs/LINTING.md); ``serve``
+drives a scripted multi-tenant workload through the query service —
+interleaved sessions, shared plan cache, per-tenant budgets — and can
+byte-compare every session against its solo run or sweep fault points
+in one tenant while watching another for transcript drift (see
+docs/SERVING.md); ``demo`` runs the Example 1.1 quickstart with REAL
+cryptography.
 """
 
 from __future__ import annotations
@@ -311,6 +318,109 @@ def _cmd_chaos(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_serve(args) -> int:
+    import json
+
+    from .runtime import MESSAGE_FAULT_KINDS
+    from .serve import isolation_sweep, run_workload, tpch_request
+
+    scale = 0.1 if args.scale == "tiny" else float(args.scale)
+    kinds = (
+        tuple(args.kinds)
+        if args.kinds
+        else MESSAGE_FAULT_KINDS + ("crash",)
+    )
+
+    if args.isolation_sweep:
+        # Two-tenant sweep: fault every point of the victim's run,
+        # require the observer byte-identical to its solo baseline.
+        victim_q = args.queries[0]
+        observer_q = (
+            args.queries[1] if len(args.queries) > 1 else args.queries[0]
+        )
+
+        def victim(faults):
+            return tpch_request(
+                victim_q, tenant="victim", scale_mb=scale,
+                real=args.real, policy=args.policy, seed=args.seed,
+                name=f"{victim_q}/victim", faults=faults,
+            )
+
+        def observer(faults):
+            return tpch_request(
+                observer_q, tenant="observer", scale_mb=scale,
+                real=args.real, policy=args.policy, seed=args.seed + 1,
+                name=f"{observer_q}/observer", faults=faults,
+            )
+
+        def progress(i, n, outcome):
+            if args.verbose or not outcome.ok:
+                print(f"  [{i}/{n}] {outcome}")
+
+        report = isolation_sweep(
+            victim, observer, interleave=args.interleave,
+            kinds=kinds, stride=args.stride, on_progress=progress,
+        )
+        report.meta.update(
+            victim=victim_q, observer=observer_q, scale_mb=scale,
+            policy=args.policy, kinds=list(kinds),
+        )
+        print(
+            f"serve isolation {victim_q}->{observer_q} scale={scale} "
+            f"interleave={args.interleave}: {report.summary()}"
+        )
+        payload = report.to_json()
+        ok = report.ok
+    else:
+        requests = [
+            tpch_request(
+                q, tenant=f"tenant{i % args.tenants}", scale_mb=scale,
+                real=args.real, policy=args.policy, seed=args.seed,
+                name=f"{q}#{i}",
+            )
+            for i, q in enumerate(args.queries)
+        ]
+        budgets = None
+        if args.budget_mb:
+            budgets = {
+                f"tenant{t}": (int(args.budget_mb * 1e6), 1 << 30)
+                for t in range(args.tenants)
+            }
+        result = run_workload(
+            requests, interleave=args.interleave, budgets=budgets,
+            check_solo=args.check_solo,
+        )
+        print(
+            f"serve {args.tenants} tenants, interleave="
+            f"{args.interleave}: {result.report.summary()}"
+        )
+        for s in result.report.sessions:
+            line = (
+                f"  {s['tenant']}/{s['request']}: {s['state']}, "
+                f"{s.get('n_messages', 0)} msgs, "
+                f"{s.get('total_bytes', 0) / 1e6:,.2f} MB"
+            )
+            if args.check_solo and s["request"] in result.solo_deltas:
+                delta = result.solo_deltas[s["request"]]
+                line += (
+                    "  [== solo]" if delta == "" else f"  [DRIFT: {delta}]"
+                )
+            print(line)
+        ok = all(
+            s["state"] in ("done", "rejected")
+            for s in result.report.sessions
+        )
+        if args.check_solo:
+            ok = ok and result.isolated
+        payload = result.to_json()
+
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(json.dumps(payload, indent=2) + "\n")
+        print(f"report -> {args.output}")
+    return 0 if ok else 1
+
+
 def _cmd_demo(args) -> int:
     import runpy
     from pathlib import Path
@@ -488,6 +598,78 @@ def main(argv=None) -> int:
         help="write the JSON report here",
     )
     p.set_defaults(fn=_cmd_chaos)
+
+    p = sub.add_parser(
+        "serve",
+        help="multi-tenant query service: interleaved sessions, "
+        "shared plan cache, per-tenant budgets",
+    )
+    p.add_argument(
+        "--queries", nargs="+", type=lambda s: s.upper(),
+        default=["Q3", "Q10", "Q18", "Q8", "Q9"],
+        choices=["Q3", "Q10", "Q18", "Q8", "Q9"],
+        help="TPC-H queries to serve (assigned to tenants round-robin; "
+        "with --isolation-sweep, the first is the faulted victim and "
+        "the second the observer)",
+    )
+    p.add_argument(
+        "--tenants", type=int, default=2,
+        help="number of tenants the queries are spread over",
+    )
+    p.add_argument(
+        "--scale", default="tiny",
+        help='dataset scale in MB, or "tiny" (= 0.1)',
+    )
+    p.add_argument(
+        "--policy", choices=["program", "stages"], default="program",
+        help="exec scheduler dispatch policy inside each session",
+    )
+    p.add_argument(
+        "--interleave", choices=["round_robin", "clock"],
+        default="round_robin",
+        help="cross-session interleaving policy",
+    )
+    p.add_argument(
+        "--budget-mb", type=float, default=0, metavar="MB",
+        help="per-tenant byte budget in MB (0 = unmetered)",
+    )
+    p.add_argument(
+        "--check-solo", action="store_true",
+        help="re-run each completed session solo and require its "
+        "transcript byte-identical",
+    )
+    p.add_argument(
+        "--isolation-sweep", action="store_true",
+        help="two-tenant chaos mode: sweep fault points in the victim "
+        "session, require the observer byte-identical to solo at every "
+        "point",
+    )
+    p.add_argument(
+        "--stride", type=int, default=1,
+        help="message-index stride for --isolation-sweep",
+    )
+    p.add_argument(
+        "--kinds", nargs="+", default=None,
+        choices=[
+            "corrupt", "truncate", "drop", "duplicate", "reorder",
+            "hang", "crash",
+        ],
+        help="fault kinds for --isolation-sweep (default: all)",
+    )
+    p.add_argument(
+        "--real", action="store_true",
+        help="REAL-mode cryptography (slow; use tiny scales)",
+    )
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument(
+        "--verbose", action="store_true",
+        help="print every fault point's classification",
+    )
+    p.add_argument(
+        "-o", "--output", default=None,
+        help="write the JSON report here",
+    )
+    p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser(
         "lint",

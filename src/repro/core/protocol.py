@@ -48,6 +48,7 @@ from .semijoin import oblivious_reduce_join, oblivious_semijoin
 __all__ = [
     "secure_yannakakis",
     "secure_yannakakis_shared",
+    "secure_yannakakis_with_plan",
     "legacy_secure_yannakakis",
     "legacy_secure_yannakakis_shared",
     "ProtocolStats",
@@ -99,17 +100,41 @@ def secure_yannakakis(
     Returns the result relation (attributes ordered as ``plan.output``,
     duplicate group keys merged, zero groups dropped) and cost stats.
     """
-    from ..exec import Scheduler, compile_plan
+    from ..exec import compile_plan
 
-    ctx = engine.ctx
-    start_msgs = len(ctx.transcript.messages)
-    t0 = time.perf_counter()
     exec_plan = compile_plan(
         plan,
         owners={name: rel.owner for name, rel in relations.items()},
         input_order=list(relations),
         reveal_result=True,
     )
+    return secure_yannakakis_with_plan(engine, relations, plan, exec_plan)
+
+
+def secure_yannakakis_with_plan(
+    engine: Engine,
+    relations: Dict[str, SecureRelation],
+    plan: YannakakisPlan,
+    exec_plan: "object",
+) -> Tuple[AnnotatedRelation, ProtocolStats]:
+    """:func:`secure_yannakakis` over an already-compiled
+    :class:`~repro.exec.ir.ExecPlan`.
+
+    The compiled plan is pure public structure (step DAG over relation
+    names), so it may be shared across runs — the
+    :class:`~repro.serve.plancache.PlanCache` hands the same object to
+    every tenant whose query fingerprints identically, and the
+    transcript is byte-identical to a freshly-compiled run.  The plan
+    must have been compiled with ``reveal_result=True`` and an
+    ``input_order`` matching ``relations``' iteration order.
+    """
+    from ..exec import ExecPlan, Scheduler
+
+    if not isinstance(exec_plan, ExecPlan):
+        raise TypeError(f"expected an ExecPlan, got {type(exec_plan)!r}")
+    ctx = engine.ctx
+    start_msgs = len(ctx.transcript.messages)
+    t0 = time.perf_counter()
     env = Scheduler(engine).run(exec_plan, relations)
     shared, values = env["output"]
     elapsed = time.perf_counter() - t0

@@ -132,8 +132,16 @@ class Scheduler:
         must propagate untouched."""
         ctx = self.engine.ctx
         supervisor = self._make_supervisor()
+        # Cooperative re-entrancy: a serving layer may interleave many
+        # sessions by parking this one at each step boundary.  The hook
+        # runs outside the supervisor's checkpoint/retry bracket (one
+        # yield per step, not per attempt) and before any of the step's
+        # messages, so it cannot perturb the transcript.
+        yield_hook = getattr(self.engine, "yield_hook", None)
         env: Dict[str, Any] = {}
         for step in self.execution_order(plan):
+            if yield_hook is not None:
+                yield_hook(step)
 
             def thunk(step: Step = step) -> None:
                 if self.trace is not None:

@@ -72,6 +72,14 @@ class Engine:
         #: ("program" preserves legacy message order byte-for-byte,
         #: "stages" batches independent DAG nodes stage by stage).
         self.exec_policy = exec_policy
+        #: Cooperative-scheduling hook: when set, the exec scheduler
+        #: calls it with each :class:`~repro.exec.ir.Step` before
+        #: dispatching it.  The multi-tenant serving layer
+        #: (:mod:`repro.serve`) uses this as the yield point at which a
+        #: session hands control back to the service coordinator; the
+        #: hook must not touch the context or transcript, so enabling
+        #: it leaves the run's messages byte-identical.
+        self.yield_hook: Optional[Callable[[object], None]] = None
 
     def _gadget(
         self, builder: Callable[..., "Circuit"], *shape: int

@@ -14,11 +14,29 @@ Cached setup material is *public*: circuit templates and network shapes
 depend only on public sizes and bit widths, never on private inputs, so
 sharing them across operators leaks nothing and leaves transcripts
 byte-identical.
+
+Multi-tenant sharing
+--------------------
+
+The storage lives in a :class:`SetupStore`, separable from the
+:class:`RunCache` view over it.  A default-constructed ``RunCache``
+owns a private store (the single-query behaviour); the serving layer
+(:mod:`repro.serve`) instead builds one store per
+:class:`~repro.serve.plancache.PlanCache` and hands every tenant
+session a ``RunCache(store=shared)`` *view*.  Sharing is safe for the
+same reason per-run sharing is safe — the material is a pure function
+of public shapes — so a tenant's transcript is byte-identical whether
+its store is cold or pre-warmed by another tenant (pinned by
+``tests/test_serve.py``).  Hit/miss counters stay on the view, so each
+session reports its own cache behaviour; the store serialises its
+get-or-build sections with a lock so even non-cooperative interleavings
+cannot observe a half-built template.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, List, Sequence, Tuple
+import threading
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .circuits.circuit import Circuit
@@ -26,17 +44,43 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 from . import waksman
 
-__all__ = ["RunCache"]
+__all__ = ["SetupStore", "RunCache"]
+
+
+class SetupStore:
+    """Shared storage for public setup material: circuit templates,
+    their precompiled garble plans, and Beneš network topologies.
+
+    One store per sharing domain — a single protocol run by default, a
+    whole plan cache in the serving layer.  Views (:class:`RunCache`)
+    do the counting; the store only holds material and the lock that
+    makes concurrent get-or-build race-free."""
+
+    def __init__(self) -> None:
+        self.lock = threading.RLock()
+        self.circuits: Dict[Tuple[object, ...], "Circuit"] = {}
+        self.topologies: Dict[int, Tuple[waksman.TopologyLayer, ...]] = {}
+        self.garble_plans: Dict[int, "GarblePlan"] = {}
+
+    def sizes(self) -> Dict[str, int]:
+        return {
+            "circuit_templates": len(self.circuits),
+            "topologies": len(self.topologies),
+            "garble_plans": len(self.garble_plans),
+        }
 
 
 class RunCache:
     """Memoises circuit templates (keyed ``(gadget, *shape)``) and Beneš
-    network topologies (keyed by size) for one protocol run."""
+    network topologies (keyed by size) for one protocol run.
 
-    def __init__(self) -> None:
-        self._circuits: Dict[Tuple, "Circuit"] = {}
-        self._topologies: Dict[int, Tuple[waksman.TopologyLayer, ...]] = {}
-        self._garble_plans: Dict[int, "GarblePlan"] = {}
+    ``store`` selects the sharing domain: omitted, the cache owns a
+    private :class:`SetupStore` (one run); passed, the cache is a
+    per-session counting view over a store shared with other sessions.
+    """
+
+    def __init__(self, store: Optional[SetupStore] = None) -> None:
+        self.store = store if store is not None else SetupStore()
         self.circuit_hits = 0
         self.circuit_misses = 0
         self.topology_hits = 0
@@ -47,24 +91,26 @@ class RunCache:
     # -- garbled-circuit gadget templates --------------------------------
 
     def circuit(self, builder: Callable[..., "Circuit"], *shape: int) -> "Circuit":
-        """The circuit template ``builder(*shape)``, built once per run.
+        """The circuit template ``builder(*shape)``, built once per
+        store.
 
         ``builder`` is one of the :mod:`repro.mpc.gadgets` constructors;
         the cache key is ``(gadget name, *shape)`` — e.g.
         ``("merge_sum_circuit", 32, 512)``.
         """
-        key = (builder.__name__,) + shape
-        if key in self._circuits:
-            self.circuit_hits += 1
-            return self._circuits[key]
-        self.circuit_misses += 1
-        template = builder(*shape)
-        self._circuits[key] = template
-        return template
+        key: Tuple[object, ...] = (builder.__name__,) + shape
+        with self.store.lock:
+            if key in self.store.circuits:
+                self.circuit_hits += 1
+                return self.store.circuits[key]
+            self.circuit_misses += 1
+            template = builder(*shape)
+            self.store.circuits[key] = template
+            return template
 
     def garble_plan(self, circuit: "Circuit") -> "GarblePlan":
         """The precompiled :class:`~repro.mpc.circuits.garbling.GarblePlan`
-        for a circuit template, built once per run.
+        for a circuit template, built once per store.
 
         Keyed by object identity: templates are themselves cached (here
         or in the :mod:`repro.mpc.gadgets` ``lru_cache``), so one template
@@ -74,26 +120,28 @@ class RunCache:
         from .circuits.garbling import make_garble_plan
 
         key = id(circuit)
-        plan = self._garble_plans.get(key)
-        if plan is not None:
-            self.plan_hits += 1
+        with self.store.lock:
+            plan = self.store.garble_plans.get(key)
+            if plan is not None:
+                self.plan_hits += 1
+                return plan
+            self.plan_misses += 1
+            plan = make_garble_plan(circuit)
+            self.store.garble_plans[key] = plan
             return plan
-        self.plan_misses += 1
-        plan = make_garble_plan(circuit)
-        self._garble_plans[key] = plan
-        return plan
 
     # -- Beneš switching networks ----------------------------------------
 
     def benes_topology(self, n: int) -> Tuple[waksman.TopologyLayer, ...]:
         """The size-``n`` Beneš wire-pair layers (permutation-independent)."""
-        if n in self._topologies:
-            self.topology_hits += 1
-            return self._topologies[n]
-        self.topology_misses += 1
-        topology = waksman.benes_topology(n)
-        self._topologies[n] = topology
-        return topology
+        with self.store.lock:
+            if n in self.store.topologies:
+                self.topology_hits += 1
+                return self.store.topologies[n]
+            self.topology_misses += 1
+            topology = waksman.benes_topology(n)
+            self.store.topologies[n] = topology
+            return topology
 
     def benes_network(self, perm: Sequence[int]) -> List[List[Tuple[int, int, bool]]]:
         """Routed network for ``perm``: cached topology zipped with the
@@ -109,16 +157,17 @@ class RunCache:
     # -- reporting --------------------------------------------------------
 
     def stats(self) -> Dict[str, int]:
+        sizes = self.store.sizes()
         return {
             "circuit_hits": self.circuit_hits,
             "circuit_misses": self.circuit_misses,
-            "circuit_templates": len(self._circuits),
+            "circuit_templates": sizes["circuit_templates"],
             "topology_hits": self.topology_hits,
             "topology_misses": self.topology_misses,
-            "topologies": len(self._topologies),
+            "topologies": sizes["topologies"],
             "plan_hits": self.plan_hits,
             "plan_misses": self.plan_misses,
-            "garble_plans": len(self._garble_plans),
+            "garble_plans": sizes["garble_plans"],
         }
 
     def __repr__(self) -> str:  # pragma: no cover

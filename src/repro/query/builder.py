@@ -113,11 +113,18 @@ class JoinAggregateQuery:
     def run_naive(self) -> AnnotatedRelation:
         return naive_join_aggregate(self.relations, list(self.output))
 
-    def _secure_inputs(self) -> Dict[str, SecureRelation]:
+    def secure_inputs(self) -> Dict[str, SecureRelation]:
+        """The relations wrapped as owner-tagged
+        :class:`~repro.core.relation.SecureRelation` inputs, in
+        insertion order (the order the compiler's ``input_order``
+        must match)."""
         return {
             name: SecureRelation.from_annotated(self.owners[name], rel)
             for name, rel in self.relations.items()
         }
+
+    # Backwards-compatible alias (pre-serving-layer name).
+    _secure_inputs = secure_inputs
 
     def run_secure(
         self, engine: Engine

@@ -33,6 +33,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = ["Checkpoint"]
 
+#: Engine attributes that are coordination plumbing, not protocol
+#: state: never captured or restored.  ``yield_hook`` is the serving
+#: layer's baton callback — it closes over scheduler machinery
+#: (threads, events) that neither pickles nor belongs in a retry.
+_COORDINATION_FIELDS = frozenset({"yield_hook"})
+
 
 class Checkpoint:
     """A restorable snapshot taken immediately before one plan node."""
@@ -77,7 +83,14 @@ class Checkpoint:
         return cls(
             step_id=step_id,
             env=copy.deepcopy(env, memo),
-            engine_state=copy.deepcopy(dict(engine.__dict__), memo),
+            engine_state=copy.deepcopy(
+                {
+                    k: v
+                    for k, v in engine.__dict__.items()
+                    if k not in _COORDINATION_FIELDS
+                },
+                memo,
+            ),
             transcript_state=session.transcript.state(),
             session_state=session.state(),
             n_trace_nodes=len(trace.nodes) if trace is not None else 0,

@@ -1,0 +1,213 @@
+"""Tenant-isolation chaos sweeps.
+
+The serving layer's hard guarantee: **a crashed or faulted session
+leaves every other tenant's transcript byte-identical to its solo
+run.**  This module proves it the same way the single-session chaos
+harness (:mod:`repro.runtime.chaos`) proves fault-tolerance — by
+sweeping every fault point:
+
+1. run the *victim* request (session A) solo and unfaulted to learn
+   its fault surface (message count, plan nodes);
+2. run the *observer* request (session B) solo to capture the
+   baseline :class:`~repro.runtime.chaos.RunProfile` it must always
+   reproduce;
+3. for every fault point in A — every message-fault kind at every
+   (strided) wire index, plus a party crash at every plan node — run
+   A and B concurrently through one
+   :class:`~repro.serve.service.QueryService` with the fault injected
+   into A only, and compare B's profile byte-for-byte against its
+   solo baseline.
+
+Any drift in B is a VIOLATION regardless of what happened to A.  A
+itself is additionally classified like a single-session chaos run
+(completed-correct / clean-abort / VIOLATION), so the sweep doubles as
+a regression check that serving did not weaken single-session
+fault-tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..runtime.aborts import ProtocolAbort
+from ..runtime.chaos import RunProfile, build_specs
+from ..runtime.faults import MESSAGE_FAULT_KINDS, FaultPlan, FaultSpec
+from ..runtime.session import DEFAULT_NODE_BUDGET
+from .service import QueryService
+from .session import DONE, FAILED, QueryRequest, QuerySession
+from .workload import run_solo
+
+__all__ = [
+    "IsolationOutcome",
+    "IsolationReport",
+    "isolation_sweep",
+]
+
+#: Builds a fresh request; the sweep passes the victim's fault plan
+#: (``None`` for the unfaulted baseline and for the observer).
+RequestFactory = Callable[[Optional[FaultPlan]], QueryRequest]
+
+
+@dataclass
+class IsolationOutcome:
+    """One fault point: what happened to the victim, and whether the
+    observer stayed byte-identical to its solo baseline."""
+
+    fault: FaultSpec
+    victim_classification: str
+    observer_delta: str = ""
+    detail: str = ""
+
+    @property
+    def isolated(self) -> bool:
+        return self.observer_delta == ""
+
+    @property
+    def ok(self) -> bool:
+        return self.isolated and self.victim_classification != "VIOLATION"
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "fault": self.fault.to_json(),
+            "victim": self.victim_classification,
+            "observer_delta": self.observer_delta,
+            "detail": self.detail,
+            "ok": self.ok,
+        }
+
+    def __str__(self) -> str:
+        obs = "observer ok" if self.isolated else (
+            f"OBSERVER DRIFT: {self.observer_delta}"
+        )
+        return f"{self.fault} -> victim {self.victim_classification}, {obs}"
+
+
+@dataclass
+class IsolationReport:
+    """One sweep's outcomes."""
+
+    outcomes: List[IsolationOutcome] = field(default_factory=list)
+    baseline_messages: int = 0
+    baseline_nodes: int = 0
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def drifts(self) -> List[IsolationOutcome]:
+        return [o for o in self.outcomes if not o.isolated]
+
+    @property
+    def violations(self) -> List[IsolationOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        status = (
+            "OK"
+            if self.ok
+            else f"{len(self.drifts)} observer drifts / "
+            f"{len(self.violations)} violations"
+        )
+        return (
+            f"{status}: {len(self.outcomes)} fault points over "
+            f"{self.baseline_messages} victim messages / "
+            f"{self.baseline_nodes} nodes — observer byte-identical "
+            f"at {sum(1 for o in self.outcomes if o.isolated)}"
+        )
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "meta": dict(self.meta),
+            "baseline_messages": self.baseline_messages,
+            "baseline_nodes": self.baseline_nodes,
+            "ok": self.ok,
+            "n_drifts": len(self.drifts),
+            "outcomes": [o.to_json() for o in self.outcomes],
+        }
+
+
+def _classify_victim(
+    session: QuerySession, baseline: RunProfile, fault: FaultSpec
+) -> IsolationOutcome:
+    """Single-session chaos semantics applied to the victim."""
+    if session.state == DONE and session.profile is not None:
+        drift = session.profile.diff(baseline)
+        if drift:
+            return IsolationOutcome(fault, "VIOLATION", detail=drift)
+        return IsolationOutcome(fault, "completed-correct")
+    if session.state == FAILED and isinstance(
+        session.error, ProtocolAbort
+    ):
+        if session.error.is_sanitized():
+            return IsolationOutcome(
+                fault, "clean-abort", detail=str(session.error)
+            )
+        return IsolationOutcome(
+            fault,
+            "VIOLATION",
+            detail=f"unsanitized abort {type(session.error).__name__}",
+        )
+    return IsolationOutcome(
+        fault,
+        "VIOLATION",
+        detail=(
+            f"uncaught {type(session.error).__name__}"
+            if session.error is not None
+            else f"unexpected state {session.state}"
+        ),
+    )
+
+
+def isolation_sweep(
+    make_victim: RequestFactory,
+    make_observer: RequestFactory,
+    interleave: str = "round_robin",
+    kinds: Sequence[str] = MESSAGE_FAULT_KINDS + ("crash",),
+    stride: int = 1,
+    hang_ticks: int = DEFAULT_NODE_BUDGET + 1,
+    on_progress: Optional[
+        Callable[[int, int, IsolationOutcome], None]
+    ] = None,
+) -> IsolationReport:
+    """Sweep every fault point in the victim; require the observer's
+    profile byte-identical to its solo baseline at each."""
+    victim_solo = run_solo(make_victim(None))
+    observer_solo = run_solo(make_observer(None))
+    if victim_solo.profile is None or observer_solo.profile is None:
+        raise RuntimeError(
+            "unfaulted baseline run failed: "
+            f"victim={victim_solo.state} ({victim_solo.error!r}), "
+            f"observer={observer_solo.state} ({observer_solo.error!r})"
+        )
+    victim_baseline = victim_solo.profile
+    observer_baseline = observer_solo.profile
+    specs = build_specs(
+        victim_baseline, kinds=kinds, stride=stride, hang_ticks=hang_ticks
+    )
+    report = IsolationReport(
+        baseline_messages=victim_baseline.n_messages,
+        baseline_nodes=len(victim_baseline.nodes_seen),
+        meta={"interleave": interleave, "stride": stride},
+    )
+    for i, spec in enumerate(specs):
+        service = QueryService(interleave=interleave)
+        service.submit(make_victim(FaultPlan([spec])))
+        service.submit(make_observer(None))
+        service.run()
+        victim, observer = service.sessions
+        outcome = _classify_victim(victim, victim_baseline, spec)
+        if observer.state != DONE or observer.profile is None:
+            outcome.observer_delta = (
+                f"observer {observer.state}: {observer.error!r}"
+            )
+        else:
+            outcome.observer_delta = observer.profile.diff(
+                observer_baseline
+            )
+        report.outcomes.append(outcome)
+        if on_progress is not None:
+            on_progress(i + 1, len(specs), outcome)
+    return report

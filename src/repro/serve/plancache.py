@@ -1,0 +1,124 @@
+"""Shared plan cache for the multi-tenant serving layer.
+
+Compiling a :class:`~repro.yannakakis.plan.YannakakisPlan` into an
+:class:`~repro.exec.ir.ExecPlan` is pure public work — the step DAG
+depends only on schemas, owners, and plan shape, never on relation
+contents.  The :class:`PlanCache` memoises that work across tenants,
+keyed on the canonical :func:`~repro.serve.fingerprint.plan_fingerprint`
+so that only queries whose *every* transcript-shaping public input
+matches share an entry.
+
+The cache also owns a :class:`~repro.mpc.runcache.SetupStore`: gadget
+circuit templates, garble plans, and Beneš topologies are equally
+public and shape-keyed, so every session the service starts gets a
+``RunCache`` *view* over the shared store
+(:meth:`PlanCache.run_cache`).  A tenant's transcript is byte-identical
+whether it compiles cold or hits a pre-warmed cache — pinned by the
+property tests in ``tests/test_serve.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict
+
+from ..mpc.runcache import RunCache, SetupStore
+from .fingerprint import plan_fingerprint
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..exec.ir import ExecPlan
+    from ..query.builder import JoinAggregateQuery
+    from ..yannakakis.plan import YannakakisPlan
+
+__all__ = ["PlanEntry", "PlanCache"]
+
+
+@dataclass
+class PlanEntry:
+    """One cached compilation: the logical plan, its compiled DAG, and
+    bookkeeping.  Entries are immutable once built; ``hits`` counts
+    reuses across all tenants."""
+
+    fingerprint: str
+    plan: "YannakakisPlan"
+    exec_plan: "ExecPlan"
+    hits: int = 0
+    tenants: Dict[str, int] = field(default_factory=dict)
+
+
+class PlanCache:
+    """Fingerprint-keyed cache of compiled execution plans plus the
+    shared :class:`~repro.mpc.runcache.SetupStore` for gadget setup
+    material."""
+
+    def __init__(self) -> None:
+        self.lock = threading.RLock()
+        self.entries: Dict[str, PlanEntry] = {}
+        self.store = SetupStore()
+        self.hits = 0
+        self.misses = 0
+
+    def get(
+        self,
+        query: "JoinAggregateQuery",
+        reveal_result: bool = True,
+        pad_out_to: int = 0,
+        tenant: str = "",
+    ) -> PlanEntry:
+        """The cached entry for ``query``, compiling on first sight.
+
+        ``tenant`` is bookkeeping only — it never enters the key, so
+        identical logical queries from different tenants share one
+        compiled plan.
+        """
+        from ..exec import compile_plan
+
+        fp = plan_fingerprint(query, reveal_result, pad_out_to)
+        with self.lock:
+            entry = self.entries.get(fp)
+            if entry is not None:
+                self.hits += 1
+                entry.hits += 1
+                if tenant:
+                    entry.tenants[tenant] = entry.tenants.get(tenant, 0) + 1
+                return entry
+            self.misses += 1
+            plan = query.plan()
+            exec_plan = compile_plan(
+                plan,
+                owners=dict(query.owners),
+                input_order=list(query.relations),
+                pad_out_to=pad_out_to,
+                reveal_result=reveal_result,
+            )
+            entry = PlanEntry(fingerprint=fp, plan=plan, exec_plan=exec_plan)
+            if tenant:
+                entry.tenants[tenant] = 1
+            self.entries[fp] = entry
+            return entry
+
+    def run_cache(self) -> RunCache:
+        """A fresh per-session counting view over the shared setup
+        store — hand one to each :class:`~repro.mpc.context.Context`
+        the service creates."""
+        return RunCache(store=self.store)
+
+    def stats(self) -> Dict[str, int]:
+        with self.lock:
+            out = {
+                "plan_entries": len(self.entries),
+                "plan_hits": self.hits,
+                "plan_misses": self.misses,
+            }
+            out.update(
+                {f"store_{k}": v for k, v in self.store.sizes().items()}
+            )
+            return out
+
+    def __repr__(self) -> str:  # pragma: no cover
+        s = self.stats()
+        return (
+            f"PlanCache(entries={s['plan_entries']} "
+            f"hit/miss={s['plan_hits']}/{s['plan_misses']})"
+        )

@@ -55,6 +55,14 @@ def pytest_collection_modifyitems(config, items):
             item.add_marker(pytest.mark.real)
 
 
+def make_engine(mode=Mode.SIMULATED, seed=0, group_bits=TEST_GROUP_BITS):
+    """One-line engine factory for tests that need several engines (or
+    non-fixture parametrisation).  Test modules alias it with their
+    historical default seed via ``functools.partial`` instead of each
+    re-defining the same helper."""
+    return Engine(Context(mode, seed=seed), group_bits)
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(0xC0FFEE)

@@ -1,5 +1,7 @@
 """Query composition (Section 7): avg, ratio-of-sums, differences."""
 
+from functools import partial
+
 import numpy as np
 import pytest
 
@@ -9,18 +11,17 @@ from repro.core.composition import (
     subtract_compose,
 )
 from repro.core.join import ObliviousJoinResult
-from repro.mpc import ALICE, BOB, Context, Engine, Mode
+from repro.mpc import ALICE, BOB, Mode
 from repro.query import JoinAggregateQuery
 from repro.relalg import AnnotatedRelation, IntegerRing
 from repro.tpch.queries import to_signed
 
-from .conftest import TEST_GROUP_BITS
+from .conftest import make_engine
 
 RING = IntegerRing(32)
 
 
-def mk_engine(mode=Mode.SIMULATED, seed=13):
-    return Engine(Context(mode, seed=seed), TEST_GROUP_BITS)
+mk_engine = partial(make_engine, seed=13)
 
 
 def shared_result(eng, attrs, rows, values):

@@ -1,5 +1,7 @@
 """The oblivious join (Section 6.3) and the shared-payload PSI (5.5)."""
 
+from functools import partial
+
 import numpy as np
 import pytest
 
@@ -9,16 +11,15 @@ from repro.core import (
     oblivious_join,
     psi_with_shared_payloads,
 )
-from repro.mpc import ALICE, BOB, Context, Engine, Mode
+from repro.mpc import ALICE, BOB, Mode
 from repro.relalg import AnnotatedRelation, IntegerRing, aggregate, join
 
-from .conftest import TEST_GROUP_BITS
+from .conftest import make_engine
 
 RING = IntegerRing(32)
 
 
-def mk_engine(mode=Mode.SIMULATED, seed=17):
-    return Engine(Context(mode, seed=seed), TEST_GROUP_BITS)
+mk_engine = partial(make_engine, seed=17)
 
 
 def shared_rel(eng, owner, attrs, tuples, annots):

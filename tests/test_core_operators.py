@@ -1,6 +1,8 @@
 """The oblivious operators (Section 6.1/6.2) against plaintext
 semantics, across ownership and annotation regimes."""
 
+from functools import partial
+
 import numpy as np
 import pytest
 
@@ -13,7 +15,7 @@ from repro.core import (
     oblivious_semijoin,
     oblivious_support_projection,
 )
-from repro.mpc import ALICE, BOB, Context, Engine, Mode
+from repro.mpc import ALICE, BOB, Mode
 from repro.relalg import (
     AnnotatedRelation,
     IntegerRing,
@@ -23,13 +25,12 @@ from repro.relalg import (
     support_projection,
 )
 
-from .conftest import TEST_GROUP_BITS
+from .conftest import make_engine
 
 RING = IntegerRing(32)
 
 
-def mk_engine(mode=Mode.SIMULATED, seed=31):
-    return Engine(Context(mode, seed=seed), TEST_GROUP_BITS)
+mk_engine = partial(make_engine, seed=31)
 
 
 def secure(owner, rel, engine=None, shared=False):

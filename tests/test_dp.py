@@ -1,5 +1,7 @@
 """The differential-privacy extension (Section 7)."""
 
+from functools import partial
+
 import numpy as np
 import pytest
 
@@ -9,15 +11,16 @@ from repro.core.dp import (
     joint_sensitivity,
     max_multiplicity,
 )
-from repro.mpc import ALICE, BOB, Context, Engine, Mode
+from repro.mpc import ALICE, BOB
 from repro.relalg import AnnotatedRelation, IntegerRing
 from repro.tpch.queries import to_signed
+
+from .conftest import make_engine
 
 RING = IntegerRing(32)
 
 
-def mk_engine(seed=3):
-    return Engine(Context(Mode.SIMULATED, seed=seed))
+mk_engine = partial(make_engine, seed=3, group_bits=2048)
 
 
 class TestSensitivity:

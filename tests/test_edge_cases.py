@@ -1,12 +1,14 @@
 """Empty and degenerate inputs across the stack."""
 
+from functools import partial
+
 import numpy as np
 import pytest
 
 from repro.core import SecureRelation, secure_yannakakis
 from repro.core.composition import divide_compose
 from repro.core.join import ObliviousJoinResult
-from repro.mpc import ALICE, BOB, Context, Engine, Mode
+from repro.mpc import ALICE, BOB, Context, Mode
 from repro.mpc.oep import (
     oblivious_extended_permutation,
     oblivious_permutation,
@@ -21,13 +23,12 @@ from repro.relalg import (
 )
 from repro.yannakakis import build_plan
 
-from .conftest import TEST_GROUP_BITS
+from .conftest import TEST_GROUP_BITS, make_engine
 
 RING = IntegerRing(32)
 
 
-def mk_engine(seed=1):
-    return Engine(Context(Mode.SIMULATED, seed=seed), TEST_GROUP_BITS)
+mk_engine = partial(make_engine, seed=1)
 
 
 class TestEmptyVectors:

@@ -1,16 +1,17 @@
 """The role-orienting engine facade."""
 
+from functools import partial
+
 import numpy as np
 import pytest
 
 from repro.core.oriented import OrientedEngine
-from repro.mpc import ALICE, BOB, Context, Engine, Mode
+from repro.mpc import ALICE, BOB
 
-from .conftest import TEST_GROUP_BITS
+from .conftest import make_engine
 
 
-def mk_engine(seed=8):
-    return Engine(Context(Mode.SIMULATED, seed=seed), TEST_GROUP_BITS)
+mk_engine = partial(make_engine, seed=8)
 
 
 class TestOrientation:

@@ -1,12 +1,14 @@
 """Output-size padding (Sections 4 and 6.3): hiding the true OUT from
 Bob behind a declared upper bound."""
 
+from functools import partial
+
 import numpy as np
 import pytest
 
 from repro.core import SecureAnnotations, SecureRelation, oblivious_join
 from repro.core.protocol import secure_yannakakis_shared
-from repro.mpc import ALICE, BOB, Context, Engine, Mode
+from repro.mpc import ALICE, BOB
 from repro.relalg import (
     AnnotatedRelation,
     Hypergraph,
@@ -15,13 +17,12 @@ from repro.relalg import (
 )
 from repro.yannakakis import build_plan
 
-from .conftest import TEST_GROUP_BITS
+from .conftest import make_engine
 
 RING = IntegerRing(32)
 
 
-def mk_engine(seed=1):
-    return Engine(Context(Mode.SIMULATED, seed=seed), TEST_GROUP_BITS)
+mk_engine = partial(make_engine, seed=1)
 
 
 def shared_rel(eng, owner, attrs, tuples, annots):

@@ -1,0 +1,428 @@
+"""Serving-layer unit and property tests.
+
+Three battery sections:
+
+* **plan-cache keying** (hypothesis over fuzz-generated instances):
+  identical logical queries — including value-disjoint twins, which
+  differ in every private value — share one cache entry; flipping any
+  transcript-shaping public input (owners, schema, ``ell``, input
+  order) misses; and a cached run is byte-identical to a cold one,
+  covering both the compiled-plan entry and the pre-warmed
+  :class:`~repro.mpc.runcache.SetupStore`.
+
+* **admission control**: exact admit/queue/reject boundaries against
+  the estimator's price, reservation accounting, queue draining on
+  settle/replenish, and the regression that a rejected request moves
+  **zero** protocol bytes (no context, no transcript sends).
+
+* **service runs**: deterministic interleaving, cross-tenant plan
+  sharing, and served results equal to a direct ``run_secure``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.estimator import CostEstimate, estimate_query_cost
+from repro.fuzz.generator import (
+    GeneratorConfig,
+    generate_instance,
+    value_disjoint_twin,
+)
+from repro.mpc import Context, Transcript
+from repro.query.builder import JoinAggregateQuery
+from repro.relalg import AnnotatedRelation, IntegerRing
+from repro.serve import (
+    ADMIT,
+    QUEUE,
+    REJECT,
+    AdmissionController,
+    PlanCache,
+    QueryRequest,
+    QueryService,
+    fingerprint_document,
+    plan_fingerprint,
+    run_solo,
+)
+
+from .conftest import make_engine
+
+pytestmark = pytest.mark.serve
+
+#: Small instances keep each protocol run in the tens of messages.
+SMALL = GeneratorConfig(max_relations=3, max_tuples=4)
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def fuzz_query(master_seed: int, index: int = 0) -> JoinAggregateQuery:
+    return generate_instance(master_seed, index, SMALL).query()
+
+
+def tiny_query(ell: int = 32, order: str = "rs") -> JoinAggregateQuery:
+    """A fixed two-relation query, parameterised on the fingerprint
+    axes the fuzz generator cannot isolate (ell, insertion order)."""
+    ring = IntegerRing(ell)
+    r = AnnotatedRelation(("a", "b"), [(1, 2), (3, 4)], [1, 1], ring)
+    s = AnnotatedRelation(("b", "c"), [(2, 5), (4, 6)], [1, 1], ring)
+    q = JoinAggregateQuery(output=("a",))
+    if order == "rs":
+        q.add_relation("R", r, owner="alice")
+        q.add_relation("S", s, owner="bob")
+    else:
+        q.add_relation("S", s, owner="bob")
+        q.add_relation("R", r, owner="alice")
+    return q
+
+
+class TestFingerprint:
+    @given(seed=seeds)
+    def test_deterministic_and_content_independent(self, seed):
+        inst = generate_instance(seed, 0, SMALL)
+        twin = value_disjoint_twin(inst)
+        fp = plan_fingerprint(inst.query())
+        assert fp == plan_fingerprint(inst.query())
+        # The twin shares no attribute value with the original, yet
+        # has the same public shape: same fingerprint.
+        assert fp == plan_fingerprint(twin.query())
+
+    @given(seed=seeds)
+    def test_owner_flip_misses(self, seed):
+        q = fuzz_query(seed)
+        assert plan_fingerprint(q) != plan_fingerprint(q.swap_owners())
+
+    def test_ell_change_misses(self):
+        assert plan_fingerprint(tiny_query(ell=32)) != plan_fingerprint(
+            tiny_query(ell=48)
+        )
+
+    def test_input_order_in_key(self):
+        # compile_plan emits ShareSteps in insertion order, so two
+        # queries over the same relations in different order must not
+        # share a compiled plan.
+        fp_rs = plan_fingerprint(tiny_query(order="rs"))
+        fp_sr = plan_fingerprint(tiny_query(order="sr"))
+        assert fp_rs != fp_sr
+        doc = fingerprint_document(tiny_query(order="rs"))
+        assert doc["input_order"] == ["R", "S"]
+
+    def test_schema_change_misses(self):
+        base = tiny_query()
+        ring = IntegerRing(32)
+        renamed = JoinAggregateQuery(output=("a",))
+        renamed.add_relation(
+            "R",
+            AnnotatedRelation(("a", "d"), [(1, 2), (3, 4)], [1, 1], ring),
+            owner="alice",
+        )
+        renamed.add_relation(
+            "S",
+            AnnotatedRelation(("d", "c"), [(2, 5), (4, 6)], [1, 1], ring),
+            owner="bob",
+        )
+        assert plan_fingerprint(base) != plan_fingerprint(renamed)
+
+    def test_compile_flags_in_key(self):
+        q = tiny_query()
+        assert plan_fingerprint(q, reveal_result=True) != plan_fingerprint(
+            q, reveal_result=False
+        )
+        assert plan_fingerprint(q, pad_out_to=0) != plan_fingerprint(
+            q, pad_out_to=16
+        )
+
+
+class TestPlanCache:
+    @given(seed=seeds)
+    def test_identical_logical_queries_hit(self, seed):
+        inst = generate_instance(seed, 0, SMALL)
+        cache = PlanCache()
+        first = cache.get(inst.query(), tenant="t1")
+        again = cache.get(inst.query(), tenant="t2")
+        twin = cache.get(value_disjoint_twin(inst).query(), tenant="t3")
+        assert first is again is twin
+        assert cache.stats()["plan_entries"] == 1
+        assert cache.stats()["plan_hits"] == 2
+        assert first.tenants == {"t1": 1, "t2": 1, "t3": 1}
+
+    @given(seed=seeds)
+    def test_owner_flip_gets_own_entry(self, seed):
+        q = fuzz_query(seed)
+        cache = PlanCache()
+        assert cache.get(q) is not cache.get(q.swap_owners())
+        assert cache.stats()["plan_entries"] == 2
+
+    @settings(max_examples=10)
+    @given(seed=seeds)
+    def test_cached_run_byte_identical_to_cold(self, seed):
+        """The hard guarantee of sharing: a run through a cache
+        pre-warmed by another tenant (compiled plan AND setup store)
+        is byte-identical to a cold private-cache run."""
+        inst = generate_instance(seed, 0, SMALL)
+        req = lambda q: QueryRequest(  # noqa: E731
+            tenant="t", name="q", query=q, seed=5
+        )
+        cold = run_solo(req(inst.query()))
+        assert cold.state == "done", repr(cold.error)
+
+        cache = PlanCache()
+        # Pre-warm with the value-disjoint twin: same entry, and the
+        # twin's run fills the shared SetupStore.
+        warmup = run_solo(
+            QueryRequest(
+                tenant="other",
+                name="warm",
+                query=value_disjoint_twin(inst).query(),
+                seed=6,
+            ),
+            plan_cache=cache,
+        )
+        assert warmup.state == "done", repr(warmup.error)
+        warm = run_solo(req(inst.query()), plan_cache=cache)
+        assert warm.state == "done", repr(warm.error)
+        assert cache.stats()["plan_hits"] >= 1
+        assert warm.profile is not None and cold.profile is not None
+        assert warm.profile.diff(cold.profile) == ""
+        assert warm.profile.fingerprint == cold.profile.fingerprint
+
+
+class TestSetupStoreViews:
+    def test_counters_per_view_material_shared(self):
+        """Sessions count their own hits/misses; the material lives in
+        the shared store.  A default-constructed RunCache keeps a
+        private store, so tests that assert hit/miss counts stay
+        order-independent."""
+        from repro.mpc.gadgets import merge_sum_circuit
+        from repro.mpc.runcache import RunCache, SetupStore
+
+        store = SetupStore()
+        a = RunCache(store=store)
+        b = RunCache(store=store)
+        assert a.circuit(merge_sum_circuit, 32, 4) is b.circuit(
+            merge_sum_circuit, 32, 4
+        )
+        assert a.stats()["circuit_misses"] == 1
+        assert a.stats()["circuit_hits"] == 0
+        assert b.stats()["circuit_misses"] == 0
+        assert b.stats()["circuit_hits"] == 1
+        assert a.benes_topology(8) is b.benes_topology(8)
+        assert store.sizes() == {
+            "circuit_templates": 1,
+            "topologies": 1,
+            "garble_plans": 0,
+        }
+        # a fresh default cache shares nothing with the store above
+        private = RunCache()
+        private.circuit(merge_sum_circuit, 32, 4)
+        assert private.stats()["circuit_misses"] == 1
+        assert store.sizes()["circuit_templates"] == 1
+
+
+def priced(total: int, rounds: int = 0) -> CostEstimate:
+    est = CostEstimate()
+    est.add("test", total)
+    est.add_rounds(rounds)
+    return est
+
+
+class TestAdmissionController:
+    def test_exact_boundaries(self):
+        ctl = AdmissionController()
+        ctl.register("t", byte_capacity=100, round_capacity=10)
+        # over total capacity: reject, never queue
+        assert ctl.decide("t", priced(101)) == REJECT
+        assert ctl.decide("t", priced(50, rounds=11)) == REJECT
+        # exactly at capacity: admit
+        assert ctl.decide("t", priced(100, rounds=10)) == ADMIT
+        # capacity now reserved: fits total capacity -> queue
+        assert ctl.decide("t", priced(1)) == QUEUE
+        assert len(ctl.waiting) == 1
+
+    def test_settle_frees_reservation_and_drain_admits(self):
+        ctl = AdmissionController()
+        ctl.register("t", byte_capacity=100)
+        assert ctl.decide("t", priced(80), payload="first") == ADMIT
+        assert ctl.decide("t", priced(60), payload="second") == QUEUE
+        # Actual metered cost below the estimate: settling frees room.
+        ctl.settle("t", priced(80), actual_bytes=30, actual_rounds=0)
+        assert ctl.drain() == ["second"]
+        b = ctl.budgets["t"]
+        assert b.bytes_spent == 30 and b.bytes_reserved == 60
+
+    def test_replenish_resets_window(self):
+        ctl = AdmissionController()
+        ctl.register("t", byte_capacity=100)
+        assert ctl.decide("t", priced(100), payload="a") == ADMIT
+        ctl.settle("t", priced(100), actual_bytes=100, actual_rounds=0)
+        assert ctl.decide("t", priced(100), payload="b") == QUEUE
+        assert ctl.replenish("t") == ["b"]
+        assert ctl.budgets["t"].bytes_spent == 0
+        assert ctl.budgets["t"].bytes_reserved == 100
+
+    def test_fifo_per_tenant_no_cross_blocking(self):
+        ctl = AdmissionController()
+        ctl.register("t1", byte_capacity=10)
+        ctl.register("t2", byte_capacity=10)
+        assert ctl.decide("t1", priced(10), payload="t1-a") == ADMIT
+        assert ctl.decide("t1", priced(5), payload="t1-b") == QUEUE
+        assert ctl.decide("t2", priced(10), payload="t2-a") == ADMIT
+        assert ctl.decide("t2", priced(4), payload="t2-b") == QUEUE
+        # only t2 frees budget: t2-b admits, t1-b keeps its place
+        ctl.settle("t2", priced(10), actual_bytes=0, actual_rounds=0)
+        assert ctl.drain() == ["t2-b"]
+        assert [r.payload for r in ctl.waiting] == ["t1-b"]
+
+    def test_unpriced_policy(self):
+        ctl = AdmissionController()
+        ctl.register("lenient", byte_capacity=10)
+        ctl.register("strict", byte_capacity=10, require_priced=True)
+        assert ctl.decide("lenient", None) == ADMIT
+        assert ctl.decide("strict", None) == REJECT
+        # unknown tenants are unmetered
+        assert ctl.decide("nobody", priced(10**9)) == ADMIT
+
+
+class TestAdmissionInService:
+    def test_estimator_priced_boundaries(self):
+        q = fuzz_query(11)
+        cost = estimate_query_cost(q, group_bits=1536)
+        svc = QueryService()
+        svc.register_tenant("t", byte_capacity=cost.total)
+        req = lambda n: QueryRequest(  # noqa: E731
+            tenant="t", name=n, query=fuzz_query(11), seed=5
+        )
+        assert svc.submit(req("q1")) == ADMIT
+        assert svc.submit(req("q2")) == QUEUE
+
+        tight = QueryService()
+        tight.register_tenant("t", byte_capacity=cost.total - 1)
+        assert tight.submit(req("q3")) == REJECT
+
+    def test_rejection_moves_zero_protocol_bytes(self, monkeypatch):
+        """Regression: a rejected request must be turned away before a
+        context — let alone a transcript byte — exists."""
+        contexts = []
+        sends = []
+        orig_init = Context.__init__
+        orig_send = Transcript.send
+
+        def spy_init(self, *a, **kw):
+            contexts.append(self)
+            return orig_init(self, *a, **kw)
+
+        def spy_send(self, *a, **kw):
+            sends.append(a)
+            return orig_send(self, *a, **kw)
+
+        monkeypatch.setattr(Context, "__init__", spy_init)
+        monkeypatch.setattr(Transcript, "send", spy_send)
+
+        svc = QueryService()
+        svc.register_tenant("t", byte_capacity=1)
+        decision = svc.submit(
+            QueryRequest(tenant="t", name="big", query=fuzz_query(11))
+        )
+        assert decision == REJECT
+        assert svc.sessions == []
+        assert contexts == [] and sends == []
+        report = svc.run()
+        assert report.counts == {"rejected": 1}
+
+    def test_queued_request_runs_after_settlement(self):
+        q = fuzz_query(11)
+        cost = estimate_query_cost(q, group_bits=1536)
+        svc = QueryService()
+        # room for one reservation at a time, two windows of actuals
+        svc.register_tenant("t", byte_capacity=cost.total)
+        mk = lambda n: QueryRequest(  # noqa: E731
+            tenant="t", name=n, query=fuzz_query(11), seed=5
+        )
+        assert svc.submit(mk("first")) == ADMIT
+        assert svc.submit(mk("second")) == QUEUE
+        svc.run()
+        # first settled under estimate; if actuals left room the queue
+        # drained mid-run, otherwise replenish admits it.
+        if any(s.request.name == "second" for s in svc.sessions):
+            pass
+        else:
+            assert svc.replenish() == 1
+            svc.run()
+        states = {s.request.name: s.state for s in svc.sessions}
+        assert states == {"first": "done", "second": "done"}
+
+
+class TestService:
+    def test_served_result_matches_direct_run(self):
+        inst = generate_instance(23, 0, SMALL)
+        session = run_solo(
+            QueryRequest(tenant="t", name="q", query=inst.query(), seed=5)
+        )
+        assert session.state == "done", repr(session.error)
+        direct, _ = inst.query().run_secure(make_engine(seed=5))
+        served = sorted(
+            (tuple(row), int(v)) for row, v in session.result
+        )
+        expected = sorted((tuple(row), int(v)) for row, v in direct)
+        assert served == expected
+
+    @pytest.mark.parametrize("interleave", ["round_robin", "clock"])
+    def test_deterministic_interleaving(self, interleave):
+        def run_once():
+            svc = QueryService(interleave=interleave)
+            for i, seed in enumerate((31, 32, 33)):
+                svc.submit(
+                    QueryRequest(
+                        tenant=f"t{i}",
+                        name=f"q{i}",
+                        query=fuzz_query(seed),
+                        seed=5,
+                    )
+                )
+            report = svc.run()
+            return (
+                report.n_steps,
+                [s.profile.fingerprint for s in svc.sessions],
+            )
+
+        assert run_once() == run_once()
+
+    def test_plan_shared_across_tenants(self):
+        inst = generate_instance(41, 0, SMALL)
+        svc = QueryService()
+        svc.submit(
+            QueryRequest(
+                tenant="t1", name="q", query=inst.query(), seed=5
+            )
+        )
+        svc.submit(
+            QueryRequest(
+                tenant="t2",
+                name="q",
+                query=value_disjoint_twin(inst).query(),
+                seed=6,
+            )
+        )
+        report = svc.run()
+        assert report.counts == {"done": 2}
+        assert report.plan_cache["plan_entries"] == 1
+        assert report.plan_cache["plan_hits"] == 1
+        entry = next(iter(svc.plan_cache.entries.values()))
+        assert set(entry.tenants) == {"t1", "t2"}
+
+    def test_trace_namespaced_per_tenant(self):
+        svc = QueryService()
+        svc.submit(
+            QueryRequest(tenant="t1", name="qa", query=fuzz_query(51))
+        )
+        svc.submit(
+            QueryRequest(tenant="t2", name="qb", query=fuzz_query(52))
+        )
+        svc.run()
+        metas = [
+            (s.trace.meta["tenant"], s.trace.meta["request"])
+            for s in svc.sessions
+        ]
+        assert metas == [("t1", "qa"), ("t2", "qb")]
+        assert all(len(s.trace.nodes) > 0 for s in svc.sessions)
