@@ -1,0 +1,223 @@
+"""Dual join back-end benchmark: PSI vs DH-OPRF, estimate vs metered.
+
+Measures both join back-ends (docs/BACKENDS.md) on the estimator's
+boundary shapes — one where the linear back-end wins, one where the
+paper's PSI back-end wins — plus a three-relation chain whose ``auto``
+routing is genuinely mixed, and TPC-H Q3 end-to-end.  For every run it
+records metered bytes/rounds alongside the estimator's prediction
+(SIMULATED accounting is deterministic and machine-independent, and
+the estimate must be byte-exact), the ``auto`` routing decision, and
+wall-clock seconds (informational only).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_backends.py              # print
+    PYTHONPATH=src python benchmarks/bench_backends.py --out F.json # write
+    PYTHONPATH=src python benchmarks/bench_backends.py --check      # CI gate
+
+``--check`` compares byte/round numbers and routing decisions against
+the committed ``BENCH_PR8.json`` exactly; timings are never gated.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.estimator import estimate_query_cost
+from repro.mpc import ALICE, BOB, Context, Engine, Mode
+from repro.query import JoinAggregateQuery
+from repro.relalg import AnnotatedRelation, IntegerRing
+
+GROUP_BITS = 1536
+SEED = 3
+RING = IntegerRing(32)
+BACKENDS = ("yannakakis", "linear", "auto")
+BASELINE = Path(__file__).resolve().parent.parent / "BENCH_PR8.json"
+
+#: name -> (n1, n2, key_range): cross-owner r1(a,b) |><| r2(b,c), SUM
+#: over r2, grouped on b.  Chosen at the estimator's boundary: balanced
+#: shapes favour the linear back-end, a tiny parent with a large plain
+#: child favours the PSI's parent-bounded bin count.
+SHAPES = {
+    "square_24": (24, 24, 8),
+    "square_64": (64, 64, 8),
+    "tiny_parent_512": (4, 512, 4),
+}
+
+
+def two_relation_query(n1, n2, key_range, seed=0):
+    rng = np.random.default_rng(seed)
+    r1 = AnnotatedRelation(
+        ("a", "b"),
+        [(int(x), int(y)) for x, y in rng.integers(0, key_range, (n1, 2))],
+        rng.integers(1, 9, n1),
+        RING,
+    )
+    r2 = AnnotatedRelation(
+        ("b", "c"),
+        [(int(x), int(y)) for x, y in rng.integers(0, key_range, (n2, 2))],
+        rng.integers(1, 9, n2),
+        RING,
+    )
+    q = JoinAggregateQuery(output=("b",))
+    q.add_relation("r1", r1, ALICE)
+    q.add_relation("r2", r2, BOB)
+    return q
+
+
+def mixed_chain_query():
+    """r1(24) -- r2(4) -- r3(512): one node per winner, so ``auto``
+    routes a mixed plan (see tests/test_backends.py)."""
+    rng = np.random.default_rng(SEED)
+    specs = [
+        ("r1", ("a", "b"), 24, 6, ALICE),
+        ("r2", ("b", "c"), 4, 6, BOB),
+        ("r3", ("c", "d"), 512, 6, ALICE),
+    ]
+    q = JoinAggregateQuery(output=("b",))
+    for name, attrs, n, kr, owner in specs:
+        rel = AnnotatedRelation(
+            attrs,
+            [(int(x), int(y)) for x, y in rng.integers(0, kr, (n, 2))],
+            rng.integers(1, 9, n),
+            RING,
+        )
+        q.add_relation(name, rel, owner)
+    return q
+
+
+def run_backend(query, backend):
+    """One SIMULATED run; returns the measured/estimated record."""
+    query.set_backend(backend)
+    engine = Engine(Context(Mode.SIMULATED, seed=SEED), GROUP_BITS)
+    t0 = time.perf_counter()
+    result, stats = query.run_secure(engine)
+    seconds = time.perf_counter() - t0
+    est = estimate_query_cost(
+        query, out_size=len(result), group_bits=GROUP_BITS
+    )
+    record = {
+        "bytes": stats.total_bytes,
+        "rounds": stats.rounds,
+        "est_bytes": est.total,
+        "seconds": round(seconds, 4),
+    }
+    if backend == "auto":
+        record["routes"] = query.backend_assignments("auto")
+    return record
+
+
+def run_tpch_q3(scale_mb=0.1):
+    from repro.tpch import PREPARED, generate
+
+    dataset = generate(scale_mb)
+    out = {}
+    for backend in BACKENDS:
+        prepared = PREPARED["Q3"](dataset)
+        engine = Engine(
+            prepared.make_context(Mode.SIMULATED, seed=7), GROUP_BITS
+        )
+        engine.backend = backend
+        t0 = time.perf_counter()
+        _result, stats = prepared.run_secure(engine)
+        out[backend] = {
+            "bytes": stats.total_bytes,
+            "rounds": stats.rounds,
+            "seconds": round(time.perf_counter() - t0, 4),
+        }
+    return out
+
+
+def measure():
+    blob = {
+        "group_bits": GROUP_BITS,
+        "seed": SEED,
+        "shapes": {},
+    }
+    for name, (n1, n2, kr) in SHAPES.items():
+        per_backend = {
+            b: run_backend(two_relation_query(n1, n2, kr), b)
+            for b in BACKENDS
+        }
+        winner = min(
+            ("yannakakis", "linear"),
+            key=lambda b: (per_backend[b]["bytes"], b != "yannakakis"),
+        )
+        blob["shapes"][name] = {
+            "sizes": [n1, n2],
+            "backends": per_backend,
+            "winner": winner,
+        }
+        assert per_backend["auto"]["bytes"] == per_backend[winner]["bytes"], (
+            f"{name}: auto did not match the measured winner"
+        )
+    chain = mixed_chain_query()
+    blob["mixed_chain"] = {
+        "sizes": {n: len(r) for n, r in chain.relations.items()},
+        "backends": {
+            b: run_backend(mixed_chain_query(), b) for b in BACKENDS
+        },
+    }
+    routes = blob["mixed_chain"]["backends"]["auto"]["routes"]
+    assert set(routes.values()) == {"yannakakis", "linear"}, (
+        f"chain routing is not mixed: {routes}"
+    )
+    blob["tpch_q3_scale_0.1"] = run_tpch_q3()
+    return blob
+
+
+def strip_timings(blob):
+    """The deterministic subset ``--check`` gates on."""
+
+    def walk(node):
+        if isinstance(node, dict):
+            return {
+                k: walk(v) for k, v in node.items() if k != "seconds"
+            }
+        return node
+
+    return walk(blob)
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--out", default=None, metavar="FILE")
+    ap.add_argument("--check", action="store_true")
+    args = ap.parse_args(argv)
+
+    blob = measure()
+    text = json.dumps(blob, indent=2, sort_keys=True)
+    print(text)
+
+    for name, shape in blob["shapes"].items():
+        be = shape["backends"]
+        for b in ("yannakakis", "linear"):
+            if be[b]["bytes"] != be[b]["est_bytes"]:
+                print(
+                    f"FAIL: {name}/{b} estimate {be[b]['est_bytes']} != "
+                    f"measured {be[b]['bytes']}"
+                )
+                return 1
+
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+    if args.check:
+        if not BASELINE.exists():
+            print(f"FAIL: baseline {BASELINE} missing")
+            return 1
+        baseline = json.loads(BASELINE.read_text())
+        if strip_timings(baseline) != strip_timings(blob):
+            print("FAIL: measurements diverge from BENCH_PR8.json")
+            return 1
+        print("OK: matches BENCH_PR8.json")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,7 +18,7 @@ input-plain).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..query.builder import JoinAggregateQuery
@@ -26,6 +26,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 from ..mpc import gadgets
 from ..mpc.circuits.garbling import LABEL_BYTES, ROWS_PER_AND
 from ..mpc.cuckoo import max_bin_load, num_bins
+from ..mpc.dhoprf import GROUP_BITS as DH_GROUP_BITS
+from ..mpc.dhoprf import TOKEN_BYTES
 from ..mpc.oprf import OPRF_WIDTH
 from ..mpc.params import DEFAULT_PARAMS, SecurityParams
 from ..mpc.psi import _token_bits
@@ -34,10 +36,16 @@ from ..yannakakis.plan import ReduceAggregate, ReduceFold, YannakakisPlan
 
 __all__ = [
     "CostEstimate",
+    "estimate_node_costs",
     "estimate_plan_cost",
     "estimate_query_cost",
     "session_framing_overhead",
 ]
+
+#: The selectable join back-ends, in tie-break preference order (the
+#: paper's protocol first).  Mirrors repro.core.semijoin.BACKENDS
+#: without importing the operator layer into the estimator.
+BACKENDS = ("yannakakis", "linear")
 
 
 def session_framing_overhead(n_messages: int) -> int:
@@ -193,6 +201,14 @@ class _Estimator:
         self.est.add("shares", n * ((self.p.ell + 7) // 8))
         self.est.add_rounds(1)
 
+    def dh_oprf(self, m: int, n: int) -> None:
+        """The linear back-end's DH-OPRF matching: blind + eval (one
+        group element per parent key, both directions) and ``n`` sorted
+        tokens (:mod:`repro.mpc.dhoprf`)."""
+        eb = (DH_GROUP_BITS + 7) // 8
+        self.est.add("dhoprf", 2 * m * eb + n * TOKEN_BYTES)
+        self.est.add_rounds(2)
+
     def psi(self, m: int, n: int, shared_payload: bool) -> None:
         b = num_bins(m, self.p.cuckoo_expansion)
         load = max_bin_load(n, b, self.p.cuckoo_hashes, self.p.sigma)
@@ -238,14 +254,26 @@ class _Estimator:
         same_owner: bool,
         child_plain: bool,
         parent_plain: bool,
+        backend: str = "yannakakis",
     ) -> None:
         if parent_n == 0:
             return
         if same_owner:
+            # Back-end-independent: same-owner folds never cross the
+            # PSI/DH-OPRF dispatch, so both back-ends price (and run)
+            # identically here.
             if child_plain and parent_plain:
                 return  # fully local
             if child_plain:
                 self.share(child_n)
+            self.oep(child_n + 1, parent_n)
+        elif backend == "linear":
+            self.dh_oprf(parent_n, child_n)
+            if child_n > 0:
+                if child_plain:
+                    self.share(child_n)
+                else:
+                    self.permute(child_n)
             self.oep(child_n + 1, parent_n)
         else:
             if child_plain:
@@ -267,6 +295,7 @@ def estimate_plan_cost(
     out_size: int,
     params: SecurityParams = DEFAULT_PARAMS,
     group_bits: int = 2048,
+    backends: Optional[Dict[str, str]] = None,
 ) -> CostEstimate:
     """Predict the protocol's communication for ``plan`` over relations
     of the given sizes/owners, with ``out_size`` final join rows.
@@ -275,12 +304,15 @@ def estimate_plan_cost(
 
     Tracks which intermediate annotations are still owner-plain so the
     Section 6.5 fast paths are credited exactly as the executor takes
-    them.
+    them.  ``backends`` maps fold/semijoin labels to a join back-end
+    (see :func:`repro.query.planner.route_backends`); unlisted nodes
+    price as ``"yannakakis"``.
     """
     e = _Estimator(params, group_bits)
     n = dict(sizes)
     plain = {name: True for name in sizes}
     owner = dict(owners)
+    routes = dict(backends or {})
 
     for step in plan.reduce_steps:
         if isinstance(step, ReduceFold):
@@ -288,7 +320,10 @@ def estimate_plan_cost(
             e.aggregate(n[child], plain[child])
             same = owner[child] == owner[parent]
             e.reduce_join(
-                n[parent], n[child], same, plain[child], plain[parent]
+                n[parent], n[child], same, plain[child], plain[parent],
+                backend=routes.get(
+                    f"fold/{child}->{parent}", "yannakakis"
+                ),
             )
             plain[parent] = (
                 plain[parent] and plain[child] and same
@@ -302,7 +337,10 @@ def estimate_plan_cost(
         e.support_projection(n[f], plain[f])
         same = owner[t] == owner[f]
         support_plain = plain[f]  # support of plain stays plain
-        e.reduce_join(n[t], n[f], same, support_plain, plain[t])
+        e.reduce_join(
+            n[t], n[f], same, support_plain, plain[t],
+            backend=routes.get(f"semi/{t}<-{f}", "yannakakis"),
+        )
         plain[t] = plain[t] and support_plain and same
 
     # Full join: reveal + OUT + per-relation OEP + products + result.
@@ -333,11 +371,72 @@ def estimate_plan_cost(
     return e.est
 
 
+def estimate_node_costs(
+    plan: YannakakisPlan,
+    sizes: Dict[str, int],
+    owners: Dict[str, str],
+    params: SecurityParams = DEFAULT_PARAMS,
+    group_bits: int = 2048,
+) -> Dict[str, Dict[str, int]]:
+    """Marginal byte cost of every fold/semijoin node under each join
+    back-end: ``{node_label: {backend: bytes}}``.
+
+    "Marginal" excludes the run-wide one-time base-OT setup (it is
+    charged once per engine, not per node) and includes the node's
+    whole transcript window — the child aggregation / support
+    projection plus the reduce-join — matching what the scheduler's
+    trace meters per node.  The planner's routing pass and the
+    scheduler's per-node ``est_bytes`` both read these numbers.
+    """
+    n = dict(sizes)
+    plain = {name: True for name in sizes}
+    owner = dict(owners)
+    out: Dict[str, Dict[str, int]] = {}
+
+    def marginal(price: "Callable[[_Estimator, str], None]") -> Dict[str, int]:
+        costs = {}
+        for b in BACKENDS:
+            e = _Estimator(params, group_bits)
+            e._ot_base_charged = {False: True, True: True}
+            price(e, b)
+            costs[b] = e.est.total
+        return costs
+
+    for step in plan.reduce_steps:
+        if isinstance(step, ReduceFold):
+            child, parent = step.child, step.parent
+            same = owner[child] == owner[parent]
+            c_n, p_n = n[child], n[parent]
+            c_plain, p_plain = plain[child], plain[parent]
+
+            def price_fold(e: _Estimator, b: str) -> None:
+                e.aggregate(c_n, c_plain)
+                e.reduce_join(p_n, c_n, same, c_plain, p_plain, backend=b)
+
+            out[f"fold/{child}->{parent}"] = marginal(price_fold)
+            plain[parent] = plain[parent] and plain[child] and same
+
+    for step in plan.semijoin_steps:
+        t, f = step.target, step.filter
+        same = owner[t] == owner[f]
+        t_n, f_n = n[t], n[f]
+        f_plain, t_plain = plain[f], plain[t]
+
+        def price_semi(e: _Estimator, b: str) -> None:
+            e.support_projection(f_n, f_plain)
+            e.reduce_join(t_n, f_n, same, f_plain, t_plain, backend=b)
+
+        out[f"semi/{t}<-{f}"] = marginal(price_semi)
+        plain[t] = plain[t] and plain[f] and same
+    return out
+
+
 def estimate_query_cost(
     query: "JoinAggregateQuery",
     out_size: Optional[int] = None,
     params: Optional[SecurityParams] = None,
     group_bits: int = 2048,
+    backends: Optional[Dict[str, str]] = None,
 ) -> CostEstimate:
     """Price a whole :class:`~repro.query.builder.JoinAggregateQuery`
     *without running it* — the admission controller's entry point.
@@ -347,7 +446,11 @@ def estimate_query_cost(
     full-join output: when omitted, the worst case (the product of the
     relation sizes) is assumed, making the price an upper bound — a
     query admitted under it can never exceed its reservation on the
-    final join.
+    final join.  ``backends`` overrides the per-node join back-end map;
+    when omitted the query's own routing
+    (:meth:`~repro.query.builder.JoinAggregateQuery.backend_assignments`)
+    is priced, so the admission price follows the back-end the query
+    will actually run.
     """
     sizes = {n: len(r) for n, r in query.relations.items()}
     if out_size is None:
@@ -361,6 +464,8 @@ def estimate_query_cost(
                 f"relations disagree on the ring width: {sorted(ells)}"
             )
         params = SecurityParams(ell=ells.pop())
+    if backends is None:
+        backends = query.backend_assignments()
     return estimate_plan_cost(
         query.plan(),
         sizes,
@@ -368,4 +473,5 @@ def estimate_query_cost(
         out_size,
         params=params,
         group_bits=group_bits,
+        backends=backends,
     )

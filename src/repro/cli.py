@@ -3,10 +3,10 @@
 ::
 
     python -m repro figures --queries Q3 Q10 --scales 1 3
-    python -m repro tpch Q3 --scale 1 [--real]
+    python -m repro tpch Q3 --scale 1 [--real] [--backend auto]
     python -m repro trace Q3 --scale 1 [--policy stages] [-o trace.json]
     python -m repro estimate Q3 --scale 10
-    python -m repro fuzz --seed 0 --iterations 50
+    python -m repro fuzz --seed 0 --iterations 50 [--backend both]
     python -m repro chaos --query q3 --scale tiny --sweep all
     python -m repro serve --queries Q3 Q10 --tenants 2 --check-solo
     python -m repro serve --isolation-sweep --stride 1
@@ -71,6 +71,7 @@ def _cmd_tpch(args) -> int:
         query = PREPARED[args.query](dataset)
     mode = Mode.REAL if args.real else Mode.SIMULATED
     engine = Engine(query.make_context(mode, seed=args.seed))
+    engine.backend = args.backend
     result, stats = query.run_secure(engine)
     plain, plain_seconds = query.run_plain()
     ok = result.semantically_equal(plain)
@@ -106,10 +107,12 @@ def _cmd_trace(args) -> int:
         tracer=tracer,
         exec_policy=args.policy,
     )
+    engine.backend = args.backend
     query.run_secure(engine)
     tracer.meta["query"] = query.name
     tracer.meta["scale_mb"] = args.scale
     tracer.meta["mode"] = mode.value
+    tracer.meta["backend"] = args.backend
     payload = json.dumps(tracer.to_json(), indent=2)
     if args.output:
         with open(args.output, "w") as fh:
@@ -190,7 +193,8 @@ def _cmd_fuzz(args) -> int:
         n, bad = 0, 0
         for path, instance in iter_corpus(args.corpus or None):
             failures = check_instance(
-                instance, audit=not args.no_audit
+                instance, audit=not args.no_audit,
+                backend=args.backend,
             )
             n += 1
             for f in failures:
@@ -224,6 +228,7 @@ def _cmd_fuzz(args) -> int:
         max_failures=args.max_failures,
         on_progress=progress,
         save_failures_to=args.save_failures,
+        backend=args.backend,
     )
     for f in report.failures:
         print(f)
@@ -344,6 +349,7 @@ def _cmd_serve(args) -> int:
                 victim_q, tenant="victim", scale_mb=scale,
                 real=args.real, policy=args.policy, seed=args.seed,
                 name=f"{victim_q}/victim", faults=faults,
+                backend=args.backend,
             )
 
         def observer(faults):
@@ -351,6 +357,7 @@ def _cmd_serve(args) -> int:
                 observer_q, tenant="observer", scale_mb=scale,
                 real=args.real, policy=args.policy, seed=args.seed + 1,
                 name=f"{observer_q}/observer", faults=faults,
+                backend=args.backend,
             )
 
         def progress(i, n, outcome):
@@ -376,7 +383,7 @@ def _cmd_serve(args) -> int:
             tpch_request(
                 q, tenant=f"tenant{i % args.tenants}", scale_mb=scale,
                 real=args.real, policy=args.policy, seed=args.seed,
-                name=f"{q}#{i}",
+                name=f"{q}#{i}", backend=args.backend,
             )
             for i, q in enumerate(args.queries)
         ]
@@ -463,6 +470,13 @@ def main(argv=None) -> int:
         "--real", action="store_true",
         help="REAL-mode cryptography (slow; use tiny scales)",
     )
+    p.add_argument(
+        "--backend", choices=["yannakakis", "linear", "auto"],
+        default="yannakakis",
+        help="join back-end: the paper's PSI protocol, the "
+        "linear-complexity DH-OPRF protocol, or per-node cost routing "
+        "(see docs/BACKENDS.md)",
+    )
     p.set_defaults(fn=_cmd_tpch)
 
     p = sub.add_parser(
@@ -483,6 +497,12 @@ def main(argv=None) -> int:
     p.add_argument(
         "--real", action="store_true",
         help="REAL-mode cryptography (slow; use tiny scales)",
+    )
+    p.add_argument(
+        "--backend", choices=["yannakakis", "linear", "auto"],
+        default="yannakakis",
+        help="join back-end; fold/semijoin trace nodes report their "
+        "routed back-end and estimated bytes",
     )
     p.set_defaults(fn=_cmd_trace)
 
@@ -546,6 +566,14 @@ def main(argv=None) -> int:
     p.add_argument(
         "--corpus", default=None, metavar="DIR", nargs="?", const="",
         help="replay every corpus file (default: tests/corpus)",
+    )
+    p.add_argument(
+        "--backend",
+        choices=["yannakakis", "linear", "auto", "both"],
+        default="yannakakis",
+        help='join back-end; "both" runs every instance under both '
+        "protocols — the cross-protocol differential oracle plus a "
+        "per-back-end obliviousness audit",
     )
     p.set_defaults(fn=_cmd_fuzz)
 
@@ -661,6 +689,11 @@ def main(argv=None) -> int:
         help="REAL-mode cryptography (slow; use tiny scales)",
     )
     p.add_argument("--seed", type=int, default=7)
+    p.add_argument(
+        "--backend", choices=["yannakakis", "linear", "auto"],
+        default="yannakakis",
+        help="join back-end every served session runs under",
+    )
     p.add_argument(
         "--verbose", action="store_true",
         help="print every fault point's classification",

@@ -17,6 +17,7 @@ from typing import Any, Callable, Hashable, Optional, Sequence, Union
 import numpy as np
 
 from ..mpc.context import ALICE, BOB, Context
+from ..mpc.dhoprf import DhOprfMatch, dh_oprf_match
 from ..mpc.engine import Engine
 from ..mpc.oep import oblivious_extended_permutation, oblivious_permutation
 from ..mpc.psi import PsiResult, psi_with_payloads
@@ -137,6 +138,18 @@ class OrientedEngine:
         if isinstance(res.payload, SharedVector):
             res.payload = self._out(res.payload)
         return res
+
+    def dh_oprf_match(
+        self,
+        owner_items: Sequence[Hashable],
+        other_items: Sequence[Hashable],
+        label: str = "dhoprf",
+    ) -> DhOprfMatch:
+        """DH-OPRF matching with the owner on the blinding side
+        (protocol-Alice); the linear join back-end's core primitive."""
+        return self._call(
+            dh_oprf_match, self.ctx, owner_items, other_items, label
+        )
 
     def oep(self, xi: Union[Sequence[int], np.ndarray],
             values: SharedVector, n_out: int,

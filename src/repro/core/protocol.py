@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..mpc.context import ALICE, Context
 from ..mpc.engine import Engine
@@ -70,12 +70,16 @@ def secure_yannakakis_shared(
     relations: Dict[str, SecureRelation],
     plan: YannakakisPlan,
     pad_out_to: int = 0,
+    backends: Optional[Dict[str, str]] = None,
 ) -> ObliviousJoinResult:
     """Run the protocol, returning ``J*`` (Alice's) with annotations in
     shared form — the building block for query composition.
 
     ``pad_out_to`` hides the true output size from Bob behind a declared
-    upper bound (Section 4 / Section 6.3 step 2)."""
+    upper bound (Section 4 / Section 6.3 step 2).  ``backends`` maps
+    fold/semijoin labels to a join back-end (see
+    :func:`repro.query.planner.route_backends`); unlisted nodes run the
+    paper's PSI protocol."""
     # Imported lazily: repro.exec imports the core operators, so a
     # module-level import here would be circular.
     from ..exec import Scheduler, compile_plan
@@ -85,6 +89,7 @@ def secure_yannakakis_shared(
         owners={name: rel.owner for name, rel in relations.items()},
         input_order=list(relations),
         pad_out_to=pad_out_to,
+        backends=backends,
     )
     env = Scheduler(engine).run(exec_plan, relations)
     return env["result"]
@@ -94,6 +99,7 @@ def secure_yannakakis(
     engine: Engine,
     relations: Dict[str, SecureRelation],
     plan: YannakakisPlan,
+    backends: Optional[Dict[str, str]] = None,
 ) -> Tuple[AnnotatedRelation, ProtocolStats]:
     """Evaluate the query and reveal the results to Alice.
 
@@ -107,6 +113,7 @@ def secure_yannakakis(
         owners={name: rel.owner for name, rel in relations.items()},
         input_order=list(relations),
         reveal_result=True,
+        backends=backends,
     )
     return secure_yannakakis_with_plan(engine, relations, plan, exec_plan)
 
@@ -177,14 +184,33 @@ def _finish(
 # ----------------------------------------------------------------------
 
 
+def _require_yannakakis_routes(
+    backends: Optional[Dict[str, str]],
+) -> None:
+    """The legacy orchestrations predate the back-end selector and only
+    implement the paper's PSI protocol; they accept the ``backends``
+    map for signature compatibility (tests swap them in for the
+    scheduler path) but refuse any non-default route."""
+    other = {
+        k: v for k, v in (backends or {}).items() if v != "yannakakis"
+    }
+    if other:
+        raise ValueError(
+            "the legacy orchestration only supports the 'yannakakis' "
+            f"back-end; got routes {other}"
+        )
+
+
 def legacy_secure_yannakakis_shared(
     engine: Engine,
     relations: Dict[str, SecureRelation],
     plan: YannakakisPlan,
     pad_out_to: int = 0,
+    backends: Optional[Dict[str, str]] = None,
 ) -> ObliviousJoinResult:
     """Sequential reference implementation of
     :func:`secure_yannakakis_shared`."""
+    _require_yannakakis_routes(backends)
     ctx = engine.ctx
     rels = dict(relations)
     missing = set(plan.tree.nodes) - set(rels)
@@ -236,9 +262,11 @@ def legacy_secure_yannakakis(
     engine: Engine,
     relations: Dict[str, SecureRelation],
     plan: YannakakisPlan,
+    backends: Optional[Dict[str, str]] = None,
 ) -> Tuple[AnnotatedRelation, ProtocolStats]:
     """Sequential reference implementation of
     :func:`secure_yannakakis`."""
+    _require_yannakakis_routes(backends)
     ctx = engine.ctx
     start_msgs = len(ctx.transcript.messages)
     t0 = time.perf_counter()

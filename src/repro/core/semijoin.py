@@ -42,11 +42,18 @@ from ..mpc.engine import Engine
 from ..mpc.sharing import SharedVector
 from ..relalg.columns import group_by_first_appearance, joint_row_codes
 from .aggregation import oblivious_support_projection
+from .linear import linear_cross_owner_payloads
 from .oriented import OrientedEngine
 from .relation import SecureAnnotations, SecureRelation, dummy_tuple
 from .shared_payload_psi import psi_with_shared_payloads
 
-__all__ = ["oblivious_reduce_join", "oblivious_semijoin"]
+__all__ = ["BACKENDS", "oblivious_reduce_join", "oblivious_semijoin"]
+
+#: Selectable join back-ends: "yannakakis" is the paper's PSI/OEP
+#: protocol, "linear" the LINQ/Bifrost-style DH-OPRF protocol of
+#: :mod:`repro.core.linear`.  The back-end only changes the cross-owner
+#: regime — same-owner and scalar-child nodes take identical paths.
+BACKENDS = ("yannakakis", "linear")
 
 
 def _psi_items(rel: SecureRelation) -> List[Tuple]:
@@ -61,12 +68,17 @@ def oblivious_reduce_join(
     parent: SecureRelation,
     child: SecureRelation,
     label: str = "reduce_join",
+    backend: str = "yannakakis",
 ) -> SecureRelation:
     """``parent ⋈⊗ child`` with ``child.attributes ⊆ parent.attributes``."""
     if not set(child.attributes) <= set(parent.attributes):
         raise ValueError(
             "reduce-join requires the child's attributes to be a subset "
             f"of the parent's ({child.attributes} vs {parent.attributes})"
+        )
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown join back-end {backend!r}; choose from {BACKENDS}"
         )
     ctx = engine.ctx
     m = len(parent)
@@ -78,6 +90,8 @@ def oblivious_reduce_join(
             new_annots = _scalar_child_payloads(engine, parent, child)
         elif parent.owner == child.owner:
             new_annots = _same_owner_payloads(engine, parent, child)
+        elif backend == "linear":
+            new_annots = linear_cross_owner_payloads(engine, parent, child)
         else:
             new_annots = _cross_owner_payloads(engine, parent, child)
     return SecureRelation(
@@ -229,6 +243,7 @@ def oblivious_semijoin(
     target: SecureRelation,
     filter_rel: SecureRelation,
     label: str = "semijoin",
+    backend: str = "yannakakis",
 ) -> SecureRelation:
     """``target ⋉⊗ filter``: zero-annotate the target tuples that join no
     nonzero-annotated filter tuple (Section 6.2, second type)."""
@@ -239,4 +254,6 @@ def oblivious_semijoin(
         support = oblivious_support_projection(
             engine, filter_rel, shared_attrs, label="support"
         )
-        return oblivious_reduce_join(engine, target, support, label="join")
+        return oblivious_reduce_join(
+            engine, target, support, label="join", backend=backend
+        )

@@ -35,6 +35,7 @@ def compile_plan(
     pad_out_to: int = 0,
     reveal_result: bool = False,
     name: str = "",
+    backends: Optional[Dict[str, str]] = None,
 ) -> ExecPlan:
     """Compile a Yannakakis plan plus party ownership into an ExecPlan.
 
@@ -44,11 +45,15 @@ def compile_plan(
     legacy pipeline's iteration order).  ``reveal_result`` appends the
     final opening of the annotations to Alice (the full-query entry
     point); shared pipelines leave the result as shares.
+    ``backends`` maps fold/semijoin step labels
+    (``"fold/{child}->{parent}"`` / ``"semi/{target}<-{filter}"``) to a
+    join back-end; unlisted nodes default to ``"yannakakis"``.
     """
     names = list(input_order) if input_order is not None else list(owners)
     missing = set(plan.tree.nodes) - set(names)
     if missing:
         raise KeyError(f"missing input relations: {sorted(missing)}")
+    routes = dict(backends or {})
 
     steps = []
     next_id = 0
@@ -65,7 +70,14 @@ def compile_plan(
 
     def emit_semijoins() -> None:
         for s in plan.semijoin_steps:
-            emit(SemijoinStep, target=s.target, filter=s.filter)
+            emit(
+                SemijoinStep,
+                target=s.target,
+                filter=s.filter,
+                backend=routes.get(
+                    f"semi/{s.target}<-{s.filter}", "yannakakis"
+                ),
+            )
 
     if plan.semijoin_first:
         emit_semijoins()
@@ -76,6 +88,9 @@ def compile_plan(
                 child=r.child,
                 parent=r.parent,
                 agg_attrs=tuple(r.agg_attrs),
+                backend=routes.get(
+                    f"fold/{r.child}->{r.parent}", "yannakakis"
+                ),
             )
         elif isinstance(r, ReduceAggregate):
             emit(AggregateStep, node=r.node, attrs=tuple(r.attrs))

@@ -125,6 +125,10 @@ class ReduceFoldStep(Step):
     child: str = ""
     parent: str = ""
     agg_attrs: Tuple[str, ...] = ()
+    #: Join back-end for the fold's reduce-join (see
+    #: :data:`repro.core.semijoin.BACKENDS`); only cross-owner nodes
+    #: behave differently.
+    backend: str = "yannakakis"
 
     kind = "reduce_fold"
 
@@ -183,6 +187,9 @@ class SemijoinStep(Step):
 
     target: str = ""
     filter: str = ""
+    #: Join back-end for the semijoin's reduce-join (see
+    #: :data:`repro.core.semijoin.BACKENDS`).
+    backend: str = "yannakakis"
 
     kind = "semijoin"
 

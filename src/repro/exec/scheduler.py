@@ -145,6 +145,7 @@ class Scheduler:
 
             def thunk(step: Step = step) -> None:
                 if self.trace is not None:
+                    backend, est_bytes = self._node_estimate(step, env)
                     with self.trace.node(
                         ctx.transcript,
                         id=step.id,
@@ -152,6 +153,8 @@ class Scheduler:
                         label=step.label,
                         section=step.section,
                         stage=plan.stage_of[step.id],
+                        backend=backend,
+                        est_bytes=est_bytes,
                     ):
                         self._dispatch(step, env, relations)
                 else:
@@ -168,6 +171,46 @@ class Scheduler:
             self.trace.meta["n_stages"] = len(plan.stages)
             self.trace.meta["cache"] = ctx.cache.stats()
         return env
+
+    def _node_estimate(
+        self, step: Step, env: Dict[str, Any]
+    ) -> "tuple[Optional[str], Optional[int]]":
+        """For fold/semijoin nodes: the back-end the node will run under
+        and its pre-dispatch estimated bytes (marginal, excluding the
+        one-time base-OT setup), computed from the *live* operand sizes
+        and plainness — the numbers the trace reports next to the
+        metered actuals.  ``(None, None)`` for every other node kind."""
+        if not isinstance(step, (ReduceFoldStep, SemijoinStep)):
+            return None, None
+        from ..bench.estimator import _Estimator
+
+        e = _Estimator(self.engine.ctx.params)
+        e._ot_base_charged = {False: True, True: True}
+        if isinstance(step, ReduceFoldStep):
+            parent, child = env[step.parent], env[step.child]
+            child_plain = child.annotations.kind == "plain"
+            e.aggregate(len(child), child_plain)
+            e.reduce_join(
+                len(parent),
+                len(child),
+                parent.owner == child.owner,
+                child_plain,
+                parent.annotations.kind == "plain",
+                backend=step.backend,
+            )
+        else:
+            target, filt = env[step.target], env[step.filter]
+            filter_plain = filt.annotations.kind == "plain"
+            e.support_projection(len(filt), filter_plain)
+            e.reduce_join(
+                len(target),
+                len(filt),
+                target.owner == filt.owner,
+                filter_plain,
+                target.annotations.kind == "plain",
+                backend=step.backend,
+            )
+        return step.backend, e.est.total
 
     def _make_supervisor(self) -> Optional["Supervisor"]:
         """A step supervisor when the context has a session attached
@@ -201,7 +244,7 @@ class Scheduler:
                 )
                 env[step.parent] = oblivious_reduce_join(
                     engine, env[step.parent], folded,
-                    label=step.label,
+                    label=step.label, backend=step.backend,
                 )
             del env[step.child]
         elif isinstance(step, AggregateStep):
@@ -214,7 +257,7 @@ class Scheduler:
             with ctx.section("semijoin"):
                 env[step.target] = oblivious_semijoin(
                     engine, env[step.target], env[step.filter],
-                    label=step.label,
+                    label=step.label, backend=step.backend,
                 )
         elif isinstance(step, RevealStep):
             with ctx.section("full_join"), ctx.section("oblivious_join"):

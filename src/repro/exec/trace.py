@@ -37,9 +37,18 @@ class NodeTrace:
     n_bytes: int
     n_messages: int
     rounds: int
+    #: Join back-end the node ran under and its pre-dispatch estimated
+    #: bytes (fold/semijoin nodes only).  Optional: nodes without a
+    #: back-end choice keep the golden-pinned schema unchanged.
+    backend: Optional[str] = None
+    est_bytes: Optional[int] = None
 
     def to_json(self) -> Dict[str, Any]:
-        return asdict(self)
+        d = asdict(self)
+        if self.backend is None:
+            del d["backend"]
+            del d["est_bytes"]
+        return d
 
 
 def _slice_rounds(messages: Sequence["Message"]) -> int:
@@ -79,6 +88,8 @@ class ExecutionTrace:
         label: str,
         section: Optional[str] = None,
         stage: int = -1,
+        backend: Optional[str] = None,
+        est_bytes: Optional[int] = None,
     ) -> Iterator[None]:
         """Measure one node: wall time plus the transcript delta
         (bytes, messages, rounds) produced while the block runs."""
@@ -101,6 +112,8 @@ class ExecutionTrace:
                     n_bytes=transcript.total_bytes - start_bytes,
                     n_messages=len(window),
                     rounds=_slice_rounds(window),
+                    backend=backend,
+                    est_bytes=est_bytes,
                 )
             )
 

@@ -59,7 +59,7 @@ from ..core.relation import SecureRelation
 from ..mpc.context import Context, Mode
 from ..mpc.engine import Engine
 from ..mpc.params import SecurityParams
-from ..query.planner import choose_plan
+from ..query.planner import choose_plan, route_backends
 from ..runtime.aborts import ProtocolAbort
 from ..runtime.faults import FaultPlan
 from ..runtime.faults import perturb_share as _perturb_share
@@ -80,6 +80,7 @@ from .generator import (
 __all__ = [
     "FuzzFailure",
     "FuzzReport",
+    "FUZZ_BACKENDS",
     "POLICIES",
     "run_differential",
     "audit_obliviousness",
@@ -91,6 +92,12 @@ __all__ = [
 ]
 
 POLICIES = ("program", "stages")
+
+#: Join back-ends the fuzzer can drive; "both" runs every check under
+#: each concrete back-end (the cross-protocol differential oracle:
+#: both must agree with the plaintext oracle, hence with each other,
+#: and each must pass the obliviousness audit independently).
+FUZZ_BACKENDS = ("yannakakis", "linear", "auto", "both")
 
 #: Engine OT group size for fuzzing (smaller than the 2048-bit
 #: production default; REAL-mode iterations are per-bit OTs).
@@ -110,6 +117,8 @@ class FuzzFailure:
     detail: str
     policy: Optional[str] = None
     mode: str = "simulated"
+    #: Join back-end policy the failing run used.
+    backend: str = "yannakakis"
     instance: Optional[QueryInstance] = None
     #: Exception class name for ``kind in ("crash", "abort")``
     #: (persisted in the failure file so crash classes can be triaged
@@ -128,6 +137,8 @@ class FuzzFailure:
 
     def __str__(self) -> str:
         where = f" policy={self.policy}" if self.policy else ""
+        if self.backend != "yannakakis":
+            where += f" backend={self.backend}"
         return (
             f"[{self.kind}] seed={list(self.seed)} mode={self.mode}"
             f"{where}: {self.detail}  (replay: {self.replay_hint()})"
@@ -200,11 +211,15 @@ def _run_secure(
     policy: str,
     engine_seed: int = 7,
     fault: Optional[Fault] = None,
+    backend: str = "yannakakis",
 ) -> Tuple[AnnotatedRelation, Context]:
     ctx = Context(
         mode, SecurityParams(ell=instance.ell), seed=engine_seed
     )
     engine = Engine(ctx, FUZZ_GROUP_BITS, exec_policy=policy)
+    backends = route_backends(
+        plan, instance.sizes(), instance.owners, backend=backend
+    )
     inputs = _secure_inputs(instance)
     if isinstance(fault, FaultPlan):
         # Replayable path: a fresh (un-fired) copy per run, injected by
@@ -217,7 +232,7 @@ def _run_secure(
             _perturb_share(engine, inputs)
     elif fault is not None:
         fault(engine, inputs)
-    result, _ = secure_yannakakis(engine, inputs, plan)
+    result, _ = secure_yannakakis(engine, inputs, plan, backends=backends)
     if ctx.session is not None:
         ctx.session.finish()
     return result, ctx
@@ -234,9 +249,11 @@ def run_differential(
     mode: Mode = Mode.SIMULATED,
     policies: Sequence[str] = POLICIES,
     fault: Optional[Fault] = None,
+    backend: str = "yannakakis",
 ) -> List[FuzzFailure]:
     """Differential check of one instance: oracle vs plaintext plan vs
-    the secure protocol under each scheduler policy."""
+    the secure protocol under each scheduler policy, with each node
+    routed by ``backend`` ("yannakakis" | "linear" | "auto")."""
     failures: List[FuzzFailure] = []
     oracle = naive_join_aggregate(
         instance.relations, list(instance.output)
@@ -266,7 +283,8 @@ def run_differential(
     for policy in policies:
         try:
             result, _ = _run_secure(
-                instance, plan, mode, policy, fault=fault
+                instance, plan, mode, policy, fault=fault,
+                backend=backend,
             )
         except (KeyboardInterrupt, SystemExit):
             raise
@@ -278,7 +296,8 @@ def run_differential(
                 FuzzFailure(
                     "abort", instance.seed,
                     f"secure run aborted: {abort}",
-                    policy=policy, mode=mode.value, instance=instance,
+                    policy=policy, mode=mode.value, backend=backend,
+                    instance=instance,
                     exc_type=type(abort).__name__,
                     fault=_fault_json(fault),
                 )
@@ -289,7 +308,8 @@ def run_differential(
                 FuzzFailure(
                     "crash", instance.seed,
                     f"secure run raised {exc!r}",
-                    policy=policy, mode=mode.value, instance=instance,
+                    policy=policy, mode=mode.value, backend=backend,
+                    instance=instance,
                     exc_type=type(exc).__name__,
                     fault=_fault_json(fault),
                 )
@@ -301,7 +321,8 @@ def run_differential(
                     "mismatch", instance.seed,
                     f"secure({policy}) != oracle "
                     f"({result.to_dict()} vs {oracle.to_dict()})",
-                    policy=policy, mode=mode.value, instance=instance,
+                    policy=policy, mode=mode.value, backend=backend,
+                    instance=instance,
                     fault=_fault_json(fault),
                 )
             )
@@ -313,14 +334,20 @@ def audit_obliviousness(
     mode: Mode = Mode.SIMULATED,
     policy: str = "program",
     twin_seed: int = 1,
+    backend: str = "yannakakis",
 ) -> List[FuzzFailure]:
     """Run ``instance`` and its value-disjoint twin; the transcripts must
     agree on every observable: per-message fingerprints (sender, size,
-    label), per-section byte totals, and round counts."""
+    label), per-section byte totals, and round counts.
+
+    The twin has the same relation sizes and plan, so it routes to the
+    same per-node back-ends under any policy including "auto" — the
+    audit therefore checks each back-end's obliviousness, never mixes
+    them across twins."""
     plan = _plan_for(instance)
     twin = value_disjoint_twin(instance, twin_seed)
-    _, ctx_a = _run_secure(instance, plan, mode, policy)
-    _, ctx_b = _run_secure(twin, plan, mode, policy)
+    _, ctx_a = _run_secure(instance, plan, mode, policy, backend=backend)
+    _, ctx_b = _run_secure(twin, plan, mode, policy, backend=backend)
     ta, tb = ctx_a.transcript, ctx_b.transcript
     failures: List[FuzzFailure] = []
 
@@ -328,7 +355,8 @@ def audit_obliviousness(
         failures.append(
             FuzzFailure(
                 "transcript", instance.seed, detail,
-                policy=policy, mode=mode.value, instance=instance,
+                policy=policy, mode=mode.value, backend=backend,
+                instance=instance,
             )
         )
 
@@ -368,11 +396,32 @@ def check_instance(
     mode: Mode = Mode.SIMULATED,
     audit: bool = True,
     fault: Optional[Fault] = None,
+    backend: str = "yannakakis",
 ) -> List[FuzzFailure]:
-    """Everything the fuzzer asserts about one instance."""
-    failures = run_differential(instance, mode=mode, fault=fault)
-    if audit and fault is None:
-        failures += audit_obliviousness(instance, mode=mode)
+    """Everything the fuzzer asserts about one instance.
+
+    ``backend="both"`` is the cross-protocol differential oracle: the
+    full differential check and obliviousness audit run once per
+    concrete back-end.  Each back-end's revealed result must equal the
+    plaintext oracle — hence the two back-ends must agree with each
+    other — and each back-end's twin transcripts must be identical
+    independently (the transcripts legitimately differ *between*
+    back-ends; obliviousness is a per-protocol property)."""
+    if backend not in FUZZ_BACKENDS:
+        raise ValueError(
+            f"unknown fuzz back-end {backend!r}; "
+            f"choose from {FUZZ_BACKENDS}"
+        )
+    backends = (
+        ("yannakakis", "linear") if backend == "both" else (backend,)
+    )
+    failures: List[FuzzFailure] = []
+    for b in backends:
+        failures += run_differential(
+            instance, mode=mode, fault=fault, backend=b
+        )
+        if audit and fault is None:
+            failures += audit_obliviousness(instance, mode=mode, backend=b)
     return failures
 
 
@@ -389,9 +438,11 @@ def _refails(
 
     def check(candidate: QueryInstance) -> bool:
         if failure.kind == "transcript":
-            found = audit_obliviousness(candidate)
+            found = audit_obliviousness(candidate, backend=failure.backend)
         else:
-            found = run_differential(candidate, fault=fault)
+            found = run_differential(
+                candidate, fault=fault, backend=failure.backend
+            )
         return any(f.kind == failure.kind for f in found)
 
     return check
@@ -408,28 +459,36 @@ def fuzz(
     max_failures: int = 10,
     on_progress: Optional[Callable[[int, "FuzzReport"], None]] = None,
     save_failures_to: Optional[str] = None,
+    backend: str = "yannakakis",
 ) -> FuzzReport:
     """A fuzz campaign: instances ``start .. start+iterations-1`` of the
     ``seed`` stream.  Every instance runs the SIMULATED differential
     check under both policies plus the obliviousness audit; every
     ``real_every``-th instance additionally runs a *tiny* REAL-mode
     differential (0 disables REAL sampling).  Stops early after
-    ``max_failures`` findings."""
+    ``max_failures`` findings.  ``backend`` selects the join back-end
+    ("both" cross-checks the two protocols on every instance)."""
     report = FuzzReport()
     t0 = time.perf_counter()
+    real_backends = (
+        ("yannakakis", "linear") if backend == "both" else (backend,)
+    )
     for i in range(start, start + iterations):
         instance = generate_instance(seed, i, config)
         found = check_instance(
-            instance, mode=Mode.SIMULATED, audit=audit, fault=fault
+            instance, mode=Mode.SIMULATED, audit=audit, fault=fault,
+            backend=backend,
         )
         report.iterations += 1
         if audit and fault is None:
             report.audits += 1
         if real_every and (i - start) % real_every == 0:
             tiny = generate_instance(seed, i, TINY_CONFIG)
-            found += run_differential(
-                tiny, mode=Mode.REAL, policies=("program",), fault=fault
-            )
+            for b in real_backends:
+                found += run_differential(
+                    tiny, mode=Mode.REAL, policies=("program",),
+                    fault=fault, backend=b,
+                )
             report.real_iterations += 1
         for failure in found:
             if (
@@ -523,6 +582,7 @@ def save_failure(failure: FuzzFailure, directory: str) -> Path:
             "detail": failure.detail,
             "policy": failure.policy,
             "mode": failure.mode,
+            "backend": failure.backend,
             "exc_type": failure.exc_type,
             "fault": failure.fault,
             "replay": failure.replay_hint(),
@@ -541,11 +601,19 @@ def replay_file(path: str, audit: bool = True) -> List[FuzzFailure]:
     Accepts either a bare instance JSON (``QueryInstance.to_json``) or
     a failure file produced by :func:`save_failure`.  A persisted fault
     spec is re-applied, so a deliberately-faulted failure replays with
-    the identical fault."""
+    the identical fault.  A persisted back-end (failure files, or a
+    top-level ``"backend"`` key on a corpus entry) replays under that
+    back-end; corpus entries without one replay under "both" so every
+    seeded edge case exercises the cross-protocol oracle."""
     blob = json.loads(Path(path).read_text())
     instance = QueryInstance.from_json(blob.get("instance", blob))
     fault_blob = blob.get("failure", {}).get("fault")
     fault = (
         FaultPlan.from_json(fault_blob) if fault_blob else None
     )
-    return check_instance(instance, audit=audit, fault=fault)
+    backend = blob.get("failure", {}).get(
+        "backend", blob.get("backend", "both")
+    )
+    return check_instance(
+        instance, audit=audit, fault=fault, backend=backend
+    )

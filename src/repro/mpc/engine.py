@@ -60,6 +60,14 @@ class Engine:
         exec_policy: str = "program",
     ) -> None:
         self.ctx = ctx
+        #: Base-OT group size, kept for cost estimation against this
+        #: engine's actual configuration.
+        self.ot_group_bits = ot_group_bits
+        #: Join back-end override ("yannakakis" | "linear" | "auto").
+        #: ``None`` defers to the query's own setting; when set, every
+        #: query run on this engine is routed under this policy.  See
+        #: :data:`repro.core.semijoin.BACKENDS` and docs/BACKENDS.md.
+        self.backend: Optional[str] = None
         self.ot = make_ot(ctx, ot_group_bits)
         # A second extension instance for OTs in the reverse direction
         # (Bob choosing) — used by the Gilboa multiplication's second

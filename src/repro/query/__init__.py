@@ -1,12 +1,13 @@
 """Query frontend: the join-aggregate query API and the ownership-aware
 planner."""
 
-from .builder import JoinAggregateQuery
+from .builder import BACKEND_POLICIES, JoinAggregateQuery
 from .decompose import decompose_by_attribute, run_decomposed
-from .planner import choose_plan, plan_cost
+from .planner import choose_plan, plan_cost, route_backends
 from .sql import SqlError, compile_sql, parse_sql
 
 __all__ = [
+    "BACKEND_POLICIES",
     "JoinAggregateQuery",
     "SqlError",
     "choose_plan",
@@ -14,5 +15,6 @@ __all__ = [
     "decompose_by_attribute",
     "parse_sql",
     "plan_cost",
+    "route_backends",
     "run_decomposed",
 ]

@@ -36,9 +36,13 @@ from ..relalg.relation import AnnotatedRelation
 from ..yannakakis.plain import execute_plan
 from ..yannakakis.naive import naive_join_aggregate
 from ..yannakakis.plan import YannakakisPlan
-from .planner import choose_plan
+from .planner import choose_plan, route_backends
 
-__all__ = ["JoinAggregateQuery"]
+__all__ = ["BACKEND_POLICIES", "JoinAggregateQuery"]
+
+#: Join back-end policies a query (or engine) may select:
+#: the two concrete protocols plus cost-based per-node routing.
+BACKEND_POLICIES = ("yannakakis", "linear", "auto")
 
 
 class JoinAggregateQuery:
@@ -48,6 +52,10 @@ class JoinAggregateQuery:
         self.output: Tuple[str, ...] = tuple(output)
         self.relations: Dict[str, AnnotatedRelation] = {}
         self.owners: Dict[str, str] = {}
+        #: Join back-end policy for secure runs (``"yannakakis"`` |
+        #: ``"linear"`` | ``"auto"``); an engine-level override
+        #: (``engine.backend``) takes precedence.  See docs/BACKENDS.md.
+        self.backend: str = "yannakakis"
         self._plan: Optional[YannakakisPlan] = None
 
     def add_relation(
@@ -77,7 +85,18 @@ class JoinAggregateQuery:
             mirrored.add_relation(
                 name, rel, owner=other_party(self.owners[name])
             )
+        mirrored.backend = self.backend
         return mirrored
+
+    def set_backend(self, backend: str) -> "JoinAggregateQuery":
+        """Select the join back-end policy for secure runs."""
+        if backend not in BACKEND_POLICIES:
+            raise ValueError(
+                f"unknown back-end policy {backend!r}; "
+                f"choose from {BACKEND_POLICIES}"
+            )
+        self.backend = backend
+        return self
 
     # -- structure --------------------------------------------------------
 
@@ -103,6 +122,20 @@ class JoinAggregateQuery:
         """IN: the total number of input tuples."""
         return sum(len(r) for r in self.relations.values())
 
+    def backend_assignments(
+        self, backend: Optional[str] = None
+    ) -> Dict[str, str]:
+        """The per-node back-end map a secure run of this query would
+        execute (label-keyed, as the compiler and estimator expect).
+        ``backend`` overrides the query's own policy (an engine-level
+        override is resolved the same way by ``run_secure``)."""
+        return route_backends(
+            self.plan(),
+            {n: len(r) for n, r in self.relations.items()},
+            self.owners,
+            backend=backend if backend is not None else self.backend,
+        )
+
     # -- evaluation ---------------------------------------------------------
 
     def run_plain(self, operators=None) -> AnnotatedRelation:
@@ -126,10 +159,19 @@ class JoinAggregateQuery:
     # Backwards-compatible alias (pre-serving-layer name).
     _secure_inputs = secure_inputs
 
+    def _effective_backends(self, engine: Engine) -> Dict[str, str]:
+        """Resolve the back-end policy for a run on ``engine``: the
+        engine-level override wins, else the query's own setting."""
+        override = getattr(engine, "backend", None)
+        return self.backend_assignments(override)
+
     def run_secure(
         self, engine: Engine
     ) -> Tuple[AnnotatedRelation, ProtocolStats]:
-        return secure_yannakakis(engine, self._secure_inputs(), self.plan())
+        return secure_yannakakis(
+            engine, self._secure_inputs(), self.plan(),
+            backends=self._effective_backends(engine),
+        )
 
     def run_secure_shared(
         self, engine: Engine, pad_out_to: int = 0
@@ -138,5 +180,6 @@ class JoinAggregateQuery:
         ``pad_out_to`` hides the true output size behind a declared
         bound (Section 4)."""
         return secure_yannakakis_shared(
-            engine, self._secure_inputs(), self.plan(), pad_out_to
+            engine, self._secure_inputs(), self.plan(), pad_out_to,
+            backends=self._effective_backends(engine),
         )

@@ -12,7 +12,10 @@ number of cross-party operator invocations.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..mpc.params import SecurityParams
 
 from ..relalg.hypergraph import Hypergraph
 from ..relalg.join_tree import JoinTree
@@ -22,7 +25,7 @@ from ..yannakakis.plan import (
     build_plan,
 )
 
-__all__ = ["choose_plan", "plan_cost"]
+__all__ = ["choose_plan", "plan_cost", "route_backends"]
 
 
 def plan_cost(
@@ -68,3 +71,51 @@ def choose_plan(
             "query is not free-connex; no rooted join tree compiles"
         )
     return best[1]
+
+
+def route_backends(
+    plan: YannakakisPlan,
+    sizes: Dict[str, int],
+    owners: Dict[str, str],
+    backend: str = "auto",
+    params: Optional["SecurityParams"] = None,
+    group_bits: int = 2048,
+) -> Dict[str, str]:
+    """Assign a join back-end to every fold/semijoin node of ``plan``.
+
+    ``backend`` is a policy, not a protocol: ``"yannakakis"`` and
+    ``"linear"`` force every node onto that back-end, while ``"auto"``
+    prices each node under both via
+    :func:`repro.bench.estimator.estimate_node_costs` and picks the
+    cheaper one in bytes (ties break to ``"yannakakis"``, the paper's
+    protocol — in particular every same-owner node, where the back-ends
+    are identical, routes there).  Returns a label-keyed map suitable
+    for :func:`repro.exec.compiler.compile_plan` and
+    :func:`repro.bench.estimator.estimate_plan_cost`.
+    """
+    from ..bench.estimator import BACKENDS, DEFAULT_PARAMS, estimate_node_costs
+
+    if backend in BACKENDS:
+        routes = {}
+        for step in plan.reduce_steps:
+            if isinstance(step, ReduceFold):
+                routes[f"fold/{step.child}->{step.parent}"] = backend
+        for step in plan.semijoin_steps:
+            routes[f"semi/{step.target}<-{step.filter}"] = backend
+        return routes
+    if backend != "auto":
+        raise ValueError(
+            f"unknown back-end policy {backend!r}; "
+            f"choose from {BACKENDS + ('auto',)}"
+        )
+    node_costs = estimate_node_costs(
+        plan, sizes, owners,
+        params=params or DEFAULT_PARAMS,
+        group_bits=group_bits,
+    )
+    return {
+        label: min(
+            costs, key=lambda b: (costs[b], 0 if b == "yannakakis" else 1)
+        )
+        for label, costs in node_costs.items()
+    }

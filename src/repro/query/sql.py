@@ -187,6 +187,15 @@ class _Parser:
         tables = [self.expect("name")]
         while self.accept("op", ","):
             tables.append(self.expect("name"))
+        seen = set()
+        for t in tables:
+            if t in seen:
+                raise SqlError(
+                    f"table {t!r} appears more than once in FROM; "
+                    "self-joins need aliases, which this fragment "
+                    "does not support"
+                )
+            seen.add(t)
 
         conditions: List[Condition] = []
         if self.accept("kw", "where"):
@@ -241,6 +250,11 @@ class _Parser:
 
     def parse_literal(self):
         k, v = self.next()
+        if k == "op" and v == "-":
+            k, v = self.next()
+            if k != "number":
+                raise SqlError(f"expected a number after '-', got {v!r}")
+            return -int(v)
         if k == "number":
             return int(v)
         if k == "string":

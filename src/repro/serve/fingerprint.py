@@ -86,6 +86,11 @@ def fingerprint_document(
         "reveal_result": bool(reveal_result),
         "pad_out_to": int(pad_out_to),
         "plan": _plan_shape(query.plan()),
+        # The resolved per-node back-end map, not the policy name: under
+        # "auto" the routing depends on relation sizes, and two queries
+        # whose nodes route differently compile different step DAGs
+        # (and different transcripts), so they must not share an entry.
+        "backends": query.backend_assignments(),
     }
 
 

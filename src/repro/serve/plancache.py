@@ -91,6 +91,7 @@ class PlanCache:
                 input_order=list(query.relations),
                 pad_out_to=pad_out_to,
                 reveal_result=reveal_result,
+                backends=query.backend_assignments(),
             )
             entry = PlanEntry(fingerprint=fp, plan=plan, exec_plan=exec_plan)
             if tenant:

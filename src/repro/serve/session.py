@@ -250,6 +250,7 @@ class QuerySession:
                 owners=dict(query.owners),
                 input_order=list(query.relations),
                 reveal_result=True,
+                backends=query.backend_assignments(),
             )
         result, _stats = secure_yannakakis_with_plan(
             self.engine, query.secure_inputs(), plan, exec_plan

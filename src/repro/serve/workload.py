@@ -43,17 +43,20 @@ def tpch_request(
     group_bits: int = 1536,
     name: Optional[str] = None,
     faults: Optional[Any] = None,
+    backend: str = "yannakakis",
 ) -> QueryRequest:
     """A :class:`QueryRequest` over one prepared TPC-H query.  The
     dataset and query are prepared eagerly (deterministic given
     ``scale_mb``); the relations are rebuilt per run, so requests are
-    independent."""
+    independent.  ``backend`` is the join back-end policy the session's
+    engine runs under (see docs/BACKENDS.md)."""
     from ..tpch import PREPARED, generate
 
     dataset = generate(scale_mb)
     prepared = PREPARED[query.upper()](dataset)
 
     def run(engine: Any) -> Any:
+        engine.backend = backend
         result, _stats = prepared.run_secure(engine)
         return result
 

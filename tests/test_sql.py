@@ -84,6 +84,27 @@ class TestParser:
         with pytest.raises(SqlError):
             parse_sql("SELECT COUNT(*) FROM t WHERE a = @")
 
+    def test_negative_integer_literal(self):
+        # Regression: '-' used to fail with "expected a literal".
+        p = parse_sql("SELECT COUNT(*) FROM t WHERE t.c < -5")
+        assert p.conditions[0].right == -5
+
+    def test_negative_literal_in_in_list(self):
+        p = parse_sql("SELECT COUNT(*) FROM t WHERE a IN (-1, 2, -3)")
+        assert p.conditions[0].right == (-1, 2, -3)
+
+    def test_dangling_minus_still_rejected(self):
+        with pytest.raises(SqlError) as err:
+            parse_sql("SELECT COUNT(*) FROM t WHERE a = -'x'")
+        assert "after '-'" in str(err.value)
+
+    def test_duplicate_from_table_rejected(self):
+        # Regression: "FROM t1, t1" used to parse (and later join the
+        # relation with itself under one name).
+        with pytest.raises(SqlError) as err:
+            parse_sql("SELECT COUNT(*) FROM t1, t1")
+        assert "aliases" in str(err.value)
+
 
 class TestCompilation:
     def test_example_11(self, tables):
@@ -195,6 +216,12 @@ class TestCompilation:
         )
         # cost and person are irrelevant; r2 keeps only the join attr
         assert len(q.relations["r2"].attributes) == 1
+
+    def test_negative_literal_selection(self, tables):
+        q = compile_sql(
+            "SELECT SUM(cost) FROM r2 WHERE cost > -50", tables
+        )
+        assert q.run_plain().to_dict() == {(): 400}
 
     def test_bounded_policy_with_bounds(self, tables):
         q = compile_sql(

@@ -39,16 +39,26 @@ def q3_trace_json():
     tracer.meta["query"] = query.name
     tracer.meta["scale_mb"] = 1
     tracer.meta["mode"] = "simulated"
+    tracer.meta["backend"] = "yannakakis"
     return tracer.to_json()
 
 
 def structure_of(blob):
+    # Fold/semijoin nodes additionally carry the routed join back-end
+    # plus its pre-dispatch byte estimate; both the field names and the
+    # (deterministic) per-node back-end choice are pinned.
+    routed = [n for n in blob["nodes"] if "backend" in n]
     return {
         "top_level_keys": sorted(blob),
         "meta_keys": sorted(blob["meta"]),
         "node_fields": sorted(blob["nodes"][0]),
+        "routed_node_fields": sorted(routed[0]) if routed else [],
         "nodes": [
-            {k: n[k] for k in ("kind", "label", "section", "stage")}
+            {
+                k: n[k]
+                for k in ("kind", "label", "section", "stage", "backend")
+                if k in n
+            }
             for n in blob["nodes"]
         ],
     }
@@ -60,6 +70,7 @@ def test_trace_q3_schema_matches_golden():
     assert actual["top_level_keys"] == golden["top_level_keys"]
     assert actual["meta_keys"] == golden["meta_keys"]
     assert actual["node_fields"] == golden["node_fields"]
+    assert actual["routed_node_fields"] == golden["routed_node_fields"]
     assert actual["nodes"] == golden["nodes"]
 
 
