@@ -21,6 +21,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from ..leakage import leaks
 from ..mpc.context import ALICE
 from ..mpc.engine import Engine
 from ..mpc.sharing import SharedVector, reveal_vector
@@ -57,6 +58,7 @@ def align_shared(
         return oe.oep(xi, extended, len(xi), label=label)
 
 
+@leaks("opened:result")
 def divide_compose(
     engine: Engine,
     numerator: ObliviousJoinResult,
@@ -86,6 +88,7 @@ def divide_compose(
     )
 
 
+@leaks("opened:result")
 def subtract_compose(
     engine: Engine,
     left: ObliviousJoinResult,

@@ -22,6 +22,7 @@ from typing import Dict, Sequence
 
 import numpy as np
 
+from ..leakage import leaks
 from ..mpc.context import ALICE, BOB, Context
 from ..mpc.engine import Engine
 from ..mpc.sharing import SharedVector, reveal_vector
@@ -46,6 +47,7 @@ def max_multiplicity(rel: AnnotatedRelation, attrs: Sequence[str]) -> int:
     return max(counts.values(), default=0)
 
 
+@leaks("opened:result")
 def joint_sensitivity(
     engine: Engine, alice_max: int, bob_max: int
 ) -> int:
@@ -70,6 +72,7 @@ def discrete_laplace(
     return (pos - neg).astype(np.int64)
 
 
+@leaks("opened:result")
 def dp_reveal(
     engine: Engine,
     values: SharedVector,

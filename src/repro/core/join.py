@@ -39,6 +39,7 @@ from typing import Any, Dict, Iterator, List, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..leakage import leaks
 from ..mpc.context import ALICE, Context
 from ..mpc.engine import Engine
 from ..mpc.sharing import SharedVector
@@ -106,6 +107,7 @@ class RevealedRelation:
         )
 
 
+@leaks("support:result")
 def _reveal_nonzero(
     engine: Engine, rel: SecureRelation, label: str
 ) -> RevealedRelation:

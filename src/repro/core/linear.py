@@ -25,6 +25,7 @@ from typing import List, Tuple
 
 import numpy as np
 
+from ..leakage import leaks
 from ..mpc.engine import Engine
 from ..mpc.sharing import SharedVector
 from ..relalg.columns import group_by_first_appearance, joint_row_codes
@@ -34,6 +35,7 @@ from .relation import SecureAnnotations, SecureRelation, dummy_tuple
 __all__ = ["linear_cross_owner_payloads"]
 
 
+@leaks("join_pattern:parent")
 def linear_cross_owner_payloads(
     engine: Engine,
     parent: SecureRelation,

@@ -16,6 +16,7 @@ from typing import Any, Callable, Hashable, Optional, Sequence, Union
 
 import numpy as np
 
+from ..leakage import leaks
 from ..mpc.context import ALICE, BOB, Context
 from ..mpc.dhoprf import DhOprfMatch, dh_oprf_match
 from ..mpc.engine import Engine
@@ -139,6 +140,7 @@ class OrientedEngine:
             res.payload = self._out(res.payload)
         return res
 
+    @leaks("join_pattern:parent")
     def dh_oprf_match(
         self,
         owner_items: Sequence[Hashable],

@@ -29,6 +29,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
+from ..leakage import leaks
 from ..mpc.context import ALICE, Context
 from ..mpc.engine import Engine
 from ..mpc.sharing import reveal_vector
@@ -258,6 +259,7 @@ def legacy_secure_yannakakis_shared(
         )
 
 
+@leaks("opened:result")
 def legacy_secure_yannakakis(
     engine: Engine,
     relations: Dict[str, SecureRelation],

@@ -20,6 +20,7 @@ The legacy entry points remain as thin wrappers; see
 """
 
 from ..mpc.runcache import RunCache
+from .audit import LeakageReport, NodeLeakage, audit_plan, audit_routes
 from .compiler import compile_plan
 from .ir import (
     AggregateStep,
@@ -43,6 +44,8 @@ __all__ = [
     "ExecPlan",
     "ExecutionTrace",
     "JoinStep",
+    "LeakageReport",
+    "NodeLeakage",
     "NodeTrace",
     "ProductStep",
     "ReduceFoldStep",
@@ -53,6 +56,8 @@ __all__ = [
     "SemijoinStep",
     "ShareStep",
     "Step",
+    "audit_plan",
+    "audit_routes",
     "compile_plan",
     "traced",
 ]

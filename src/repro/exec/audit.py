@@ -1,0 +1,218 @@
+"""Plan-level leakage audit.
+
+The code-level contract rules (OBL006–OBL008) pin what each primitive
+*may* leak; this module answers the composition question for one
+concrete plan: given the per-node ``backend`` assignments a routed
+:class:`~repro.exec.ir.ExecPlan` carries, what does the *whole plan*
+reveal beyond the public sizes?
+
+Composition follows the paper's argument: every node that never
+reaches the cross-owner back-end dispatch (same-owner folds, scalar
+children) is back-end-independent and leaks nothing; every dispatched
+node contributes its back-end's registered contract
+(:data:`repro.leakage.BACKEND_CONTRACTS`).  The whole-plan summary is
+the union — an all-``yannakakis`` route is exactly ``{}``, a route
+with any dispatched ``linear`` node is ``{join_pattern:parent}``.
+
+Three consumers:
+
+* ``repro lint --plan FILE [--allow ATOM]`` audits a serialised plan
+  against a caller-supplied budget;
+* the serving layer rejects a tenant's plan *statically* at admission
+  when its summary exceeds the tenant's pinned leakage budget
+  (:meth:`repro.serve.service.QueryService.register_tenant`);
+* the fuzzer asserts both routes of every ``--backend both`` instance
+  match their documented models (docs/BACKENDS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..leakage import BACKEND_CONTRACTS
+from .ir import ExecPlan, ReduceFoldStep, SemijoinStep, ShareStep
+
+__all__ = ["NodeLeakage", "LeakageReport", "audit_plan", "audit_routes"]
+
+
+@dataclass(frozen=True)
+class NodeLeakage:
+    """The leakage contribution of one routed plan node."""
+
+    label: str  #: ``fold/{child}->{parent}`` / ``semi/{target}<-{filter}``
+    kind: str  #: ``"reduce_fold"`` | ``"semijoin"``
+    backend: str
+    #: Whether the node reaches the cross-owner back-end dispatch at
+    #: all (same-owner nodes and scalar-child folds run an identical
+    #: local path under every back-end and leak nothing).
+    dispatched: bool
+    atoms: FrozenSet[str]
+    #: Set when ``backend`` has no BACKEND_CONTRACTS entry — an
+    #: unregistered back-end is itself an audit failure.
+    unknown_backend: bool = False
+
+
+@dataclass
+class LeakageReport:
+    """Composed leakage of one routed plan."""
+
+    plan_name: str
+    nodes: Tuple[NodeLeakage, ...]
+
+    @property
+    def summary(self) -> FrozenSet[str]:
+        """Union of every dispatched node's contract atoms."""
+        out: FrozenSet[str] = frozenset()
+        for n in self.nodes:
+            if n.dispatched:
+                out |= n.atoms
+        return out
+
+    def violations(
+        self, allow: FrozenSet[str] = frozenset()
+    ) -> List[str]:
+        """Human-readable failures against an allowed-atom budget."""
+        out: List[str] = []
+        for n in self.nodes:
+            if n.unknown_backend:
+                out.append(
+                    f"node {n.label}: back-end '{n.backend}' has no "
+                    "BACKEND_CONTRACTS entry"
+                )
+            if not n.dispatched:
+                continue
+            excess = sorted(n.atoms - allow)
+            if excess:
+                out.append(
+                    f"node {n.label} (backend {n.backend}) leaks "
+                    f"{excess} beyond the allowed budget "
+                    f"{sorted(allow)}"
+                )
+        return out
+
+    def ok(self, allow: FrozenSet[str] = frozenset()) -> bool:
+        return not self.violations(allow)
+
+    def to_json(
+        self, allow: FrozenSet[str] = frozenset()
+    ) -> Dict[str, object]:
+        return {
+            "plan": self.plan_name,
+            "summary": sorted(self.summary),
+            "allow": sorted(allow),
+            "ok": self.ok(allow),
+            "violations": self.violations(allow),
+            "nodes": [
+                {
+                    "label": n.label,
+                    "kind": n.kind,
+                    "backend": n.backend,
+                    "dispatched": n.dispatched,
+                    "atoms": sorted(n.atoms),
+                }
+                for n in self.nodes
+            ],
+        }
+
+
+def _node(
+    label: str,
+    kind: str,
+    backend: str,
+    dispatched: bool,
+) -> NodeLeakage:
+    atoms = BACKEND_CONTRACTS.get(backend)
+    return NodeLeakage(
+        label=label,
+        kind=kind,
+        backend=backend,
+        dispatched=dispatched,
+        atoms=atoms or frozenset(),
+        unknown_backend=atoms is None,
+    )
+
+
+def _cross_owner(
+    owners: Dict[str, str], a: str, b: str
+) -> bool:
+    # Unknown ownership is audited conservatively as cross-owner.
+    oa, ob = owners.get(a), owners.get(b)
+    return oa is None or ob is None or oa != ob
+
+
+def audit_plan(
+    plan: ExecPlan,
+    owners: Optional[Dict[str, str]] = None,
+) -> LeakageReport:
+    """Audit a compiled, routed :class:`ExecPlan`.
+
+    ``owners`` (relation name -> party) defaults to the plan's own
+    :class:`~repro.exec.ir.ShareStep` declarations.
+    """
+    if owners is None:
+        owners = {
+            s.relation: s.owner
+            for s in plan.steps
+            if isinstance(s, ShareStep) and s.owner
+        }
+    nodes: List[NodeLeakage] = []
+    for step in plan.steps:
+        if isinstance(step, ReduceFoldStep):
+            # A scalar child (empty agg_attrs) folds through the local
+            # scalar path on every back-end — never dispatched.
+            dispatched = bool(step.agg_attrs) and _cross_owner(
+                owners, step.child, step.parent
+            )
+            nodes.append(
+                _node(step.label, step.kind, step.backend, dispatched)
+            )
+        elif isinstance(step, SemijoinStep):
+            dispatched = _cross_owner(owners, step.target, step.filter)
+            nodes.append(
+                _node(step.label, step.kind, step.backend, dispatched)
+            )
+    return LeakageReport(plan_name=plan.name, nodes=tuple(nodes))
+
+
+def audit_routes(
+    plan: object,
+    routes: Dict[str, str],
+    owners: Dict[str, str],
+) -> LeakageReport:
+    """Audit a :class:`~repro.yannakakis.plan.YannakakisPlan` plus a
+    resolved per-node route map (the planner's
+    :func:`~repro.query.planner.route_backends` output) *before*
+    compilation — the form the fuzzer and the admission controller
+    hold.  Unlisted nodes default to the paper's protocol, mirroring
+    the compiler."""
+    nodes: List[NodeLeakage] = []
+    for s in getattr(plan, "reduce_steps", []):
+        child = getattr(s, "child", None)
+        parent = getattr(s, "parent", None)
+        if child is None or parent is None:
+            continue  # ReduceAggregate: no join, no dispatch
+        label = f"fold/{child}->{parent}"
+        dispatched = bool(
+            getattr(s, "agg_attrs", ())
+        ) and _cross_owner(owners, child, parent)
+        nodes.append(
+            _node(
+                label,
+                "reduce_fold",
+                routes.get(label, "yannakakis"),
+                dispatched,
+            )
+        )
+    for s in getattr(plan, "semijoin_steps", []):
+        label = f"semi/{s.target}<-{s.filter}"
+        nodes.append(
+            _node(
+                label,
+                "semijoin",
+                routes.get(label, "yannakakis"),
+                _cross_owner(owners, s.target, s.filter),
+            )
+        )
+    name = getattr(plan, "name", "") or ""
+    return LeakageReport(plan_name=name, nodes=tuple(nodes))

@@ -299,6 +299,7 @@ class Scheduler:
                 env["result"] = finish_join(engine, joined, factors)
         elif isinstance(step, RevealResultStep):
             result = env["result"]
+            # oblint: leaks=opened:result
             values = reveal_vector(
                 ctx, result.annotations, ALICE, label="result"
             )

@@ -19,6 +19,7 @@ from .generator import (
 from .runner import (
     FuzzFailure,
     FuzzReport,
+    audit_leakage,
     audit_obliviousness,
     check_instance,
     fuzz,
@@ -37,6 +38,7 @@ __all__ = [
     "value_disjoint_twin",
     "FuzzFailure",
     "FuzzReport",
+    "audit_leakage",
     "audit_obliviousness",
     "check_instance",
     "fuzz",

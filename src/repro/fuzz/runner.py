@@ -84,6 +84,7 @@ __all__ = [
     "POLICIES",
     "run_differential",
     "audit_obliviousness",
+    "audit_leakage",
     "check_instance",
     "fuzz",
     "perturb_one_share",
@@ -112,7 +113,7 @@ Fault = Union[FaultPlan, Callable[..., None]]
 class FuzzFailure:
     """One confirmed divergence, replayable from the instance seed."""
 
-    kind: str  # "mismatch" | "transcript" | "crash" | "abort"
+    kind: str  # "mismatch" | "transcript" | "leakage" | "crash" | "abort"
     seed: Tuple[int, int]
     detail: str
     policy: Optional[str] = None
@@ -391,6 +392,55 @@ def audit_obliviousness(
     return failures
 
 
+#: What each concrete back-end's routed plan may leak, per
+#: docs/BACKENDS.md.  "auto" mixes the two, so it is bounded by their
+#: union; single-owner instances legitimately dispatch nothing and
+#: summarise ``{}`` under every back-end.
+_LEAKAGE_MODELS: Dict[str, frozenset] = {
+    "yannakakis": frozenset(),
+    "linear": frozenset({"join_pattern:parent"}),
+    "auto": frozenset({"join_pattern:parent"}),
+}
+
+
+def audit_leakage(
+    instance: QueryInstance,
+    backend: str = "yannakakis",
+) -> List[FuzzFailure]:
+    """Statically audit the instance's routed plan against the
+    back-end's documented leakage model (failure kind ``"leakage"``).
+
+    This is the plan-audit twin of the transcript audit: the composed
+    :func:`~repro.exec.audit.audit_routes` summary of the route the
+    secure run would execute must stay within what docs/BACKENDS.md
+    promises for that back-end — an all-``yannakakis`` route must
+    summarise exactly ``{}``; any route may at most add the linear
+    back-end's ``join_pattern:parent``."""
+    from ..exec.audit import audit_routes
+
+    plan = _plan_for(instance)
+    routes = route_backends(
+        plan, instance.sizes(), instance.owners, backend=backend
+    )
+    report = audit_routes(plan, routes, dict(instance.owners))
+    allowed = _LEAKAGE_MODELS[backend]
+    failures: List[FuzzFailure] = []
+    problems = report.violations(allowed)
+    if backend == "yannakakis" and report.summary:
+        problems.append(
+            "yannakakis route must be leakage-free but summarises "
+            f"{sorted(report.summary)}"
+        )
+    for detail in problems:
+        failures.append(
+            FuzzFailure(
+                "leakage", instance.seed, detail,
+                backend=backend, instance=instance,
+            )
+        )
+    return failures
+
+
 def check_instance(
     instance: QueryInstance,
     mode: Mode = Mode.SIMULATED,
@@ -406,7 +456,9 @@ def check_instance(
     plaintext oracle — hence the two back-ends must agree with each
     other — and each back-end's twin transcripts must be identical
     independently (the transcripts legitimately differ *between*
-    back-ends; obliviousness is a per-protocol property)."""
+    back-ends; obliviousness is a per-protocol property).  Each
+    back-end's routed plan is also statically audited
+    (:func:`audit_leakage`) against its documented leakage model."""
     if backend not in FUZZ_BACKENDS:
         raise ValueError(
             f"unknown fuzz back-end {backend!r}; "
@@ -422,6 +474,7 @@ def check_instance(
         )
         if audit and fault is None:
             failures += audit_obliviousness(instance, mode=mode, backend=b)
+            failures += audit_leakage(instance, backend=b)
     return failures
 
 

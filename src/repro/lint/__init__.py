@@ -15,11 +15,21 @@ dynamically:
   values in transcript labels or trace fingerprints.
 * **OBL005 mode-parity** — REAL and SIMULATED back-ends emit the same
   transcript label literals.
+* **OBL006 undeclared-leakage** — every reveal of tainted data (via
+  the interprocedural taint closure) is covered by a declared
+  ``@repro.leakage.leaks`` contract.
+* **OBL007 contract-rot** — every declared atom is witnessed by the
+  function's call closure.
+* **OBL008 backend-contract-parity** — back-ends at an IR dispatch
+  point match the ``BACKEND_CONTRACTS`` registry.
 
 See docs/LINTING.md for the rule catalogue, the suppression policy
-(``# oblint: disable=RULE — reason``), and the baseline workflow.
+(``# oblint: disable=RULE — reason``), the contract vocabulary, and
+the baseline workflow.
 """
 
+from .contracts import declared_atoms
+from .interproc import InterprocTaint, interproc_taint
 from .registry import Rule, all_rules, register
 from .runner import discover_files, lint_sources, run_lint
 from .suppress import parse_directives
@@ -34,7 +44,10 @@ __all__ = [
     "lint_sources",
     "discover_files",
     "parse_directives",
+    "declared_atoms",
     "FunctionTaint",
+    "InterprocTaint",
+    "interproc_taint",
     "SECRET_CONFIG",
     "NONDET_CONFIG",
     "Violation",

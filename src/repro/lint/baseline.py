@@ -58,6 +58,57 @@ def write_baseline(path: Path, violations: Sequence[Violation]) -> None:
     path.write_text(json.dumps(blob, indent=2) + "\n")
 
 
+def stale_entries(
+    path: Path, violations: Sequence[Violation]
+) -> List[dict]:
+    """Baseline entries no current finding matches (stale counts).
+
+    ``violations`` must be the *pre-baseline* findings.  Each returned
+    dict carries the entry's recorded ``rule``/``path``/``snippet``
+    plus a ``stale`` count — the excess of the baselined count over
+    the number of live occurrences.
+    """
+    if not path.exists():
+        return []
+    blob = json.loads(path.read_text())
+    live: Counter = Counter(v.fingerprint() for v in violations)
+    out: List[dict] = []
+    for entry in blob.get("entries", []):
+        allowed = int(entry.get("count", 1))
+        excess = allowed - live.get(entry["fingerprint"], 0)
+        if excess > 0:
+            out.append({**entry, "stale": excess})
+    return out
+
+
+def prune_baseline(
+    path: Path, violations: Sequence[Violation]
+) -> Tuple[int, int]:
+    """Rewrite the baseline keeping only still-live occurrences.
+
+    Returns ``(kept, dropped)`` occurrence counts.  Entries keep their
+    recorded metadata; counts shrink to the number of matching current
+    findings (entries with zero matches disappear).
+    """
+    if not path.exists():
+        return 0, 0
+    blob = json.loads(path.read_text())
+    live: Counter = Counter(v.fingerprint() for v in violations)
+    kept_entries: List[dict] = []
+    kept = dropped = 0
+    for entry in blob.get("entries", []):
+        allowed = int(entry.get("count", 1))
+        keep = min(allowed, live.get(entry["fingerprint"], 0))
+        kept += keep
+        dropped += allowed - keep
+        if keep > 0:
+            kept_entries.append({**entry, "count": keep})
+    blob["version"] = BASELINE_VERSION
+    blob["entries"] = kept_entries
+    path.write_text(json.dumps(blob, indent=2) + "\n")
+    return kept, dropped
+
+
 def apply_baseline(
     violations: Sequence[Violation], counts: Counter
 ) -> Tuple[List[Violation], int]:

@@ -1,4 +1,4 @@
-"""Text and JSON reporters for lint results."""
+"""Text, JSON, and SARIF reporters for lint results."""
 
 from __future__ import annotations
 
@@ -27,6 +27,72 @@ def text_report(result: LintResult, rules: List[Rule]) -> str:
         ) + "]"
     lines.append(summary)
     return "\n".join(lines)
+
+
+#: SARIF 2.1.0 — the schema GitHub code scanning ingests via
+#: ``github/codeql-action/upload-sarif``.
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def sarif_report(result: LintResult, rules: List[Rule]) -> str:
+    """Serialise findings as a single-run SARIF 2.1.0 log.
+
+    The baseline fingerprint doubles as the SARIF partial fingerprint,
+    so code-scanning alert identity tracks the same line-number-free
+    key the committed baseline uses.
+    """
+    run = {
+        "tool": {
+            "driver": {
+                "name": "oblint",
+                "informationUri": "docs/LINTING.md",
+                "rules": [
+                    {
+                        "id": r.code,
+                        "name": r.name,
+                        "shortDescription": {"text": r.description},
+                    }
+                    for r in rules
+                ],
+            }
+        },
+        "results": [
+            {
+                "ruleId": v.rule,
+                "level": "error",
+                "message": {"text": v.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": v.path,
+                                "uriBaseId": "SRCROOT",
+                            },
+                            "region": {
+                                "startLine": v.line,
+                                "startColumn": v.col + 1,
+                            },
+                        }
+                    }
+                ],
+                "partialFingerprints": {
+                    "oblint/v1": v.fingerprint()
+                },
+            }
+            for v in result.violations
+        ],
+    }
+    return json.dumps(
+        {
+            "$schema": _SARIF_SCHEMA,
+            "version": "2.1.0",
+            "runs": [run],
+        },
+        indent=2,
+    )
 
 
 def json_report(result: LintResult, rules: List[Rule]) -> str:

@@ -1,3 +1,9 @@
 """Rule implementations — importing this package registers them all."""
 
-from . import determinism, parity, randomness, taint_rules  # noqa: F401
+from . import (  # noqa: F401
+    determinism,
+    leakage_rules,
+    parity,
+    randomness,
+    taint_rules,
+)

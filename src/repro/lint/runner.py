@@ -13,14 +13,29 @@ The run pipeline is::
 from __future__ import annotations
 
 import argparse
+import json
+import subprocess
 import sys
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
-from .baseline import apply_baseline, load_baseline, write_baseline
+from .baseline import (
+    apply_baseline,
+    load_baseline,
+    prune_baseline,
+    stale_entries,
+    write_baseline,
+)
 from .project import Project, SourceFile, parse_source
 from .registry import all_rules
-from .reporters import json_report, text_report
+from .reporters import json_report, sarif_report, text_report
 from .violations import LintResult, Violation
 
 DEFAULT_BASELINE = "lint-baseline.json"
@@ -49,6 +64,46 @@ def discover_files(paths: Sequence[str]) -> List[Path]:
         elif p.suffix == ".py":
             out.append(p)
     return out
+
+
+def git_changed_files(
+    root: Optional[Path] = None,
+    runner: Optional[Callable[[Sequence[str]], str]] = None,
+) -> List[Path]:
+    """``.py`` files changed vs HEAD (staged + unstaged + untracked).
+
+    The pre-commit fast path: lint only what this commit touches
+    (``cmd_lint`` still feeds the full tree in as cross-file
+    *context*, so OBL005/OBL008 and the interprocedural taint resolve
+    correctly); CI remains the authoritative full-tree run.
+
+    ``runner`` is injectable for tests; it receives an argv list and
+    returns the command's stdout.
+    """
+    root = root or Path.cwd()
+
+    if runner is None:
+        def runner(argv: Sequence[str]) -> str:
+            return subprocess.run(
+                list(argv), cwd=root, check=True,
+                capture_output=True, text=True,
+            ).stdout
+
+    out: List[Path] = []
+    seen = set()
+    for argv in (
+        ["git", "diff", "--name-only", "--diff-filter=d", "HEAD"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        for line in runner(argv).splitlines():
+            name = line.strip()
+            if not name.endswith(".py") or name in seen:
+                continue
+            seen.add(name)
+            p = root / name
+            if p.is_file():
+                out.append(p)
+    return sorted(out)
 
 
 def load_sources(
@@ -84,14 +139,24 @@ def lint_sources(
     sources: List[SourceFile],
     extra_violations: Sequence[Violation] = (),
     select: Optional[Sequence[str]] = None,
+    context: Optional[Sequence[SourceFile]] = None,
 ) -> Tuple[List[Violation], int]:
     """Run every (selected) rule; returns (violations, n_suppressed).
 
     Inline ``# oblint: disable`` directives are honoured here; a
     suppression without a justification is converted into an OBL000
     finding so silencing a rule always costs an explicit reason.
+
+    ``context`` adds files to the cross-file project index (call
+    graph, label parity, contract registry) *without* linting them —
+    the ``--changed`` fast path lints only a commit's files but still
+    resolves against the whole tree.
     """
-    project = Project(sources)
+    project_sources = list(sources)
+    if context:
+        have = {s.path for s in project_sources}
+        project_sources += [s for s in context if s.path not in have]
+    project = Project(project_sources)
     rules = all_rules()
     if select:
         wanted = set(select)
@@ -138,12 +203,27 @@ def run_lint(
     update_baseline: bool = False,
     select: Optional[Sequence[str]] = None,
     root: Optional[Path] = None,
+    check_baseline: bool = False,
+    context_paths: Optional[Sequence[str]] = None,
 ) -> LintResult:
-    """The full pipeline over ``paths``; see module docstring."""
+    """The full pipeline over ``paths``; see module docstring.
+
+    With ``check_baseline``, stale baseline entries (grandfathered
+    findings that no longer occur) become OBL000 failures — the
+    baseline must shrink as the backlog is fixed.  ``context_paths``
+    feed the cross-file index without being linted (see
+    :func:`lint_sources`).
+    """
     files = discover_files(paths)
     sources, parse_errors = load_sources(files, root=root)
+    context: Optional[List[SourceFile]] = None
+    if context_paths:
+        context, _ = load_sources(
+            discover_files(context_paths), root=root
+        )
     violations, suppressed = lint_sources(
-        sources, extra_violations=parse_errors, select=select
+        sources, extra_violations=parse_errors, select=select,
+        context=context,
     )
     result = LintResult(
         suppressed=suppressed, files_checked=len(sources)
@@ -158,6 +238,23 @@ def run_lint(
         )
         result.violations = fresh
         result.baselined = matched
+        if check_baseline:
+            for entry in stale_entries(baseline_path, violations):
+                result.violations.append(
+                    Violation(
+                        rule="OBL000",
+                        path=entry.get("path", str(baseline_path)),
+                        line=1,
+                        col=0,
+                        message=(
+                            f"stale baseline entry for {entry['rule']} "
+                            f"(x{entry['stale']}): the finding no "
+                            "longer occurs — run "
+                            "'repro lint --prune-baseline'"
+                        ),
+                        snippet=entry.get("snippet", ""),
+                    )
+                )
     else:
         result.violations = violations
     return result
@@ -174,7 +271,7 @@ def add_lint_arguments(p: argparse.ArgumentParser) -> None:
         help="files or directories to lint (default: src)",
     )
     p.add_argument(
-        "--format", choices=["text", "json"], default="text",
+        "--format", choices=["text", "json", "sarif"], default="text",
     )
     p.add_argument(
         "--baseline", default=DEFAULT_BASELINE, metavar="FILE",
@@ -196,6 +293,48 @@ def add_lint_arguments(p: argparse.ArgumentParser) -> None:
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
     )
+    p.add_argument(
+        "--prune-baseline", action="store_true",
+        help="drop baseline entries no current finding matches",
+    )
+    p.add_argument(
+        "--check-baseline", action="store_true",
+        help="fail on stale baseline entries (CI gate)",
+    )
+    p.add_argument(
+        "--changed", action="store_true",
+        help="lint only .py files changed vs HEAD (pre-commit mode)",
+    )
+    p.add_argument(
+        "--plan", default=None, metavar="FILE",
+        help="audit a serialised ExecPlan's composed leakage instead "
+        "of linting source files",
+    )
+    p.add_argument(
+        "--allow", action="append", default=None, metavar="ATOM",
+        help="leakage atom the --plan audit may accept (repeatable)",
+    )
+
+
+def cmd_audit_plan(args) -> int:
+    """``repro lint --plan FILE [--allow ATOM]...`` — plan audit."""
+    # Imported here: the audit pulls in the (numpy-backed) exec layer,
+    # which plain source linting never needs.
+    from ..exec.audit import audit_plan
+    from ..exec.ir import ExecPlan
+
+    plan = ExecPlan.loads(Path(args.plan).read_text())
+    allow = frozenset(args.allow or ())
+    report = audit_plan(plan)
+    if args.format == "json":
+        print(json.dumps(report.to_json(allow), indent=2))
+    else:
+        name = report.plan_name or args.plan
+        print(f"plan {name}: leakage summary "
+              f"{sorted(report.summary) or '{}'}")
+        for line in report.violations(allow):
+            print(f"  FAIL {line}")
+    return 0 if report.ok(allow) else 1
 
 
 def cmd_lint(args) -> int:
@@ -204,17 +343,48 @@ def cmd_lint(args) -> int:
         for r in rules:
             print(f"{r.code} [{r.name}] {r.description}")
         return 0
+    if args.plan:
+        return cmd_audit_plan(args)
     baseline = None if args.no_baseline else Path(args.baseline)
     select = (
         [s.strip() for s in args.select.split(",") if s.strip()]
         if args.select
         else None
     )
+    paths = args.paths
+    context_paths: Optional[List[str]] = None
+    if args.changed:
+        changed = git_changed_files()
+        if not changed:
+            print("0 violations (no changed .py files)")
+            return 0
+        # Lint only the commit's files, but resolve cross-file rules
+        # (label parity, call graph, contract registry) against the
+        # full tree they will be merged into.
+        context_paths = list(args.paths)
+        paths = [str(p) for p in changed]
+    if args.prune_baseline:
+        if baseline is None:
+            print("--prune-baseline requires a baseline file")
+            return 2
+        files = discover_files(paths)
+        sources, parse_errors = load_sources(files)
+        violations, _ = lint_sources(
+            sources, extra_violations=parse_errors, select=select
+        )
+        kept, dropped = prune_baseline(baseline, violations)
+        print(
+            f"baseline pruned: {kept} kept, {dropped} stale "
+            f"dropped ({args.baseline})"
+        )
+        return 0
     result = run_lint(
-        args.paths,
+        paths,
         baseline_path=baseline,
         update_baseline=args.write_baseline,
         select=select,
+        check_baseline=args.check_baseline,
+        context_paths=context_paths,
     )
     if args.write_baseline:
         print(
@@ -224,6 +394,8 @@ def cmd_lint(args) -> int:
         return 0
     if args.format == "json":
         print(json_report(result, rules))
+    elif args.format == "sarif":
+        print(sarif_report(result, rules))
     else:
         print(text_report(result, rules))
     return 0 if result.ok else 1

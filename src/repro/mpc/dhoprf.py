@@ -46,6 +46,7 @@ from typing import Dict, Hashable, Sequence
 
 import numpy as np
 
+from ..leakage import leaks
 from .context import ALICE, BOB, Context, Mode
 from .cuckoo import encode_item
 from .modp import ModpGroup, modp_group
@@ -93,6 +94,7 @@ def _token(group: ModpGroup, element: int) -> bytes:
     ).digest()[:TOKEN_BYTES]
 
 
+@leaks("join_pattern:parent")
 def dh_oprf_match(
     ctx: Context,
     alice_items: Sequence[Hashable],

@@ -32,6 +32,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 import numpy as np
 
+from ..leakage import leaks
 from . import gadgets
 from .batch import bits_to_words, words_to_bits, words_to_le_bytes
 from .batch import le_bytes_to_words
@@ -103,6 +104,7 @@ class Engine:
     ) -> SharedVector:
         return share_vector(self.ctx, owner, values, label)
 
+    @leaks("opened:result")
     def reveal(self, sv: SharedVector, to: str = ALICE,
                label: str = "reveal") -> np.ndarray:
         return reveal_vector(self.ctx, sv, to, label)
@@ -125,6 +127,7 @@ class Engine:
         col = as_ring_column(column, self.ctx.modulus)
         return share_vector(self.ctx, owner, col, label)
 
+    @leaks("opened:result")
     def reconstruct_column(
         self, sv: SharedVector, to: str = ALICE, label: str = "reveal"
     ) -> np.ndarray:
@@ -381,6 +384,7 @@ class Engine:
                 acc = self.mul_shared(acc, f, label=f"mul{i}")
         return acc
 
+    @leaks("support:result")
     def reveal_nonzero_flags(
         self,
         v: SharedVector,
@@ -460,6 +464,7 @@ class Engine:
 
     # -- division (query composition, Section 7) ----------------------------
 
+    @leaks("opened:result")
     def divide_reveal(self, x: SharedVector, y: SharedVector,
                       label: str = "div") -> np.ndarray:
         """``x_i // y_i`` revealed to Alice (the final step of an

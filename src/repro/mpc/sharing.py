@@ -17,6 +17,7 @@ from typing import Sequence, Union
 
 import numpy as np
 
+from ..leakage import leaks
 from .context import ALICE, Context
 from .transcript import other_party
 
@@ -207,6 +208,7 @@ def share_vector(
     return SharedVector(complement, own, ctx.modulus)
 
 
+@leaks("opened:result")
 def reveal_vector(
     ctx: Context, sv: SharedVector, to: str, label: str = "reveal"
 ) -> np.ndarray:

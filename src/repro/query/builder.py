@@ -19,6 +19,7 @@ Example
 from __future__ import annotations
 
 from dataclasses import dataclass
+from types import ModuleType
 from typing import Dict, Optional, Sequence, Tuple
 
 from ..core.join import ObliviousJoinResult
@@ -48,7 +49,7 @@ BACKEND_POLICIES = ("yannakakis", "linear", "auto")
 class JoinAggregateQuery:
     """A free-connex join-aggregate query over party-owned relations."""
 
-    def __init__(self, output: Sequence[str]):
+    def __init__(self, output: Sequence[str]) -> None:
         self.output: Tuple[str, ...] = tuple(output)
         self.relations: Dict[str, AnnotatedRelation] = {}
         self.owners: Dict[str, str] = {}
@@ -138,7 +139,9 @@ class JoinAggregateQuery:
 
     # -- evaluation ---------------------------------------------------------
 
-    def run_plain(self, operators=None) -> AnnotatedRelation:
+    def run_plain(
+        self, operators: Optional[ModuleType] = None
+    ) -> AnnotatedRelation:
         """``operators`` selects the relational-operator module (the
         columnar default or :mod:`repro.relalg._reference`)."""
         return execute_plan(self.plan(), self.relations, operators)

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.selection import SelectionPolicy, apply_selection
 from ..mpc.context import ALICE
@@ -127,7 +127,7 @@ class ParsedQuery:
 
 
 class _Parser:
-    def __init__(self, tokens: List[Tuple[str, str]]):
+    def __init__(self, tokens: List[Tuple[str, str]]) -> None:
         self.tokens = tokens
         self.pos = 0
 
@@ -242,13 +242,13 @@ class _Parser:
         right = self.parse_operand()
         return Condition(left, op, right)
 
-    def parse_operand(self):
+    def parse_operand(self) -> Union[ColumnRef, int, str]:
         k, v = self.peek()
         if k == "name":
             return self.parse_column()
         return self.parse_literal()
 
-    def parse_literal(self):
+    def parse_literal(self) -> Union[int, str]:
         k, v = self.next()
         if k == "op" and v == "-":
             k, v = self.next()
@@ -339,7 +339,7 @@ _COMPARATORS: Dict[str, Callable] = {
 class _Resolver:
     """Maps column references to their owning tables."""
 
-    def __init__(self, tables: Dict[str, AnnotatedRelation]):
+    def __init__(self, tables: Dict[str, AnnotatedRelation]) -> None:
         self.tables = tables
         self.owner_of: Dict[str, List[str]] = {}
         for tname, rel in tables.items():
@@ -391,14 +391,14 @@ def compile_sql(
     # 1. union-find over equated columns -> canonical join names.
     parent: Dict[Tuple[str, str], Tuple[str, str]] = {}
 
-    def find(x):
+    def find(x: Tuple[str, str]) -> Tuple[str, str]:
         parent.setdefault(x, x)
         while parent[x] != x:
             parent[x] = parent[parent[x]]
             x = parent[x]
         return x
 
-    def union(a, b):
+    def union(a: Tuple[str, str], b: Tuple[str, str]) -> None:
         parent[find(a)] = find(b)
 
     join_conds: List[Tuple[Tuple[str, str], Tuple[str, str]]] = []
@@ -492,7 +492,9 @@ def compile_sql(
         conds = selections.get(t, [])
         if conds:
 
-            def predicate(row, conds=conds):
+            def predicate(
+                row: Any, conds: List[Condition] = conds
+            ) -> bool:
                 return all(
                     _COMPARATORS[c.op](row[c.left], c.right)
                     for c in conds

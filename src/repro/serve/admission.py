@@ -32,7 +32,16 @@ from __future__ import annotations
 import threading
 from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Deque,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Tuple,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..bench.estimator import CostEstimate
@@ -60,9 +69,18 @@ class TenantBudget:
     bytes_reserved: int = 0
     rounds_reserved: int = 0
     require_priced: bool = False
+    #: Static leakage budget: the set of leakage atoms this tenant's
+    #: plans may carry (``None`` = unpinned, any route admits;
+    #: ``frozenset()`` = fully-oblivious routes only).  Checked by
+    #: :meth:`AdmissionController.decide` against the plan's composed
+    #: :func:`~repro.exec.audit.audit_routes` summary — *before* any
+    #: protocol byte moves, so an over-leaky plan is rejected
+    #: statically, not caught mid-run.
+    allowed_leakage: Optional[FrozenSet[str]] = None
     admitted: int = 0
     queued: int = 0
     rejected: int = 0
+    leakage_rejected: int = 0
 
     @property
     def bytes_available(self) -> int:
@@ -83,6 +101,7 @@ class TenantBudget:
             "admitted": self.admitted,
             "queued": self.queued,
             "rejected": self.rejected,
+            "leakage_rejected": self.leakage_rejected,
         }
 
 
@@ -109,12 +128,18 @@ class AdmissionController:
         byte_capacity: int,
         round_capacity: int = 1 << 30,
         require_priced: bool = False,
+        allowed_leakage: Optional[FrozenSet[str]] = None,
     ) -> TenantBudget:
         budget = TenantBudget(
             tenant=tenant,
             byte_capacity=int(byte_capacity),
             round_capacity=int(round_capacity),
             require_priced=require_priced,
+            allowed_leakage=(
+                None
+                if allowed_leakage is None
+                else frozenset(allowed_leakage)
+            ),
         )
         with self.lock:
             self.budgets[tenant] = budget
@@ -127,15 +152,31 @@ class AdmissionController:
         tenant: str,
         cost: Optional["CostEstimate"],
         payload: Any = None,
+        leakage: Optional[FrozenSet[str]] = None,
     ) -> str:
         """ADMIT / QUEUE / REJECT ``payload`` for ``tenant`` at the
         estimated ``cost``.  On ADMIT the cost is reserved; on QUEUE
-        the request is parked for :meth:`drain`."""
+        the request is parked for :meth:`drain`.
+
+        ``leakage`` is the request's statically-audited plan leakage
+        summary (``None`` for opaque ``run=`` requests, which cannot
+        be audited).  A tenant pinned to an ``allowed_leakage`` budget
+        rejects any plan whose summary exceeds it — like the capacity
+        check, no amount of waiting makes an over-leaky route fit, so
+        this is REJECT, never QUEUE."""
         with self.lock:
             budget = self.budgets.get(tenant)
             if budget is None:
                 # Unmetered tenant: no budget, everything admits.
                 return ADMIT
+            if (
+                budget.allowed_leakage is not None
+                and leakage is not None
+                and leakage - budget.allowed_leakage
+            ):
+                budget.rejected += 1
+                budget.leakage_rejected += 1
+                return REJECT
             if cost is None:
                 if budget.require_priced:
                     budget.rejected += 1

@@ -28,7 +28,7 @@ unaffected (pinned by ``tests/test_serve_isolation.py``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, FrozenSet, List, Optional
 
 from .admission import ADMIT, REJECT, AdmissionController
 from .plancache import PlanCache
@@ -113,9 +113,20 @@ class QueryService:
         byte_capacity: int,
         round_capacity: int = 1 << 30,
         require_priced: bool = False,
+        allowed_leakage: Optional[FrozenSet[str]] = None,
     ) -> None:
+        """``allowed_leakage`` pins the tenant to a static leakage
+        budget: every plan-bearing request is audited at submit time
+        (:func:`~repro.exec.audit.audit_routes`) and rejected before
+        any protocol byte moves if its composed summary exceeds the
+        budget.  ``frozenset()`` admits only fully-oblivious routes;
+        ``None`` (default) leaves the tenant unpinned."""
         self.admission.register(
-            tenant, byte_capacity, round_capacity, require_priced
+            tenant,
+            byte_capacity,
+            round_capacity,
+            require_priced,
+            allowed_leakage=allowed_leakage,
         )
 
     def price(self, request: QueryRequest) -> Optional["CostEstimate"]:
@@ -133,12 +144,30 @@ class QueryService:
             group_bits=request.group_bits,
         )
 
+    def plan_leakage(self, request: QueryRequest) -> Optional[FrozenSet[str]]:
+        """The statically-audited leakage summary of the plan a secure
+        run of ``request`` would execute (``None`` for opaque ``run=``
+        requests, which carry no auditable plan)."""
+        if request.query is None:
+            return None
+        from ..exec.audit import audit_routes
+
+        query = request.query
+        return audit_routes(
+            query.plan(),
+            query.backend_assignments(),
+            dict(query.owners),
+        ).summary
+
     def submit(self, request: QueryRequest) -> str:
-        """Price, decide, and (on ADMIT) build the session.  Returns
-        the admission decision."""
+        """Price, audit, decide, and (on ADMIT) build the session.
+        Returns the admission decision."""
         cost = self.price(request)
         decision = self.admission.decide(
-            request.tenant, cost, payload=(request, cost)
+            request.tenant,
+            cost,
+            payload=(request, cost),
+            leakage=self.plan_leakage(request),
         )
         if decision == ADMIT:
             self._build_session(request, cost)

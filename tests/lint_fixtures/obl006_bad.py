@@ -1,0 +1,26 @@
+"""OBL006 fixtures that MUST be flagged (linted as if under repro/mpc)."""
+
+
+def open_secret_params(ctx, shares):  # oblint: secret-params=shares
+    return reveal_vector(ctx, shares, label="out")  # noqa: F821 - fixture
+
+
+def open_reconstructed(ctx, sv):
+    plain = sv.reconstruct()
+    return reveal(ctx, plain, label="out")  # noqa: F821 - fixture
+
+
+def match_keys(ctx, keys, other):
+    # dh_oprf_match leaks by construction: fires even on untainted args
+    return dh_oprf_match(ctx, keys, other, label="m")  # noqa: F821 - fixture
+
+
+def interproc_leak(ctx, sv):
+    # the secret is produced two frames away; the interprocedural
+    # closure must still see it arrive at the sink
+    shares = produce_shares(sv)
+    return reveal_vector(ctx, shares, label="out")  # noqa: F821 - fixture
+
+
+def produce_shares(sv):
+    return sv.reconstruct()

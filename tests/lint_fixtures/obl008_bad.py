@@ -1,0 +1,22 @@
+"""OBL008 fixtures that MUST be flagged (linted as if under repro/mpc)."""
+
+BACKENDS = ("yannakakis", "linear", "hybrid")
+
+BACKEND_CONTRACTS = {
+    "yannakakis": frozenset(),
+    "linear": frozenset({"join_pattern:parent"}),
+    "stale": frozenset({"opened:result"}),
+}
+
+
+@leaks("join_pattern:parent")  # noqa: F821 - fixture
+def linear_impl(ctx, child, parent):
+    return dh_oprf_match(ctx, parent, child, label="m")  # noqa: F821 - fixture
+
+
+def dispatch(ctx, child, parent, backend):
+    if backend == "yannakakis":
+        # calling the leaking implementation from the leak-free
+        # branch exceeds the registered contract
+        return linear_impl(ctx, child, parent)
+    return psi_join(ctx, child, parent)  # noqa: F821 - fixture

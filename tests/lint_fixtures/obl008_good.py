@@ -1,0 +1,26 @@
+"""OBL008 fixtures that must NOT be flagged (linted as if under repro/mpc)."""
+
+BACKENDS = ("yannakakis", "linear")
+
+BACKEND_CONTRACTS = {
+    "yannakakis": frozenset(),
+    "linear": frozenset({"join_pattern:parent"}),
+}
+
+
+@leaks("join_pattern:parent")  # noqa: F821 - fixture
+def linear_impl(ctx, child, parent):
+    return dh_oprf_match(ctx, parent, child, label="m")  # noqa: F821 - fixture
+
+
+def psi_join(ctx, child, parent):
+    return garbled_psi(ctx, child, parent)  # noqa: F821 - fixture
+
+
+def dispatch(ctx, child, parent, backend):
+    if backend == "linear":
+        return linear_impl(ctx, child, parent)
+    else:
+        # the else branch serves the remaining (leak-free) back-end;
+        # psi_join declares no contract, so it fits
+        return psi_join(ctx, child, parent)

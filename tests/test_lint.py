@@ -4,10 +4,14 @@ Three layers:
 
 * fixture tests — each rule's good/bad snippets under
   ``tests/lint_fixtures/`` flag (or stay silent) as documented;
-* framework tests — suppression accounting, baseline roundtrip, and
-  the full run over the real tree staying clean;
-* a mutation test — injecting a secret-dependent branch into a real
-  sharing gadget and asserting OBL001 catches it.
+* framework tests — suppression accounting, baseline roundtrip +
+  stale-entry lifecycle, SARIF output, git-diff scoping, and the full
+  run over the real tree staying clean;
+* leakage-contract tests — the registry↔docs pin and the plan-level
+  audit of TPC-H Q3 under each back-end route;
+* mutation tests — injecting a secret-dependent branch into a real
+  sharing gadget (OBL001) and stripping the ``@leaks`` contract off
+  the linear join entry point (OBL006); both must fire.
 """
 
 import json
@@ -18,13 +22,31 @@ from pathlib import Path
 
 import pytest
 
+from repro.leakage import BACKEND_CONTRACTS, leakage_table
 from repro.lint import all_rules, lint_sources, run_lint
-from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
+from repro.lint.baseline import (
+    apply_baseline,
+    load_baseline,
+    prune_baseline,
+    stale_entries,
+    write_baseline,
+)
 from repro.lint.project import parse_source
+from repro.lint.reporters import sarif_report
+from repro.lint.runner import git_changed_files
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
-RULES = ("OBL001", "OBL002", "OBL003", "OBL004", "OBL005")
+RULES = (
+    "OBL001",
+    "OBL002",
+    "OBL003",
+    "OBL004",
+    "OBL005",
+    "OBL006",
+    "OBL007",
+    "OBL008",
+)
 
 
 def lint_fixture(name, select, path_prefix="repro/mpc"):
@@ -198,6 +220,214 @@ def test_mutation_secret_branch_is_caught():
     ), "injected secret-dependent branch was not flagged"
 
 
+LINEAR_GADGET = REPO_ROOT / "src" / "repro" / "core" / "linear.py"
+_LEAKS_DECORATOR = '@leaks("join_pattern:parent")\n'
+
+
+def test_mutation_stripped_contract_is_caught():
+    """Deleting the ``@leaks`` contract off the linear-join entry point
+    must trip OBL006 at the ``dh_oprf_match`` call it dominates."""
+    pristine = LINEAR_GADGET.read_text(encoding="utf-8")
+    src = parse_source("repro/core/linear.py", pristine)
+    before, _ = lint_sources([src], select=["OBL006"])
+    assert before == [], "pristine linear join must be OBL006-clean"
+
+    assert pristine.count(_LEAKS_DECORATOR) == 1, "contract anchor moved"
+    mutant_text = pristine.replace(_LEAKS_DECORATOR, "")
+    mutant = parse_source("repro/core/linear.py", mutant_text)
+    after, _ = lint_sources([mutant], select=["OBL006"])
+    assert any(
+        v.rule == "OBL006" and "dh_oprf_match" in v.message for v in after
+    ), "stripped @leaks contract was not flagged"
+
+
+# ----------------------------------------------------------------------
+# leakage contracts: registry↔docs pin + plan-level audit
+# ----------------------------------------------------------------------
+
+
+def test_docs_leakage_table_matches_registry():
+    """docs/BACKENDS.md embeds the machine-generated contract table;
+    editing the registry without regenerating the docs must fail."""
+    text = (REPO_ROOT / "docs" / "BACKENDS.md").read_text(encoding="utf-8")
+    begin, end = "<!-- leakage-table:begin -->", "<!-- leakage-table:end -->"
+    assert begin in text and end in text
+    embedded = text.split(begin, 1)[1].split(end, 1)[0].strip()
+    assert embedded == leakage_table().strip()
+
+
+def _q3_plans():
+    from repro.exec import compile_plan
+    from repro.tpch.datagen import generate
+    from repro.tpch.queries import prepare_q3
+
+    q = prepare_q3(generate(1))._build()
+    plan, owners = q.plan(), dict(q.owners)
+    out = {}
+    for backend in ("yannakakis", "linear"):
+        routes = q.backend_assignments(backend)
+        exec_plan = compile_plan(
+            plan, owners, backends=routes, name=f"q3-{backend}"
+        )
+        out[backend] = (exec_plan, plan, routes, owners)
+    return out
+
+
+def test_q3_plan_audit_pins_backend_leakage():
+    """The acceptance pin: all-yannakakis Q3 composes to the empty
+    leakage summary; the all-linear route leaks exactly the
+    pseudonymised join pattern — nothing more."""
+    from repro.exec import audit_plan, audit_routes
+
+    plans = _q3_plans()
+
+    exec_plan, plan, routes, owners = plans["yannakakis"]
+    report = audit_plan(exec_plan)
+    assert report.summary == frozenset()
+    assert report.ok(frozenset())
+    assert audit_routes(plan, routes, owners).summary == frozenset()
+
+    exec_plan, plan, routes, owners = plans["linear"]
+    report = audit_plan(exec_plan)
+    assert report.summary == frozenset({"join_pattern:parent"})
+    assert not report.ok(frozenset())
+    assert report.ok(frozenset({"join_pattern:parent"}))
+    assert audit_routes(plan, routes, owners).summary == frozenset(
+        {"join_pattern:parent"}
+    )
+    # every violation names a concrete dispatched node
+    assert all("join_pattern:parent" in line
+               for line in report.violations(frozenset()))
+
+
+def test_plan_audit_unknown_backend_is_violation():
+    from repro.exec import audit_plan
+
+    exec_plan, _, _, _ = _q3_plans()["yannakakis"]
+    blob = json.loads(exec_plan.dumps())
+    for step in blob["steps"]:
+        if step["kind"] == "reduce_fold":
+            step["backend"] = "mystery"
+    from repro.exec import ExecPlan
+
+    mutant = ExecPlan.loads(json.dumps(blob))
+    report = audit_plan(mutant)
+    assert not report.ok(frozenset({"join_pattern:parent"}))
+    assert any("no BACKEND_CONTRACTS entry" in line
+               for line in report.violations(frozenset()))
+
+
+def test_backend_contracts_registry_shape():
+    """The registry the whole PR hangs off: closed key set, frozenset
+    values drawn from the atom vocabulary."""
+    from repro.leakage import ATOMS
+
+    assert set(BACKEND_CONTRACTS) == {"yannakakis", "linear"}
+    for atoms in BACKEND_CONTRACTS.values():
+        assert isinstance(atoms, frozenset)
+        assert atoms <= set(ATOMS)
+
+
+# ----------------------------------------------------------------------
+# baseline lifecycle: stale detection + pruning
+# ----------------------------------------------------------------------
+
+
+def test_stale_baseline_entries_detected_and_pruned(tmp_path):
+    text = "import random\nimport secrets\n"
+    src = parse_source("repro/mpc/base.py", text)
+    violations, _ = lint_sources([src], select=["OBL003"])
+    path = tmp_path / "baseline.json"
+    write_baseline(path, violations)
+
+    # both findings live: nothing stale, prune is a no-op
+    assert stale_entries(path, violations) == []
+    assert prune_baseline(path, violations) == (2, 0)
+
+    # fix one finding: its entry goes stale and pruning drops it
+    fixed = parse_source("repro/mpc/base.py", "import random\n")
+    remaining, _ = lint_sources([fixed], select=["OBL003"])
+    stale = stale_entries(path, remaining)
+    assert [e["stale"] for e in stale] == [1]
+    kept, dropped = prune_baseline(path, remaining)
+    assert (kept, dropped) == (1, 1)
+    assert stale_entries(path, remaining) == []
+    # the surviving entry still absorbs the live finding
+    fresh, matched = apply_baseline(remaining, load_baseline(path))
+    assert fresh == [] and matched == 1
+
+
+def test_run_lint_check_baseline_fails_on_stale_entry(tmp_path):
+    src_dir = tmp_path / "repro" / "mpc"
+    src_dir.mkdir(parents=True)
+    (src_dir / "base.py").write_text("import random\nimport secrets\n")
+    baseline = tmp_path / "baseline.json"
+
+    result = run_lint([str(tmp_path)], root=tmp_path, select=["OBL003"])
+    write_baseline(baseline, result.violations)
+
+    (src_dir / "base.py").write_text("import random\n")
+    stale_run = run_lint(
+        [str(tmp_path)],
+        baseline_path=baseline,
+        root=tmp_path,
+        select=["OBL003"],
+        check_baseline=True,
+    )
+    assert not stale_run.ok
+    assert [v.rule for v in stale_run.violations] == ["OBL000"]
+    assert "stale baseline entry" in stale_run.violations[0].message
+
+
+# ----------------------------------------------------------------------
+# reporters: SARIF
+# ----------------------------------------------------------------------
+
+
+def test_sarif_report_shape():
+    src = parse_source("repro/mpc/base.py", "import random\n")
+    violations, _ = lint_sources([src], select=["OBL003"])
+    from repro.lint.violations import LintResult
+
+    result = LintResult(violations=violations, files_checked=1)
+    blob = json.loads(sarif_report(result, all_rules()))
+    assert blob["version"] == "2.1.0"
+    run = blob["runs"][0]
+    assert run["tool"]["driver"]["name"] == "oblint"
+    rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    assert set(RULES) <= rule_ids
+    (res,) = run["results"]
+    assert res["ruleId"] == "OBL003"
+    assert res["level"] == "error"
+    loc = res["locations"][0]["physicalLocation"]
+    assert loc["artifactLocation"]["uri"] == "repro/mpc/base.py"
+    assert loc["region"]["startLine"] == 1
+    fp = res["partialFingerprints"]["oblint/v1"]
+    assert fp == violations[0].fingerprint()
+
+
+# ----------------------------------------------------------------------
+# git-diff scoping (--changed)
+# ----------------------------------------------------------------------
+
+
+def test_git_changed_files_merges_diff_and_untracked(tmp_path):
+    (tmp_path / "a.py").write_text("x = 1\n")
+    (tmp_path / "b.py").write_text("y = 2\n")
+    (tmp_path / "c.txt").write_text("not python\n")
+    outputs = {
+        "diff": "a.py\nc.txt\ngone.py\n",
+        "ls-files": "b.py\na.py\n",
+    }
+
+    def runner(argv):
+        return outputs["diff" if "diff" in argv else "ls-files"]
+
+    changed = git_changed_files(root=tmp_path, runner=runner)
+    # .txt filtered, duplicate a.py collapsed, deleted gone.py skipped
+    assert [p.name for p in changed] == ["a.py", "b.py"]
+
+
 # ----------------------------------------------------------------------
 # CLI + typing gate
 # ----------------------------------------------------------------------
@@ -219,6 +449,23 @@ def test_cli_list_rules():
     assert proc.returncode == 0
     for rule in RULES:
         assert rule in proc.stdout
+
+
+def test_cli_plan_audit_roundtrip(tmp_path):
+    """`repro lint --plan` on a serialised ExecPlan: the linear route
+    fails a zero budget and passes once the atom is allowed."""
+    exec_plan, _, _, _ = _q3_plans()["linear"]
+    plan_file = tmp_path / "q3-linear.json"
+    plan_file.write_text(exec_plan.dumps())
+
+    denied = _run_cli("--plan", str(plan_file))
+    assert denied.returncode == 1
+    assert "join_pattern:parent" in denied.stdout
+
+    allowed = _run_cli(
+        "--plan", str(plan_file), "--allow", "join_pattern:parent"
+    )
+    assert allowed.returncode == 0, allowed.stdout + allowed.stderr
 
 
 def test_cli_json_report_on_clean_tree():

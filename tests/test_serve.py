@@ -426,3 +426,78 @@ class TestService:
         ]
         assert metas == [("t1", "qa"), ("t2", "qb")]
         assert all(len(s.trace.nodes) > 0 for s in svc.sessions)
+
+
+class TestLeakageAdmission:
+    """Tenant-pinned leakage budgets: the plan-level audit runs at
+    submit time, before any protocol byte moves."""
+
+    def _cross_owner_query(self, backend):
+        q = tiny_query()
+        q.set_backend(backend)
+        return q
+
+    def test_pinned_tenant_rejects_leaky_route(self):
+        svc = QueryService()
+        svc.register_tenant(
+            "sealed", byte_capacity=1 << 30, allowed_leakage=frozenset()
+        )
+        linear = self._cross_owner_query("linear")
+        assert svc.plan_leakage(
+            QueryRequest(tenant="sealed", name="q", query=linear)
+        ) == frozenset({"join_pattern:parent"})
+        assert (
+            svc.submit(
+                QueryRequest(tenant="sealed", name="q", query=linear)
+            )
+            == REJECT
+        )
+        snap = svc.admission.snapshot()["sealed"]
+        assert snap["leakage_rejected"] == 1
+        assert svc.sessions == []
+
+    def test_pinned_tenant_admits_oblivious_route(self):
+        svc = QueryService()
+        svc.register_tenant(
+            "sealed", byte_capacity=1 << 30, allowed_leakage=frozenset()
+        )
+        decision = svc.submit(
+            QueryRequest(
+                tenant="sealed",
+                name="q",
+                query=self._cross_owner_query("yannakakis"),
+                seed=3,
+            )
+        )
+        assert decision == ADMIT
+        report = svc.run()
+        assert report.counts == {"done": 1}
+
+    def test_budgeted_tenant_admits_declared_leakage(self):
+        svc = QueryService()
+        svc.register_tenant(
+            "audited",
+            byte_capacity=1 << 30,
+            allowed_leakage=frozenset({"join_pattern:parent"}),
+        )
+        decision = svc.submit(
+            QueryRequest(
+                tenant="audited",
+                name="q",
+                query=self._cross_owner_query("linear"),
+                seed=3,
+            )
+        )
+        assert decision == ADMIT
+
+    def test_unpinned_tenant_unaffected(self):
+        svc = QueryService()
+        svc.register_tenant("loose", byte_capacity=1 << 30)
+        decision = svc.submit(
+            QueryRequest(
+                tenant="loose",
+                name="q",
+                query=self._cross_owner_query("linear"),
+            )
+        )
+        assert decision == ADMIT
