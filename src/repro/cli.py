@@ -8,6 +8,10 @@
     python -m repro estimate Q3 --scale 10
     python -m repro fuzz --seed 0 --iterations 50 [--backend both]
     python -m repro chaos --query q3 --scale tiny --sweep all
+    python -m repro chaos --level process --query q3 --stride 8
+    python -m repro net --role alice --listen 127.0.0.1:9501 --query Q3
+    python -m repro net --role bob --connect 127.0.0.1:9501 --query Q3
+    python -m repro net --role bob --connect ... --resume --journal bob.syj
     python -m repro serve --queries Q3 Q10 --tenants 2 --check-solo
     python -m repro serve --isolation-sweep --stride 1
     python -m repro lint src/
@@ -22,7 +26,11 @@ differential query fuzzer and obliviousness transcript audit (see
 docs/TESTING.md); ``chaos`` sweeps a deterministic fault point across
 every wire message and plan node of a query execution and requires
 every run to end completed-correct or clean-abort (see
-docs/ROBUSTNESS.md); ``lint`` runs the obliviousness &
+docs/ROBUSTNESS.md) — ``--level process`` runs the sweep over real OS
+processes and TCP sockets, SIGKILLing and resuming parties; ``net``
+runs one party of a two-process query over a real socket, with
+disk-durable checkpoints and ``--resume`` crash recovery; ``lint``
+runs the obliviousness &
 channel-discipline static analyzer (see docs/LINTING.md); ``serve``
 drives a scripted multi-tenant workload through the query service —
 interleaved sessions, shared plan cache, per-tenant budgets — and can
@@ -244,6 +252,139 @@ def _cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_net(args) -> int:
+    import json
+
+    from .runtime import (
+        NetConfig,
+        ProcessFaults,
+        ReconnectPolicy,
+        ProtocolAbort,
+        parse_endpoint,
+        run_party,
+    )
+
+    faults = None
+    if any(
+        v is not None
+        for v in (
+            args.kill_at_node, args.kill_at_wire, args.drop_at_wire,
+            args.stall_at_wire, args.partition_at_wire,
+        )
+    ):
+        faults = ProcessFaults(
+            kill_at_node=args.kill_at_node,
+            kill_at_wire=args.kill_at_wire,
+            drop_at_wire=args.drop_at_wire,
+            stall_at_wire=args.stall_at_wire,
+            stall_ms=args.stall_ms,
+            partition_at_wire=args.partition_at_wire,
+            partition_ms=args.partition_ms,
+        )
+
+    config = NetConfig(
+        role=args.role,
+        query=args.query,
+        scale_mb=0.1 if args.scale == "tiny" else float(args.scale),
+        seed=args.seed,
+        backend=args.backend,
+        policy=args.policy,
+        listen=parse_endpoint(args.listen) if args.listen else None,
+        connect=parse_endpoint(args.connect) if args.connect else None,
+        journal=args.journal,
+        resume=args.resume,
+        reconnect=ReconnectPolicy(
+            max_attempts=args.reconnect_attempts,
+        ),
+        heartbeat_s=args.heartbeat,
+        idle_timeout_s=args.idle_timeout,
+        exchange_deadline_s=args.exchange_deadline,
+        faults=faults,
+    )
+
+    def emit(payload) -> None:
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(json.dumps(payload, indent=2) + "\n")
+
+    try:
+        outcome = run_party(config)
+    except ProtocolAbort as abort:
+        # Sanitized failure: the typed abort is the whole public story.
+        emit(
+            {
+                "status": "abort",
+                "role": config.role,
+                "query": config.query,
+                "abort": abort.to_json(),
+            }
+        )
+        print(f"net {config.role} {config.query}: ABORT {abort}")
+        return 2
+    emit(outcome)
+    profile = outcome["profile"]
+    print(
+        f"net {config.role} {config.query}: done, "
+        f"{profile['n_messages']} msgs"
+        + (
+            f", resumed from node {outcome['resumed_from']}"
+            if outcome.get("resumed_from") is not None
+            else ""
+        )
+    )
+    return 0
+
+
+def _cmd_chaos_process(args) -> int:
+    import json
+    import tempfile
+
+    from .runtime import (
+        PROCESS_FAULT_KINDS,
+        NetConfig,
+        sweep_processes,
+    )
+
+    scale = 0.1 if args.scale == "tiny" else float(args.scale)
+    kinds = (
+        tuple(k for k in args.kinds if k in PROCESS_FAULT_KINDS)
+        if args.kinds
+        else PROCESS_FAULT_KINDS
+    )
+    config = NetConfig(
+        role="alice",  # per-scenario roles are set by the harness
+        query=args.query,
+        scale_mb=scale,
+        seed=args.seed,
+        backend=args.backend,
+        policy=args.policy if args.policy != "both" else "program",
+    )
+
+    def progress(i, n, outcome):
+        if args.verbose or outcome.classification == "VIOLATION":
+            print(f"  [{i}/{n}] {outcome}")
+
+    stride = 1 if args.sweep == "all" else args.stride
+    with tempfile.TemporaryDirectory(prefix="repro-netchaos-") as wd:
+        report = sweep_processes(
+            config, kinds=kinds, stride=stride, workdir=wd,
+            timeout_s=args.timeout, on_progress=progress,
+        )
+    report.meta.update(
+        query=args.query, scale_mb=scale, backend=args.backend,
+        level="process", stride=stride, kinds=list(kinds),
+    )
+    print(
+        f"chaos {args.query} scale={scale} [process level, "
+        f"backend={args.backend}]: {report.summary()}"
+    )
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(json.dumps(report.to_json(), indent=2) + "\n")
+        print(f"report -> {args.output}")
+    return 0 if report.ok else 1
+
+
 def _cmd_chaos(args) -> int:
     import json
 
@@ -256,11 +397,15 @@ def _cmd_chaos(args) -> int:
         sweep,
     )
 
+    if args.level == "process":
+        return _cmd_chaos_process(args)
+
     scale = 0.1 if args.scale == "tiny" else float(args.scale)
+    message_kinds = MESSAGE_FAULT_KINDS + ("crash",)
     kinds = (
-        tuple(args.kinds)
+        tuple(k for k in args.kinds if k in message_kinds)
         if args.kinds
-        else MESSAGE_FAULT_KINDS + ("crash",)
+        else message_kinds
     )
     stride = 1 if args.sweep == "all" else args.stride
     policies = (
@@ -273,20 +418,24 @@ def _cmd_chaos(args) -> int:
             print(f"  [{i}/{n}] {outcome}")
 
     ok = True
-    payload = {"query": args.query, "scale_mb": scale, "policies": {}}
+    payload = {
+        "query": args.query, "scale_mb": scale,
+        "backend": args.backend, "policies": {},
+    }
     for policy in policies:
         run = make_tpch_runner(
-            args.query, scale_mb=scale, policy=policy, seed=args.seed
+            args.query, scale_mb=scale, policy=policy, seed=args.seed,
+            backend=args.backend,
         )
         report = sweep(run, kinds=kinds, stride=stride,
                        on_progress=progress)
         report.meta.update(
             query=args.query, scale_mb=scale, policy=policy,
-            mode="simulated", stride=stride,
+            mode="simulated", stride=stride, backend=args.backend,
         )
         print(
             f"chaos {args.query} scale={scale} policy={policy} "
-            f"[simulated]: {report.summary()}"
+            f"backend={args.backend} [simulated]: {report.summary()}"
         )
         payload["policies"][policy] = report.to_json()
         ok = ok and report.ok
@@ -297,7 +446,7 @@ def _cmd_chaos(args) -> int:
         # fault points (REAL runs cost ~20s each at tiny scale).
         run = make_tpch_runner(
             args.query, scale_mb=scale, real=True,
-            policy=policies[0], seed=args.seed,
+            policy=policies[0], seed=args.seed, backend=args.backend,
         )
         baseline = run(FaultPlan())
         specs = build_specs(baseline, kinds=kinds)
@@ -608,8 +757,25 @@ def main(argv=None) -> int:
         choices=[
             "corrupt", "truncate", "drop", "duplicate", "reorder",
             "hang", "crash",
+            "kill-node", "kill-wire", "stall", "partition",
         ],
-        help="fault kinds to sweep (default: all)",
+        help="fault kinds to sweep (default: all for the selected "
+        "level; kill-node/kill-wire/stall/partition are process-level)",
+    )
+    p.add_argument(
+        "--level", choices=["message", "process"], default="message",
+        help='"message" perturbs frames inside one process (PR-5); '
+        '"process" runs both parties as real OS processes over TCP '
+        "and kills/drops/partitions them (see docs/ROBUSTNESS.md)",
+    )
+    p.add_argument(
+        "--backend", choices=["yannakakis", "linear", "auto"],
+        default="yannakakis",
+        help="join back-end the swept runs execute under",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=120.0,
+        help="per-scenario wall-clock budget for --level process",
     )
     p.add_argument(
         "--real-sample", type=int, default=0, metavar="N",
@@ -626,6 +792,91 @@ def main(argv=None) -> int:
         help="write the JSON report here",
     )
     p.set_defaults(fn=_cmd_chaos)
+
+    p = sub.add_parser(
+        "net",
+        help="run one party of a two-process query over a real socket",
+    )
+    p.add_argument(
+        "--role", required=True, choices=["alice", "bob"],
+        help="which party this process plays",
+    )
+    p.add_argument(
+        "--listen", default=None, metavar="HOST:PORT",
+        help="accept the peer's connection here (conventionally alice)",
+    )
+    p.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="dial the peer there (conventionally bob)",
+    )
+    p.add_argument(
+        "--query", type=lambda s: s.upper(), default="Q3",
+        choices=["Q3", "Q10", "Q18"],
+        help="single-plan TPC-H query to run (case-insensitive)",
+    )
+    p.add_argument(
+        "--scale", default="tiny",
+        help='dataset scale in MB, or "tiny" (= 0.1)',
+    )
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument(
+        "--backend", choices=["yannakakis", "linear", "auto"],
+        default="yannakakis", help="join back-end",
+    )
+    p.add_argument(
+        "--policy", choices=["program", "stages"], default="program",
+        help="scheduler dispatch policy",
+    )
+    p.add_argument(
+        "--journal", default=None, metavar="FILE",
+        help="disk journal for durable checkpoints (enables --resume "
+        "after a crash)",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="resume from the newest committed checkpoint in --journal "
+        "instead of starting fresh",
+    )
+    p.add_argument(
+        "-o", "--out", default=None, metavar="FILE",
+        help="write the outcome payload (profile, transport stats, "
+        "abort) as JSON here",
+    )
+    p.add_argument(
+        "--heartbeat", type=float, default=0.25, metavar="S",
+        help="heartbeat interval in seconds",
+    )
+    p.add_argument(
+        "--idle-timeout", type=float, default=10.0, metavar="S",
+        help="silent-connection window before a reconnect is attempted",
+    )
+    p.add_argument(
+        "--exchange-deadline", type=float, default=120.0, metavar="S",
+        help="hard wall-clock bound on one frame exchange",
+    )
+    p.add_argument(
+        "--reconnect-attempts", type=int, default=10,
+        help="reconnect attempts per episode before a terminal "
+        "connection-lost abort",
+    )
+    g = p.add_argument_group(
+        "fault injection (chaos-harness self-test hooks)"
+    )
+    g.add_argument("--kill-at-node", type=int, default=None,
+                   metavar="NODE", help="SIGKILL self at this plan node")
+    g.add_argument("--kill-at-wire", type=int, default=None,
+                   metavar="N", help="SIGKILL self at wire exchange N")
+    g.add_argument("--drop-at-wire", type=int, default=None,
+                   metavar="N", help="force-close the TCP connection "
+                   "once, at wire exchange N")
+    g.add_argument("--stall-at-wire", type=int, default=None,
+                   metavar="N", help="freeze at wire exchange N")
+    g.add_argument("--stall-ms", type=int, default=400)
+    g.add_argument("--partition-at-wire", type=int, default=None,
+                   metavar="N", help="drop the connection AND freeze "
+                   "at wire exchange N")
+    g.add_argument("--partition-ms", type=int, default=400)
+    p.set_defaults(fn=_cmd_net)
 
     p = sub.add_parser(
         "serve",

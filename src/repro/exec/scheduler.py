@@ -119,6 +119,9 @@ class Scheduler:
         self,
         plan: ExecPlan,
         relations: Dict[str, SecureRelation],
+        *,
+        env: Optional[Dict[str, Any]] = None,
+        start_at: Optional[int] = None,
     ) -> Dict[str, Any]:
         """Execute the DAG; returns the final slot environment.  The
         caller reads ``plan.result_slot`` out of it.
@@ -129,7 +132,13 @@ class Scheduler:
         checkpointed, deadline-supervised, and retried on retryable
         :class:`~repro.runtime.aborts.ProtocolAbort` faults.  Protocol
         code never catches broader exception types here — operator bugs
-        must propagate untouched."""
+        must propagate untouched.
+
+        ``env``/``start_at`` make runs restartable over a durable
+        checkpoint (``repro net --resume``): pass the revived slot
+        environment and the checkpointed step id, and execution skips
+        every step before ``start_at`` in this policy's execution
+        order, resuming at the checkpointed node itself."""
         ctx = self.engine.ctx
         supervisor = self._make_supervisor()
         # Cooperative re-entrancy: a serving layer may interleave many
@@ -138,8 +147,13 @@ class Scheduler:
         # yield per step, not per attempt) and before any of the step's
         # messages, so it cannot perturb the transcript.
         yield_hook = getattr(self.engine, "yield_hook", None)
-        env: Dict[str, Any] = {}
+        env = {} if env is None else env
+        waiting_for = start_at
         for step in self.execution_order(plan):
+            if waiting_for is not None:
+                if step.id != waiting_for:
+                    continue
+                waiting_for = None
             if yield_hook is not None:
                 yield_hook(step)
 
@@ -164,6 +178,11 @@ class Scheduler:
                 supervisor.run_step(step, env, thunk)
             else:
                 thunk()
+        if waiting_for is not None:
+            raise ValueError(
+                f"resume step {waiting_for} is not in the plan's "
+                f"execution order under policy {self.policy!r}"
+            )
         if self.trace is not None:
             self.trace.meta["policy"] = self.policy
             self.trace.meta["plan"] = plan.name

@@ -12,7 +12,14 @@ from __future__ import annotations
 
 import enum
 from contextlib import contextmanager
-from typing import TYPE_CHECKING, ContextManager, Iterator, Optional
+from typing import (
+    TYPE_CHECKING,
+    ContextManager,
+    Iterator,
+    Optional,
+    Protocol,
+    runtime_checkable,
+)
 
 import numpy as np
 
@@ -23,7 +30,23 @@ from .transcript import ALICE, BOB, Transcript, other_party
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..runtime.session import Session
 
-__all__ = ["Mode", "Context", "ALICE", "BOB"]
+__all__ = ["Mode", "Context", "Channel", "ALICE", "BOB"]
+
+
+@runtime_checkable
+class Channel(Protocol):
+    """What :meth:`Context.send` needs from a communication layer.
+
+    The bare :class:`~repro.mpc.transcript.Transcript` satisfies it
+    (record-only), as does the runtime
+    :class:`~repro.runtime.session.Session` (framed, checksummed,
+    deadline-supervised — and, in two-process mode, exchanged over a
+    real socket transport).  Channels meter message *metadata*; no
+    payload ever crosses this interface."""
+
+    def send(self, sender: str, n_bytes: int, label: str = "") -> None:
+        """Record/deliver one logical message of ``n_bytes``."""
+        ...  # pragma: no cover - protocol stub
 
 
 class Mode(enum.Enum):
@@ -55,11 +78,36 @@ class Context:
         self.rng = np.random.default_rng(seed)
         self.cache = RunCache()
         self._roles_swapped = False
-        #: Optional fault-tolerant session layer
-        #: (:func:`repro.runtime.session.enable_session` attaches one);
-        #: when set, every :meth:`send` is framed, checksummed and
-        #: deadline-supervised before it is metered.
-        self.session: Optional["Session"] = None
+        self._session: Optional["Session"] = None
+        self._channel: Channel = self.transcript
+
+    @property
+    def channel(self) -> Channel:
+        """The pluggable communication layer every :meth:`send` routes
+        through.  Defaults to the bare transcript; attaching a session
+        (see :attr:`session`) swaps it; custom channels (test doubles,
+        alternative transports) may be assigned directly as long as
+        they ultimately meter into :attr:`transcript`."""
+        return self._channel
+
+    @channel.setter
+    def channel(self, channel: Channel) -> None:
+        self._channel = channel
+
+    @property
+    def session(self) -> Optional["Session"]:
+        """Optional fault-tolerant session layer
+        (:func:`repro.runtime.session.enable_session` attaches one);
+        when set, every :meth:`send` is framed, checksummed and
+        deadline-supervised before it is metered.  Assigning a session
+        also makes it the active :attr:`channel` (``None`` restores
+        the bare transcript)."""
+        return self._session
+
+    @session.setter
+    def session(self, session: Optional["Session"]) -> None:
+        self._session = session
+        self._channel = session if session is not None else self.transcript
 
     # -- convenience ----------------------------------------------------
 
@@ -83,10 +131,7 @@ class Context:
     def send(self, sender: str, n_bytes: int, label: str = "") -> None:
         if self._roles_swapped:
             sender = other_party(sender)
-        if self.session is not None:
-            self.session.send(sender, n_bytes, label)
-        else:
-            self.transcript.send(sender, n_bytes, label)
+        self._channel.send(sender, n_bytes, label)
 
     def section(self, label: str) -> ContextManager[None]:
         return self.transcript.section(label)

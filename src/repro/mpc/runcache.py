@@ -62,6 +62,18 @@ class SetupStore:
         self.topologies: Dict[int, Tuple[waksman.TopologyLayer, ...]] = {}
         self.garble_plans: Dict[int, "GarblePlan"] = {}
 
+    # The cached material is a pure function of public shapes, so a
+    # store survives serialisation (durable checkpoints pickle the
+    # whole context graph); only the lock is process-local.
+    def __getstate__(self) -> Dict[str, object]:
+        state = self.__dict__.copy()
+        del state["lock"]
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self.lock = threading.RLock()
+
     def sizes(self) -> Dict[str, int]:
         return {
             "circuit_templates": len(self.circuits),

@@ -3,8 +3,8 @@
 Compiles the fragment the paper's queries live in::
 
     SELECT g1, g2, SUM(expr)
-    FROM   t1, t2, ...
-    WHERE  t1.a = t2.b AND t2.c < 10 AND t1.d IN ('x', 'y')
+    FROM   t1, t2 AS u, ...
+    WHERE  t1.a = u.b AND u.c < 10 AND t1.d IN ('x', 'y')
     GROUP BY g1, g2
 
 into a :class:`~repro.query.JoinAggregateQuery`:
@@ -21,7 +21,11 @@ into a :class:`~repro.query.JoinAggregateQuery`:
 
 The grammar is deliberately small and explicit: identifiers, qualified
 names, integer/string literals, ``+ - *`` with parentheses in the
-aggregate, ``= != < <= > >=``, ``IN``, ``AND``.
+aggregate, ``= != < <= > >=``, ``IN``, ``AND``.  FROM items take an
+optional alias (``t AS a`` or ``t a``); aliases are the effective
+relation names everywhere downstream — in qualified columns, in the
+compiled query's relation set, and in ``owners`` — which is what makes
+self-joins expressible (``FROM orders o1, orders o2``).
 """
 
 from __future__ import annotations
@@ -122,8 +126,14 @@ Expr = Tuple
 class ParsedQuery:
     group_by: List[ColumnRef]
     aggregate: Optional[Expr]  # None for COUNT(*)
-    tables: List[str]
+    tables: List[str]  #: effective names (the alias when one is given)
     conditions: List[Condition]
+    #: effective name -> base table it reads (identity when unaliased)
+    sources: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for t in self.tables:
+            self.sources.setdefault(t, t)
 
 
 class _Parser:
@@ -184,18 +194,25 @@ class _Parser:
             )
 
         self.expect("kw", "from")
-        tables = [self.expect("name")]
-        while self.accept("op", ","):
-            tables.append(self.expect("name"))
-        seen = set()
-        for t in tables:
-            if t in seen:
+        tables: List[str] = []
+        sources: Dict[str, str] = {}
+        while True:
+            base = self.expect("name")
+            alias = base
+            if self.accept("kw", "as"):
+                alias = self.expect("name")
+            elif self.peek()[0] == "name":
+                alias = self.next()[1]
+            if alias in sources:
                 raise SqlError(
-                    f"table {t!r} appears more than once in FROM; "
-                    "self-joins need aliases, which this fragment "
-                    "does not support"
+                    f"name {alias!r} appears more than once in FROM; "
+                    "self-joins need distinct aliases "
+                    "(FROM t a, t b)"
                 )
-            seen.add(t)
+            sources[alias] = base
+            tables.append(alias)
+            if not self.accept("op", ","):
+                break
 
         conditions: List[Condition] = []
         if self.accept("kw", "where"):
@@ -217,7 +234,9 @@ class _Parser:
                 "non-aggregate select columns must equal the GROUP BY "
                 f"columns ({group_by_select} vs {group_by})"
             )
-        return ParsedQuery(group_by, aggregate, tables, conditions)
+        return ParsedQuery(
+            group_by, aggregate, tables, conditions, sources
+        )
 
     def parse_column(self) -> ColumnRef:
         first = self.expect("name")
@@ -375,16 +394,26 @@ def compile_sql(
 ) -> JoinAggregateQuery:
     """Compile a SQL string over the given base tables.
 
-    ``owners`` maps table name -> party (default: everything Alice's).
+    ``owners`` maps effective table name -> party (default: everything
+    Alice's); for an aliased FROM item the key is the alias.
     Literal selections are applied per ``selection_policy`` before the
     protocol; ``selection_bounds`` supplies per-table bounds for the
     BOUNDED policy.
     """
     parsed = parse_sql(sql)
-    missing = [t for t in parsed.tables if t not in tables]
+    missing = sorted(
+        {
+            parsed.sources[t]
+            for t in parsed.tables
+            if parsed.sources[t] not in tables
+        }
+    )
     if missing:
         raise SqlError(f"tables not provided: {missing}")
-    scope = {t: tables[t] for t in parsed.tables}
+    # Aliased FROM items instantiate their base table under the alias:
+    # the compiled query joins the *effective* relations, so a
+    # self-join is just two instances of one base table.
+    scope = {t: tables[parsed.sources[t]] for t in parsed.tables}
     resolver = _Resolver(scope)
     owners = owners or {}
 

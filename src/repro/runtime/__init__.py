@@ -2,8 +2,11 @@
 
 Framed, sequence-numbered, checksummed messaging over the metered
 channel; deterministic fault injection; typed protocol aborts;
-node-granular checkpoint/retry; and the chaos-sweep harness.  See
-``docs/ROBUSTNESS.md``.
+node-granular checkpoint/retry; the chaos-sweep harness; and the
+two-process execution stack — real TCP transport with reconnect
+(:mod:`.transport`), disk-durable crash recovery (:mod:`.durable`),
+the ``repro net`` party runner (:mod:`.netrun`) and the process-level
+chaos sweep (:mod:`.netchaos`).  See ``docs/ROBUSTNESS.md``.
 """
 
 from .aborts import (
@@ -13,6 +16,7 @@ from .aborts import (
     ProtocolAbort,
     SequenceAbort,
     TimeoutAbort,
+    TransportAbort,
 )
 from .chaos import (
     CLASSIFICATIONS,
@@ -26,6 +30,7 @@ from .chaos import (
     sweep,
 )
 from .clock import VirtualClock
+from .durable import DurableStore, Journal, JournalState, revive
 from .faults import (
     FAULT_KINDS,
     MESSAGE_FAULT_KINDS,
@@ -40,7 +45,30 @@ from .session import (
     SessionState,
     enable_session,
 )
+from .netchaos import (
+    PROCESS_FAULT_KINDS,
+    ProcessChaosReport,
+    ProcessFaultSpec,
+    ProcessOutcome,
+    build_process_specs,
+    run_scenario,
+    sweep_processes,
+)
+from .netrun import (
+    NET_QUERIES,
+    NetConfig,
+    fingerprint_sha256,
+    parse_endpoint,
+    run_party,
+    solo_profile,
+)
 from .supervisor import RetryPolicy, Supervisor
+from .transport import (
+    ProcessFaults,
+    ReconnectPolicy,
+    SocketTransport,
+    free_port,
+)
 
 __all__ = [
     "REASONS",
@@ -49,6 +77,7 @@ __all__ = [
     "SequenceAbort",
     "TimeoutAbort",
     "PeerCrash",
+    "TransportAbort",
     "VirtualClock",
     "FAULT_KINDS",
     "MESSAGE_FAULT_KINDS",
@@ -73,4 +102,25 @@ __all__ = [
     "classify_fault",
     "sweep",
     "make_tpch_runner",
+    "Journal",
+    "JournalState",
+    "DurableStore",
+    "revive",
+    "SocketTransport",
+    "ReconnectPolicy",
+    "ProcessFaults",
+    "free_port",
+    "NET_QUERIES",
+    "NetConfig",
+    "solo_profile",
+    "run_party",
+    "parse_endpoint",
+    "fingerprint_sha256",
+    "PROCESS_FAULT_KINDS",
+    "ProcessFaultSpec",
+    "ProcessOutcome",
+    "ProcessChaosReport",
+    "build_process_specs",
+    "run_scenario",
+    "sweep_processes",
 ]

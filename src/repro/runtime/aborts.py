@@ -24,6 +24,7 @@ __all__ = [
     "SequenceAbort",
     "TimeoutAbort",
     "PeerCrash",
+    "TransportAbort",
 ]
 
 #: The closed vocabulary of abort reasons.  ``reason`` must be one of
@@ -36,6 +37,10 @@ REASONS = (
     "deadline-expired",
     "peer-crashed",
     "retries-exhausted",
+    "connection-lost",
+    "handshake-failed",
+    "peer-divergence",
+    "outbox-overflow",
 )
 
 
@@ -144,5 +149,22 @@ class TimeoutAbort(ProtocolAbort):
 
 class PeerCrash(ProtocolAbort):
     """The remote party crashed; no retry can help."""
+
+    retryable = False
+
+
+class TransportAbort(ProtocolAbort):
+    """A real (socket) transport failed terminally: the reconnect
+    budget is exhausted (``connection-lost``), the peer identified as
+    a different session or role (``handshake-failed``), the peer's
+    frame stream disagreed with the locally mirrored one
+    (``peer-divergence``), or the unacknowledged-frame outbox
+    overflowed its bound (``outbox-overflow``).
+
+    Terminal by design: an in-node retry would re-run the node on one
+    OS process while the peer's mirror stays put, desynchronising the
+    two frame streams.  Recovery from transport loss is process
+    restart + ``repro net --resume`` over the durable journal, not a
+    supervisor retry."""
 
     retryable = False

@@ -276,11 +276,14 @@ def make_tpch_runner(
     seed: int = 7,
     group_bits: int = 1536,
     node_budget: int = DEFAULT_NODE_BUDGET,
+    backend: Optional[str] = None,
 ) -> Runner:
     """A :data:`Runner` over one prepared TPC-H query.  The dataset and
     query are built once; every call gets a fresh context, engine and
     session (the prepared query rebuilds its relations per run, so runs
-    are independent)."""
+    are independent).  ``backend`` selects the join back-end
+    (``yannakakis``/``linear``/``auto``) so the chaos sweep can cover
+    the DH-OPRF protocol's wire pattern too."""
     from ..mpc.context import Mode
     from ..mpc.engine import Engine
     from ..tpch import PREPARED, generate
@@ -292,6 +295,8 @@ def make_tpch_runner(
     def run(faults: FaultPlan) -> RunProfile:
         ctx = prepared.make_context(mode, seed=seed)
         engine = Engine(ctx, group_bits, exec_policy=policy)
+        if backend is not None:
+            engine.backend = backend
         session = enable_session(
             ctx, faults, node_budget=node_budget, seed=seed
         )

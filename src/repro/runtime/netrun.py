@@ -1,0 +1,341 @@
+"""Two-process query execution: ``repro net``.
+
+One OS process per party, a real TCP socket between them
+(:mod:`repro.runtime.transport`), and a disk journal under the
+supervisor's checkpoints (:mod:`repro.runtime.durable`).  Both parties
+run the same deterministic orchestration from the same seed (the
+lockstep mirror model — see the transport module docstring); the
+invariant this module exists to enforce is that the *result rows* and
+the *transcript fingerprint* of a two-process run — faulted, killed,
+reconnected, resumed — are byte-identical to the solo in-process run.
+
+Flow of a party::
+
+    config -> dataset/plan (deterministic)   [fresh and resume alike]
+    fresh : context + engine + session, DurableStore.create
+    resume: DurableStore.load -> revive(newest checkpoint)
+    wire  : SocketTransport.attach + start (handshake reconciles the
+            journal position against the peer's expected counters)
+    run   : Scheduler.run(..., env=revived, start_at=checkpoint.step)
+    finish: session.finish barrier, profile, KIND_DONE record, BYE
+
+Net mode pins ``max_attempts=1``: an in-node supervisor retry would
+re-run a node on one process while the peer's mirror stays put,
+desynchronising the frame streams — in two-process operation the
+recovery path *is* restart + ``--resume`` over the journal.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from ..mpc.context import Mode
+from ..mpc.transcript import ALICE, BOB
+from .chaos import RunProfile, profile_run
+from .durable import DurableStore, revive
+from .session import DEFAULT_NODE_BUDGET, enable_session
+from .supervisor import RetryPolicy
+from .transport import ProcessFaults, ReconnectPolicy, SocketTransport
+
+__all__ = [
+    "NET_QUERIES",
+    "NetConfig",
+    "profile_to_json",
+    "profile_from_json",
+    "solo_profile",
+    "run_party",
+    "parse_endpoint",
+    "fingerprint_sha256",
+    "equal_to_baseline",
+]
+
+#: Queries ``repro net`` can run: the single-plan benchmarks (the
+#: decomposed Q8/Q9 compose several plans per run and are out of scope
+#: for the resume path).
+NET_QUERIES = ("Q3", "Q10", "Q18")
+
+
+@dataclass
+class NetConfig:
+    """Everything one party needs; both parties must agree on all
+    protocol-visible fields (enforced by the handshake session id)."""
+
+    role: str
+    query: str = "Q3"
+    scale_mb: float = 0.1
+    seed: int = 7
+    backend: str = "yannakakis"
+    policy: str = "program"
+    group_bits: int = 1536
+    node_budget: int = DEFAULT_NODE_BUDGET
+    listen: Optional[Tuple[str, int]] = None
+    connect: Optional[Tuple[str, int]] = None
+    journal: Optional[str] = None
+    resume: bool = False
+    reconnect: ReconnectPolicy = field(default_factory=ReconnectPolicy)
+    heartbeat_s: float = 0.25
+    idle_timeout_s: float = 10.0
+    exchange_deadline_s: float = 120.0
+    faults: Optional[ProcessFaults] = None
+
+    def __post_init__(self) -> None:
+        if self.role not in (ALICE, BOB):
+            raise ValueError(f"unknown role {self.role!r}")
+        if self.query.upper() not in NET_QUERIES:
+            raise ValueError(
+                f"net mode supports {NET_QUERIES}, not {self.query!r}"
+            )
+        self.query = self.query.upper()
+
+    @property
+    def session_id(self) -> str:
+        """Digest of every protocol-visible knob: the handshake rejects
+        a peer configured for a different run."""
+        blob = (
+            f"{self.query}|{self.scale_mb}|{self.seed}|{self.backend}"
+            f"|{self.policy}|{self.group_bits}|{self.node_budget}"
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+    def meta(self) -> Dict[str, Any]:
+        """The journal's meta record: enough to rebuild the public
+        plan structures deterministically on resume."""
+        return {
+            "role": self.role,
+            "query": self.query,
+            "scale_mb": self.scale_mb,
+            "seed": self.seed,
+            "backend": self.backend,
+            "policy": self.policy,
+            "group_bits": self.group_bits,
+            "node_budget": self.node_budget,
+            "session_id": self.session_id,
+        }
+
+
+def profile_to_json(profile: RunProfile) -> Dict[str, Any]:
+    return {
+        "rows": [list(r) for r in profile.rows],
+        "bytes_by_section": [list(r) for r in profile.bytes_by_section],
+        "rounds_by_section": [list(r) for r in profile.rounds_by_section],
+        "fingerprint": [list(r) for r in profile.fingerprint],
+        "n_messages": profile.n_messages,
+        "nodes_seen": list(profile.nodes_seen),
+        "n_retries": profile.n_retries,
+    }
+
+
+def profile_from_json(d: Dict[str, Any]) -> RunProfile:
+    return RunProfile(
+        rows=tuple((str(a), int(b)) for a, b in d["rows"]),
+        bytes_by_section=tuple(
+            (str(a), int(b)) for a, b in d["bytes_by_section"]
+        ),
+        rounds_by_section=tuple(
+            (str(a), int(b)) for a, b in d["rounds_by_section"]
+        ),
+        fingerprint=tuple(
+            (str(a), int(b), str(c)) for a, b, c in d["fingerprint"]
+        ),
+        n_messages=int(d["n_messages"]),
+        nodes_seen=tuple(int(n) for n in d["nodes_seen"]),
+        n_retries=int(d["n_retries"]),
+    )
+
+
+# -- deterministic (re)construction of the public run structure --------
+
+
+def _prepared(config: NetConfig) -> Any:
+    from ..tpch import PREPARED, generate
+
+    dataset = generate(config.scale_mb)
+    return PREPARED[config.query](dataset)
+
+
+def _compiled(query_obj: Any, engine: Any) -> Tuple[Any, Any, Dict[str, Any]]:
+    """(yannakakis plan, exec plan, secure inputs) for one run — the
+    exact structures ``run_secure`` builds, exposed so the resume path
+    can drive the scheduler directly."""
+    from ..exec import compile_plan
+
+    inputs = query_obj.secure_inputs()
+    plan = query_obj.plan()
+    exec_plan = compile_plan(
+        plan,
+        owners={name: rel.owner for name, rel in inputs.items()},
+        input_order=list(inputs),
+        reveal_result=True,
+        backends=query_obj._effective_backends(engine),
+    )
+    return plan, exec_plan, inputs
+
+
+def _reveal(ctx: Any, plan: Any, env: Dict[str, Any]) -> Any:
+    """The post-scheduler tail of ``secure_yannakakis``: assemble the
+    revealed result relation from the final slot environment."""
+    from ..core.protocol import _finish
+
+    shared, values = env["output"]
+    result, _stats = _finish(ctx, plan, shared, values, 0.0, 0)
+    return result
+
+
+def solo_profile(config: NetConfig) -> RunProfile:
+    """The unfaulted single-process baseline for this configuration —
+    what both parties of a two-process run must reproduce exactly."""
+    from ..mpc.engine import Engine
+
+    prepared = _prepared(config)
+    ctx = prepared.make_context(Mode.SIMULATED, seed=config.seed)
+    engine = Engine(
+        ctx, config.group_bits, exec_policy=config.policy
+    )
+    engine.backend = config.backend
+    session = enable_session(
+        ctx, None, node_budget=config.node_budget, seed=config.seed
+    )
+    result, _ = prepared.run_secure(engine)
+    session.finish()
+    return profile_run(ctx, session, result)
+
+
+# -- one party's run ---------------------------------------------------
+
+
+def run_party(config: NetConfig) -> Dict[str, Any]:
+    """Execute one party end to end (fresh or resumed).  Returns the
+    outcome payload ``repro net`` serialises: the run profile, the
+    transport statistics and the resume position (if any).
+
+    Raises whatever the run raises — the CLI maps sanitized
+    :class:`~repro.runtime.aborts.ProtocolAbort` to a clean-abort exit
+    code; anything else is a hard failure."""
+    from ..exec import Scheduler
+    from ..mpc.engine import Engine
+
+    prepared = _prepared(config)
+    build = prepared._build
+    if build is None:  # pragma: no cover - guarded by NET_QUERIES
+        raise ValueError(f"{config.query} has no single-plan build")
+    query_obj = build()
+
+    resumed_from: Optional[int] = None
+    store: Optional[DurableStore] = None
+    if config.resume:
+        if not config.journal:
+            raise ValueError("--resume needs a journal path")
+        state = DurableStore.load(config.journal)
+        if state.done is not None:
+            # Idempotent: the previous incarnation already finished
+            # and journalled its profile.
+            return dict(state.done, already_done=True)
+        if state.meta.get("session_id") != config.session_id:
+            raise ValueError(
+                "journal belongs to a different run configuration"
+            )
+        latest = state.latest
+        if latest is None:
+            raise ValueError(
+                f"journal {config.journal!r} has no committed "
+                "checkpoint to resume from"
+            )
+        step_id, blob = latest
+        engine, session, env, _checkpoint = revive(blob)
+        ctx = engine.ctx
+        resumed_from = step_id
+        store = DurableStore.append_to(config.journal)
+    else:
+        ctx = prepared.make_context(Mode.SIMULATED, seed=config.seed)
+        engine = Engine(
+            ctx, config.group_bits, exec_policy=config.policy
+        )
+        engine.backend = config.backend
+        session = enable_session(
+            ctx, None, node_budget=config.node_budget, seed=config.seed
+        )
+        env = {}
+        if config.journal:
+            store = DurableStore.create(config.journal, config.meta())
+
+    # Net mode fails closed on in-node faults: recovery is --resume.
+    session.retry_policy = RetryPolicy(max_attempts=1)
+    session.durable = store
+    session.process_faults = config.faults
+
+    plan, exec_plan, inputs = _compiled(query_obj, engine)
+
+    transport: Optional[SocketTransport] = None
+    if config.listen is not None or config.connect is not None:
+        transport = SocketTransport(
+            role=config.role,
+            session_id=config.session_id,
+            listen=config.listen,
+            connect=config.connect,
+            reconnect=config.reconnect,
+            faults=config.faults,
+            seed=config.seed,
+            heartbeat_s=config.heartbeat_s,
+            idle_timeout_s=config.idle_timeout_s,
+            exchange_deadline_s=config.exchange_deadline_s,
+        )
+        transport.attach(session)
+        transport.start()
+
+    try:
+        env = Scheduler(engine).run(
+            exec_plan, inputs, env=env, start_at=resumed_from
+        )
+        result = _reveal(ctx, plan, env)
+        session.finish()
+        if transport is not None:
+            # Linger until the peer is done too (or provably gone):
+            # a killed peer's resume still needs our handshake replay.
+            transport.finish_barrier()
+    finally:
+        if transport is not None:
+            transport.close()
+
+    profile = profile_run(ctx, session, result)
+    outcome: Dict[str, Any] = {
+        "status": "done",
+        "role": config.role,
+        "query": config.query,
+        "resumed_from": resumed_from,
+        "profile": profile_to_json(profile),
+        "transport": dict(transport.stats) if transport else None,
+        "checkpoints_committed": store.n_commits if store else 0,
+    }
+    if store is not None:
+        store.save_done(outcome)
+        store.close()
+    return outcome
+
+
+def parse_endpoint(text: str) -> Tuple[str, int]:
+    """``"host:port"`` -> ``(host, port)`` (for the CLI)."""
+    host, _, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"expected host:port, got {text!r}")
+    return host, int(port)
+
+
+def fingerprint_sha256(profile: RunProfile) -> str:
+    """Stable digest of a transcript fingerprint, for log-friendly
+    parity checks across processes."""
+    blob = json.dumps(
+        [list(r) for r in profile.fingerprint], sort_keys=True
+    ).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def equal_to_baseline(
+    outcome: Dict[str, Any], baseline: RunProfile
+) -> str:
+    """'' when an outcome's profile matches the baseline, else the
+    first material difference."""
+    profile = profile_from_json(outcome["profile"])
+    return profile.diff(baseline)

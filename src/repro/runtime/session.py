@@ -42,7 +42,11 @@ from .framing import corrupted as _corrupted
 from .framing import truncated as _truncated
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..exec.ir import Step
     from ..mpc.context import Context
+    from .checkpoint import Checkpoint
+    from .durable import DurableStore
+    from .transport import ProcessFaults, SocketTransport
 
 __all__ = [
     "DEFAULT_NODE_BUDGET",
@@ -87,6 +91,15 @@ class Session:
         self.seed = int(seed)
         #: Optional per-session override of the supervisor retry policy.
         self.retry_policy: Optional[object] = None
+        #: Process-local hooks of a two-process run (``repro net``):
+        #: the socket transport every delivered frame is exchanged
+        #: through, the durable journal the supervisor commits
+        #: checkpoints to, and the process-level chaos faults.  All
+        #: three are ephemeral — :meth:`__getstate__` nulls them, and
+        #: the resume path re-wires fresh ones.
+        self.wire: Optional["SocketTransport"] = None
+        self.durable: Optional["DurableStore"] = None
+        self.process_faults: Optional["ProcessFaults"] = None
         self._seq: Dict[str, int] = {ALICE: 0, BOB: 0}
         self._expected: Dict[str, int] = {ALICE: 0, BOB: 0}
         self._held: Dict[str, Frame] = {}
@@ -165,6 +178,12 @@ class Session:
                 expected=expected,
                 party=frame.sender,
             )
+        if self.wire is not None:
+            # Two-process mode: transmit own-role frames, block on and
+            # cross-verify peer-role frames, before anything is
+            # metered.  Transport control traffic is unmetered, so the
+            # transcript stays byte-identical to the solo run.
+            self.wire.exchange(frame)
         self._expected[frame.sender] = expected + 1
         metered = frame.n_bytes + (
             FRAME_HEADER_BYTES if self.meter_overhead else 0
@@ -176,6 +195,8 @@ class Session:
     def begin_node(self, node_id: int, label: str = "") -> None:
         """Enter a plan node: arm its deadline and fire any node-scoped
         fault (a party crash) before work starts."""
+        if self.process_faults is not None:
+            self.process_faults.at_node(node_id)
         self.node = node_id
         self.node_label = label
         self.nodes_seen.append(node_id)
@@ -221,6 +242,29 @@ class Session:
                 )
 
     # -- checkpointing ---------------------------------------------------
+
+    def commit_checkpoint(
+        self, step: "Step", checkpoint: "Checkpoint"
+    ) -> None:
+        """Durable commit of one supervisor capture: journal the
+        checkpoint (fsync'd), then — and only then — send the peer a
+        durable ACK carrying the committed expected counters.  Acking
+        at commit time is what makes the peer's outbox a complete
+        replay source after any crash on this side."""
+        if self.durable is not None:
+            self.durable.save_checkpoint(step.id, checkpoint)
+            if self.wire is not None:
+                self.wire.ack(dict(self._expected))
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickled sessions (durable checkpoints) drop the
+        process-local hooks: sockets, journal file handles and chaos
+        hooks neither pickle nor belong to the resumed process."""
+        state = self.__dict__.copy()
+        state["wire"] = None
+        state["durable"] = None
+        state["process_faults"] = None
+        return state
 
     def state(self) -> SessionState:
         return SessionState(

@@ -38,19 +38,48 @@ __all__ = ["RetryPolicy", "Supervisor"]
 #: Domain-separation constant for retry RNG subkeys.
 _RETRY_STREAM = 0x53594E31  # "SYN1"
 
+#: Domain-separation constant for backoff-jitter subkeys (distinct
+#: stream: jitter draws must never perturb the retry rekeying).
+_JITTER_STREAM = 0x53594E4A  # "SYNJ"
+
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Bounded exponential backoff in virtual time."""
+    """Bounded exponential backoff in virtual time, plus deterministic
+    jitter.
+
+    The jitter is *additive* on top of :meth:`backoff` (whose schedule
+    stays exact and pinned by tests) and is derived from a seeded RNG
+    keyed on ``(stream, session seed, step, attempt)`` — never
+    wall-clock or :mod:`random` — so the full retry schedule is a pure
+    function of the session seed and replays identically
+    (OBL003/OBL004-clean).
+    """
 
     max_attempts: int = 3
     base_backoff_ticks: int = 8
     max_backoff_ticks: int = 1024
+    jitter_ticks: int = 8
 
     def backoff(self, attempt: int) -> int:
-        """Ticks to wait before retry number ``attempt`` (1-based)."""
+        """Deterministic base: ticks to wait before retry number
+        ``attempt`` (1-based), jitter excluded."""
         ticks = self.base_backoff_ticks << max(attempt - 1, 0)
         return min(ticks, self.max_backoff_ticks)
+
+    def jitter(self, attempt: int, seed: int, step_id: int) -> int:
+        """The deterministic jitter for one retry: uniform in
+        ``[0, jitter_ticks]``, keyed so distinct steps, attempts and
+        sessions de-synchronise without sacrificing replayability."""
+        if self.jitter_ticks <= 0:
+            return 0
+        rng = np.random.default_rng(
+            [_JITTER_STREAM, int(seed), int(step_id), int(attempt)]
+        )
+        return int(rng.integers(0, self.jitter_ticks + 1))
+
+    def jittered_backoff(self, attempt: int, seed: int, step_id: int) -> int:
+        return self.backoff(attempt) + self.jitter(attempt, seed, step_id)
 
 
 class Supervisor:
@@ -87,6 +116,9 @@ class Supervisor:
             checkpoint = Checkpoint.capture(
                 step.id, env, self.engine, session, self.trace
             )
+            # Durable mode: journal the capture (and ACK the peer) so a
+            # kill -9 from here on resumes at this node.
+            session.commit_checkpoint(step, checkpoint)
             try:
                 session.begin_node(step.id, step.label)
                 thunk()
@@ -108,7 +140,11 @@ class Supervisor:
                 checkpoint.restore(
                     env, self.engine, session, self.trace
                 )
-                session.clock.advance(self.policy.backoff(attempts))
+                session.clock.advance(
+                    self.policy.jittered_backoff(
+                        attempts, session.seed, step.id
+                    )
+                )
                 self._rekey(step.id, attempts)
                 session.n_retries += 1
                 self._event("retry", step, attempts, abort)

@@ -1,0 +1,120 @@
+"""Two-process execution: real sockets, SIGKILL, ``--resume``.
+
+Each test here launches both parties of Q3 as separate OS processes
+(``python -m repro net``) over a localhost TCP socket and checks the
+tentpole equality: whatever is done to the processes — nothing, a
+SIGKILL mid-plan followed by ``--resume``, a dropped connection, a
+partition — both parties' run profiles (rows, per-section accounting,
+transcript fingerprint) must come out byte-identical to the solo
+in-process baseline.
+"""
+
+import pytest
+
+from repro.runtime import (
+    NetConfig,
+    ProcessFaultSpec,
+    build_process_specs,
+    run_scenario,
+    solo_profile,
+)
+
+CONFIG = NetConfig(role="alice", query="Q3", scale_mb=0.1, seed=7)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return solo_profile(CONFIG)
+
+
+def scenario(baseline, tmp_path, fault):
+    outcome = run_scenario(
+        CONFIG, baseline, fault, str(tmp_path), timeout_s=90.0
+    )
+    assert outcome.classification == "completed-correct", str(outcome)
+    return outcome
+
+
+class TestTwoProcess:
+    def test_clean_run_matches_solo(self, baseline, tmp_path):
+        outcome = scenario(baseline, tmp_path, None)
+        assert not outcome.resumed
+        assert outcome.reconnects == 0
+
+    def test_sigkill_mid_plan_resumes_to_parity(self, baseline, tmp_path):
+        node = baseline.nodes_seen[len(baseline.nodes_seen) // 2]
+        outcome = scenario(
+            baseline, tmp_path,
+            ProcessFaultSpec("kill-node", node=node, party="bob"),
+        )
+        assert outcome.resumed
+
+    def test_sigkill_at_first_node(self, baseline, tmp_path):
+        outcome = scenario(
+            baseline, tmp_path,
+            ProcessFaultSpec(
+                "kill-node", node=baseline.nodes_seen[0], party="alice"
+            ),
+        )
+        assert outcome.resumed
+
+    def test_sigkill_at_last_node(self, baseline, tmp_path):
+        outcome = scenario(
+            baseline, tmp_path,
+            ProcessFaultSpec(
+                "kill-node", node=baseline.nodes_seen[-1], party="bob"
+            ),
+        )
+        assert outcome.resumed
+
+    def test_dropped_connection_reconnects_transparently(
+        self, baseline, tmp_path
+    ):
+        outcome = scenario(
+            baseline, tmp_path,
+            ProcessFaultSpec(
+                "drop", wire=baseline.n_messages // 2, party="bob"
+            ),
+        )
+        assert not outcome.resumed  # no restart: in-transport recovery
+        assert outcome.reconnects >= 1
+
+    def test_partition_heals(self, baseline, tmp_path):
+        outcome = scenario(
+            baseline, tmp_path,
+            ProcessFaultSpec("partition", wire=10, party="alice", ms=300),
+        )
+        assert outcome.reconnects >= 1
+
+
+class TestSpecBuilder:
+    def test_kill_covers_every_node(self, baseline):
+        specs = build_process_specs(baseline, kinds=("kill-node",))
+        assert sorted(s.node for s in specs) == sorted(
+            baseline.nodes_seen
+        )
+        assert {s.party for s in specs} == {"alice", "bob"}
+
+    def test_wire_kinds_stride(self, baseline):
+        specs = build_process_specs(
+            baseline, kinds=("drop",), stride=10
+        )
+        assert [s.wire for s in specs] == list(
+            range(0, baseline.n_messages, 10)
+        )
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            ProcessFaultSpec("kill-node")  # needs a node
+        with pytest.raises(ValueError):
+            ProcessFaultSpec("drop")  # needs a wire index
+        with pytest.raises(ValueError):
+            ProcessFaultSpec("nonsense", wire=0)
+
+    def test_flags_round_trip_kinds(self):
+        assert ProcessFaultSpec("kill-node", node=3).flags() == [
+            "--kill-at-node", "3",
+        ]
+        assert ProcessFaultSpec("partition", wire=5, ms=250).flags() == [
+            "--partition-at-wire", "5", "--partition-ms", "250",
+        ]

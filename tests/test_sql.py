@@ -77,8 +77,10 @@ class TestParser:
             parse_sql("SELECT a, SUM(x) FROM t GROUP BY b")
 
     def test_trailing_garbage(self):
+        # (``FROM t EXTRA`` is a table alias, so the junk must come
+        # after a clause that cannot absorb a bare name.)
         with pytest.raises(SqlError):
-            parse_sql("SELECT COUNT(*) FROM t EXTRA")
+            parse_sql("SELECT COUNT(*) FROM t WHERE a = 1 EXTRA")
 
     def test_tokenizer_rejects_junk(self):
         with pytest.raises(SqlError):
@@ -276,3 +278,89 @@ class TestNameCollisions:
             {"t1": t1, "t2": t2},
         )
         assert q.run_plain().to_dict() == {(1,): 2}
+
+
+class TestAliases:
+    def test_as_alias_parses(self):
+        p = parse_sql("SELECT COUNT(*) FROM t AS a, u b, v")
+        assert p.tables == ["a", "b", "v"]
+        assert p.sources == {"a": "t", "b": "u", "v": "v"}
+
+    def test_alias_is_effective_name_in_conditions(self):
+        p = parse_sql(
+            "SELECT COUNT(*) FROM t a, t b WHERE a.x = b.y"
+        )
+        assert p.tables == ["a", "b"]
+        assert p.sources == {"a": "t", "b": "t"}
+
+    def test_duplicate_alias_rejected(self):
+        with pytest.raises(SqlError) as err:
+            parse_sql("SELECT COUNT(*) FROM t a, u a")
+        assert "aliases" in str(err.value)
+
+    def test_alias_colliding_with_table_name_rejected(self):
+        with pytest.raises(SqlError) as err:
+            parse_sql("SELECT COUNT(*) FROM t, u t")
+        assert "aliases" in str(err.value)
+
+    def test_unknown_base_table_reported(self):
+        with pytest.raises(SqlError) as err:
+            compile_sql("SELECT COUNT(*) FROM nope n", {})
+        assert "nope" in str(err.value)
+
+    def test_aliased_single_table(self, tables):
+        q = compile_sql(
+            "SELECT SUM(cost) FROM r2 AS visits "
+            "WHERE visits.disease = 'flu'",
+            tables,
+        )
+        assert q.run_plain().to_dict() == {(): 370}
+
+    def test_self_join_two_paths_plain(self):
+        ring = IntegerRing(32)
+        edges = AnnotatedRelation(
+            ("src", "dst"),
+            [(1, 2), (2, 3), (2, 4), (3, 4)],
+            None,
+            ring,
+        )
+        q = compile_sql(
+            "SELECT COUNT(*) FROM edges a, edges b "
+            "WHERE a.dst = b.src",
+            {"edges": edges},
+        )
+        # 2-paths: 1-2-3, 1-2-4, 2-3-4.
+        assert q.run_plain().to_dict() == {(): 3}
+
+    def test_self_join_secure_matches_plain(self):
+        ring = IntegerRing(32)
+        edges = AnnotatedRelation(
+            ("src", "dst"),
+            [(1, 2), (2, 3), (2, 4), (3, 4)],
+            None,
+            ring,
+        )
+        q = compile_sql(
+            "SELECT COUNT(*) FROM edges a, edges b "
+            "WHERE a.dst = b.src",
+            {"edges": edges},
+            owners={"a": ALICE, "b": BOB},
+        )
+        engine = Engine(Context(Mode.SIMULATED, seed=1), TEST_GROUP_BITS)
+        result, _ = q.run_secure(engine)
+        assert result.semantically_equal(q.run_plain())
+
+    def test_self_join_group_by(self):
+        ring = IntegerRing(32)
+        edges = AnnotatedRelation(
+            ("src", "dst"),
+            [(1, 2), (2, 3), (2, 4), (3, 4)],
+            None,
+            ring,
+        )
+        q = compile_sql(
+            "SELECT a.src, COUNT(*) FROM edges a, edges b "
+            "WHERE a.dst = b.src GROUP BY a.src",
+            {"edges": edges},
+        )
+        assert q.run_plain().to_dict() == {(1,): 2, (2,): 1}

@@ -1,0 +1,286 @@
+"""The socket transport: codec, reconnect policy, lockstep loopback.
+
+Two-process integration (real ``repro net`` subprocesses, SIGKILL,
+``--resume``) lives in ``tests/test_netrun.py``; this file covers the
+transport's in-process surface — the wire codec, the deterministic
+reconnect schedule, the process-fault one-shot latches, and a
+two-transport loopback over a real localhost socket pair driven from
+two threads.
+"""
+
+import threading
+
+import pytest
+
+from repro.mpc.transcript import ALICE, BOB
+from repro.runtime.aborts import TransportAbort
+from repro.runtime.framing import Frame, frame_digest
+from repro.runtime.supervisor import RetryPolicy
+from repro.runtime.transport import (
+    _MSG_FRAME,
+    _MSG_HEADER,
+    WIRE_MAGIC,
+    ProcessFaults,
+    ReconnectPolicy,
+    SocketTransport,
+    _encode,
+    _frame_from_payload,
+    _frame_payload,
+    free_port,
+)
+
+
+def make_frame(seq, sender=ALICE, n_bytes=96, label="unit/test"):
+    return Frame(
+        seq=seq,
+        sender=sender,
+        n_bytes=n_bytes,
+        length=n_bytes,
+        label=label,
+        digest=frame_digest(seq, sender, n_bytes, label),
+    )
+
+
+class TestCodec:
+    def test_frame_payload_round_trip(self):
+        frame = make_frame(7, BOB, 1234, "semijoin/orders")
+        assert _frame_from_payload(_frame_payload(frame)) == frame
+
+    def test_encode_header_shape(self):
+        payload = _frame_payload(make_frame(0))
+        blob = _encode(_MSG_FRAME, payload)
+        magic, msg_type, length = _MSG_HEADER.unpack_from(blob)
+        assert magic == WIRE_MAGIC
+        assert msg_type == _MSG_FRAME
+        assert length == len(payload)
+        assert blob[_MSG_HEADER.size:] == payload
+
+    def test_digest_survives_hex_round_trip(self):
+        frame = make_frame(3, label="reduce/agg")
+        again = _frame_from_payload(_frame_payload(frame))
+        assert again.digest == frame.digest
+        assert again.wire_bytes == frame.wire_bytes
+
+
+class TestReconnectPolicy:
+    def test_schedule_is_deterministic(self):
+        policy = ReconnectPolicy()
+        a = policy.schedule(seed=7, reconnect_index=0)
+        b = policy.schedule(seed=7, reconnect_index=0)
+        assert a == b
+
+    def test_schedule_varies_with_seed_and_episode(self):
+        policy = ReconnectPolicy()
+        assert policy.schedule(7, 0) != policy.schedule(8, 0)
+        assert policy.schedule(7, 0) != policy.schedule(7, 1)
+
+    def test_capped_exponential_envelope(self):
+        policy = ReconnectPolicy(
+            max_attempts=8, base_delay_s=0.05, max_delay_s=0.4,
+            jitter_frac=0.25,
+        )
+        delays = policy.schedule(seed=1, reconnect_index=0)
+        assert len(delays) == 8
+        for i, d in enumerate(delays):
+            base = min(0.05 * (2 ** i), 0.4)
+            assert base <= d <= base * 1.25
+
+    def test_zero_jitter_is_exact(self):
+        policy = ReconnectPolicy(
+            max_attempts=4, base_delay_s=0.1, max_delay_s=0.4,
+            jitter_frac=0.0,
+        )
+        assert policy.schedule(3, 0) == [0.1, 0.2, 0.4, 0.4]
+
+
+class TestRetryJitter:
+    """Satellite: the supervisor's backoff jitter (docs/ROBUSTNESS.md)."""
+
+    def test_base_backoff_schedule_unchanged(self):
+        # Pinned: the deterministic base the session tests rely on.
+        policy = RetryPolicy(max_attempts=6, max_backoff_ticks=64)
+        assert [policy.backoff(a) for a in range(1, 6)] == [
+            8, 16, 32, 64, 64,
+        ]
+
+    def test_jitter_deterministic_and_bounded(self):
+        policy = RetryPolicy()
+        for attempt in (1, 2, 3):
+            for step_id in (0, 5, 11):
+                j = policy.jitter(attempt, seed=7, step_id=step_id)
+                assert j == policy.jitter(attempt, 7, step_id)
+                assert 0 <= j <= policy.jitter_ticks
+                total = policy.jittered_backoff(attempt, 7, step_id)
+                assert total == policy.backoff(attempt) + j
+
+    def test_jitter_decorrelates_steps(self):
+        policy = RetryPolicy()
+        draws = {
+            policy.jitter(1, seed=7, step_id=s) for s in range(64)
+        }
+        assert len(draws) > 1  # not a constant schedule
+
+    def test_zero_jitter_ticks_disables(self):
+        policy = RetryPolicy(jitter_ticks=0)
+        assert policy.jitter(1, 7, 0) == 0
+        assert policy.jittered_backoff(2, 7, 0) == policy.backoff(2)
+
+
+class TestProcessFaults:
+    def test_wire_faults_fire_once(self):
+        fired = []
+
+        class FakeTransport:
+            def force_drop(self):
+                fired.append("drop")
+
+        faults = ProcessFaults(drop_at_wire=3)
+        t = FakeTransport()
+        for wire in range(6):
+            faults.at_wire(wire, t)
+        faults.at_wire(3, t)  # replay of the same index: latched
+        assert fired == ["drop"]
+
+    def test_stall_is_bounded(self):
+        faults = ProcessFaults(stall_at_wire=0, stall_ms=1)
+        faults.at_wire(0, None)  # must not need a transport
+        faults.at_wire(0, None)
+
+    def test_node_faults_ignore_other_nodes(self):
+        # kill_at_node SIGKILLs the *current* process, so only probe
+        # the non-matching path here (subprocess coverage is in
+        # test_netrun.py).
+        faults = ProcessFaults(kill_at_node=99)
+        faults.at_node(0)
+        faults.at_node(98)
+
+
+class TestFreePort:
+    def test_free_port_is_bindable(self):
+        import socket
+
+        port = free_port()
+        assert 0 < port < 65536
+        with socket.socket() as s:
+            s.bind(("127.0.0.1", port))
+
+
+class _SessionStub:
+    """The sliver of Session the transport reads: the per-sender
+    delivered-frame counters (``repro net`` attaches the real thing)."""
+
+    def __init__(self):
+        self._expected = {ALICE: 0, BOB: 0}
+        self.wire = None
+        self.node = None
+
+
+class TestLoopback:
+    """Both roles in one process, over a real localhost socket."""
+
+    def run_party(self, role, port, frames, results, faults=None):
+        transport = SocketTransport(
+            role=role,
+            session_id="loopback-test",
+            listen=("127.0.0.1", port) if role == ALICE else None,
+            connect=("127.0.0.1", port) if role == BOB else None,
+            faults=faults,
+            seed=7,
+            heartbeat_s=0.1,
+            idle_timeout_s=5.0,
+            exchange_deadline_s=20.0,
+        )
+        transport.attach(_SessionStub())
+        try:
+            transport.start()
+            for frame in frames:
+                transport.exchange(frame)
+                # Mirror Session._deliver's post-exchange bookkeeping.
+                transport.session._expected[frame.sender] += 1
+            transport.finish_barrier(timeout_s=5.0)
+            results[role] = dict(transport.stats)
+        except BaseException as exc:  # pragma: no cover - surfaced below
+            results[role] = exc
+        finally:
+            transport.close()
+
+    def drive(self, frames, faults_by_role=None):
+        port = free_port()
+        results = {}
+        faults_by_role = faults_by_role or {}
+        threads = [
+            threading.Thread(
+                target=self.run_party,
+                args=(role, port, frames, results),
+                kwargs={"faults": faults_by_role.get(role)},
+            )
+            for role in (ALICE, BOB)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        for role in (ALICE, BOB):
+            if isinstance(results.get(role), BaseException):
+                raise results[role]
+        return results
+
+    def mirrored_frames(self, n=10):
+        # Frame seqs are per-sender (Session._seq), not global.
+        frames, per_sender = [], {ALICE: 0, BOB: 0}
+        for i in range(n):
+            sender = ALICE if i % 2 == 0 else BOB
+            frames.append(
+                make_frame(per_sender[sender], sender, 64 + i)
+            )
+            per_sender[sender] += 1
+        return frames
+
+    def test_clean_exchange(self):
+        frames = self.mirrored_frames(10)
+        results = self.drive(frames)
+        assert results[ALICE]["frames_sent"] == 5
+        assert results[ALICE]["frames_received"] == 5
+        assert results[BOB]["frames_sent"] == 5
+        assert results[BOB]["frames_received"] == 5
+        assert results[ALICE]["reconnects"] == 0
+
+    def test_drop_mid_stream_reconnects(self):
+        frames = self.mirrored_frames(10)
+        results = self.drive(
+            frames,
+            faults_by_role={BOB: ProcessFaults(drop_at_wire=4)},
+        )
+        # The drop is recovered transparently: both sides complete,
+        # at least one reconnect episode ran, outbox replay covered
+        # anything lost in flight.
+        assert results[ALICE]["frames_received"] == 5
+        assert results[BOB]["frames_received"] == 5
+        assert (
+            results[ALICE]["reconnects"] + results[BOB]["reconnects"]
+            >= 1
+        )
+
+    def test_divergent_mirror_aborts(self):
+        port = free_port()
+        results = {}
+        good = self.mirrored_frames(6)
+        evil = list(good)
+        # Bob's mirror disagrees about the size of bob's second frame.
+        evil[3] = make_frame(good[3].seq, BOB, n_bytes=4096)
+        ta = threading.Thread(
+            target=self.run_party, args=(ALICE, port, good, results)
+        )
+        tb = threading.Thread(
+            target=self.run_party, args=(BOB, port, evil, results)
+        )
+        ta.start()
+        tb.start()
+        ta.join(timeout=30.0)
+        tb.join(timeout=30.0)
+        aborts = [
+            r for r in results.values()
+            if isinstance(r, TransportAbort)
+        ]
+        assert aborts, f"expected a TransportAbort, got {results}"
+        assert any(a.reason == "peer-divergence" for a in aborts)
